@@ -1,0 +1,127 @@
+// Command d2ctl is the cluster control/demo client: lookup, create,
+// setattr, readdir and stats against a running D2-Tree cluster.
+//
+// Usage:
+//
+//	d2ctl -monitor 127.0.0.1:7070 lookup /home/a
+//	d2ctl -monitor 127.0.0.1:7070 create /home/a/new.txt file
+//	d2ctl -monitor 127.0.0.1:7070 setattr /home/a/new.txt 4096
+//	d2ctl -monitor 127.0.0.1:7070 rename /home/a/new.txt renamed.txt
+//	d2ctl -monitor 127.0.0.1:7070 readdir /home
+//	d2ctl -monitor 127.0.0.1:7070 stats
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"d2tree/internal/client"
+	"d2tree/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "d2ctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("d2ctl", flag.ContinueOnError)
+	mon := fs.String("monitor", "127.0.0.1:7070", "monitor address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return errors.New("need a command: lookup|create|setattr|rename|readdir|stats")
+	}
+	c, err := client.Connect(client.Config{MonitorAddr: *mon})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close() }()
+
+	switch rest[0] {
+	case "lookup":
+		if len(rest) != 2 {
+			return errors.New("usage: lookup <path>")
+		}
+		e, err := c.Lookup(rest[1])
+		if err != nil {
+			return err
+		}
+		printEntry(w, e)
+	case "create":
+		if len(rest) != 3 {
+			return errors.New("usage: create <path> file|dir")
+		}
+		kind := wire.EntryFile
+		if rest[2] == "dir" {
+			kind = wire.EntryDir
+		}
+		e, err := c.Create(rest[1], kind)
+		if err != nil {
+			return err
+		}
+		printEntry(w, e)
+	case "setattr":
+		if len(rest) != 3 {
+			return errors.New("usage: setattr <path> <size>")
+		}
+		size, err := strconv.ParseInt(rest[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad size %q: %w", rest[2], err)
+		}
+		e, err := c.SetAttr(rest[1], size, 0o644)
+		if err != nil {
+			return err
+		}
+		printEntry(w, e)
+	case "rename":
+		if len(rest) != 3 {
+			return errors.New("usage: rename <path> <newname>")
+		}
+		e, err := c.Rename(rest[1], rest[2])
+		if err != nil {
+			return err
+		}
+		printEntry(w, e)
+	case "readdir":
+		if len(rest) != 2 {
+			return errors.New("usage: readdir <path>")
+		}
+		names, err := c.Readdir(rest[1])
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Fprintln(w, n)
+		}
+	case "stats":
+		for _, addr := range c.Servers() {
+			st, err := c.Stats(addr)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s ops=%d lookups=%d creates=%d setattrs=%d redirects=%d entries=%d subtrees=%d glv=%d\n",
+				st.Server, st.Ops, st.Lookups, st.Creates, st.SetAttrs,
+				st.Redirects, st.Entries, st.SubtreeCnt, st.GLVersion)
+		}
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+	return nil
+}
+
+func printEntry(w io.Writer, e *wire.Entry) {
+	kind := "file"
+	if e.Kind == wire.EntryDir {
+		kind = "dir"
+	}
+	fmt.Fprintf(w, "%s %s size=%d mode=%o version=%d\n", kind, e.Path, e.Size, e.Mode, e.Version)
+}

@@ -1,0 +1,106 @@
+// Command d2fsck verifies a running D2-Tree cluster: starting at the root
+// it walks the whole namespace through the client library (Readdir +
+// Lookup), checking that every reachable path resolves, that directory
+// listings are complete and consistent, and reporting per-server placement
+// statistics.
+//
+// Usage:
+//
+//	d2fsck -monitor 127.0.0.1:7070 [-maxpaths 100000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"d2tree/internal/client"
+	"d2tree/internal/wire"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d2fsck:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run walks the cluster and returns exit code 0 (clean) or 1 (inconsistent).
+func run(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("d2fsck", flag.ContinueOnError)
+	var (
+		mon      = fs.String("monitor", "127.0.0.1:7070", "monitor address")
+		maxPaths = fs.Int("maxpaths", 1_000_000, "walk at most this many paths")
+		verbose  = fs.Bool("v", false, "print every problem path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	c, err := client.Connect(client.Config{MonitorAddr: *mon})
+	if err != nil {
+		return 2, err
+	}
+	defer func() { _ = c.Close() }()
+
+	var (
+		walked, dirs, files, problems int
+		queue                         = []string{"/"}
+	)
+	reportProblem := func(format string, args ...interface{}) {
+		problems++
+		if *verbose {
+			fmt.Fprintf(w, "PROBLEM: "+format+"\n", args...)
+		}
+	}
+	for len(queue) > 0 && walked < *maxPaths {
+		path := queue[0]
+		queue = queue[1:]
+		walked++
+
+		e, err := c.Lookup(path)
+		if err != nil {
+			reportProblem("lookup %s: %v", path, err)
+			continue
+		}
+		if e.Path != path {
+			reportProblem("lookup %s returned entry for %s", path, e.Path)
+			continue
+		}
+		if e.Kind != wire.EntryDir {
+			files++
+			continue
+		}
+		dirs++
+		names, err := c.Readdir(path)
+		if err != nil {
+			reportProblem("readdir %s: %v", path, err)
+			continue
+		}
+		prefix := path + "/"
+		if path == "/" {
+			prefix = "/"
+		}
+		for _, name := range names {
+			queue = append(queue, prefix+name)
+		}
+	}
+
+	fmt.Fprintf(w, "walked %d paths (%d dirs, %d files), %d problem(s)\n",
+		walked, dirs, files, problems)
+	fmt.Fprintln(w, "per-server placement:")
+	for _, addr := range c.Servers() {
+		st, err := c.Stats(addr)
+		if err != nil {
+			return 2, fmt.Errorf("stats %s: %w", addr, err)
+		}
+		fmt.Fprintf(w, "  %s: entries=%d subtrees=%d glVersion=%d redirects=%d\n",
+			st.Server, st.Entries, st.SubtreeCnt, st.GLVersion, st.Redirects)
+	}
+	if problems > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"d2tree/internal/monitor"
+	"d2tree/internal/server"
+	"d2tree/internal/trace"
+)
+
+func startCluster(t *testing.T) (*monitor.Monitor, *trace.Workload) {
+	t.Helper()
+	w, err := trace.BuildWorkload(trace.LMBE().Scale(600), 2500, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(w.Tree, monitor.Config{Addr: "127.0.0.1:0", Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mon.Close() })
+	for i := 0; i < 3; i++ {
+		srv := server.New(server.Config{
+			Addr:              "127.0.0.1:0",
+			MonitorAddr:       mon.Addr(),
+			HeartbeatInterval: 100 * time.Millisecond,
+		})
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+	}
+	return mon, w
+}
+
+func TestFsckCleanCluster(t *testing.T) {
+	mon, w := startCluster(t)
+	var buf bytes.Buffer
+	code, err := run([]string{"-monitor", mon.Addr(), "-v"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, output:\n%s", code, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0 problem(s)") {
+		t.Errorf("output = %s", out)
+	}
+	// The walk must reach (at least) every namespace node; paths created
+	// only in the GL of the monitor may add more.
+	var walked, dirs, files, problems int
+	if _, err := fmt.Sscanf(out, "walked %d paths (%d dirs, %d files), %d problem(s)",
+		&walked, &dirs, &files, &problems); err != nil {
+		t.Fatalf("cannot parse output %q: %v", out, err)
+	}
+	if walked < w.Tree.Len() {
+		t.Errorf("walked %d < namespace size %d", walked, w.Tree.Len())
+	}
+	if strings.Count(out, "mds-") != 3 {
+		t.Errorf("expected 3 per-server lines:\n%s", out)
+	}
+}
+
+func TestFsckMaxPaths(t *testing.T) {
+	mon, _ := startCluster(t)
+	var buf bytes.Buffer
+	code, err := run([]string{"-monitor", mon.Addr(), "-maxpaths", "10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d: %s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "walked 10 paths") {
+		t.Errorf("output = %s", buf.String())
+	}
+}
+
+func TestFsckBadMonitor(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run([]string{"-monitor", "127.0.0.1:1"}, &buf); err == nil {
+		t.Error("dead monitor accepted")
+	}
+}

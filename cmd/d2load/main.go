@@ -1,0 +1,69 @@
+// Command d2load drives a running D2-Tree cluster with a synthetic trace
+// through a closed-loop client population — the live-cluster counterpart of
+// the paper's EC2 throughput experiment.
+//
+// Usage:
+//
+//	d2load -monitor 127.0.0.1:7070 -profile LMBE -nodes 20000 -events 50000 \
+//	       -clients 200 [-seed 1] [-timeout 2m]
+//
+// The namespace parameters must match the ones the Monitor was started
+// with, so both sides resolve the same paths.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"d2tree/internal/loadgen"
+	"d2tree/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "d2load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("d2load", flag.ContinueOnError)
+	var (
+		mon     = fs.String("monitor", "127.0.0.1:7070", "monitor address")
+		profile = fs.String("profile", "LMBE", "trace profile (DTR|LMBE|RA)")
+		nodes   = fs.Int("nodes", 20000, "namespace size (must match the monitor)")
+		events  = fs.Int("events", 50000, "operations to replay")
+		clients = fs.Int("clients", 200, "closed-loop client population")
+		seed    = fs.Int64("seed", 1, "seed (must match the monitor)")
+		timeout = fs.Duration("timeout", 5*time.Minute, "overall run timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := trace.ProfileByName(*profile)
+	if err != nil {
+		return err
+	}
+	w, err := trace.BuildWorkload(p.Scale(*nodes), *events, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %d %s ops with %d clients against %s …\n",
+		len(w.Events), p.Name, *clients, *mon)
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		MonitorAddr: *mon,
+		Clients:     *clients,
+		Tree:        w.Tree,
+		Events:      w.Events,
+		Timeout:     *timeout,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Format())
+	return nil
+}

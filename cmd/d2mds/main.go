@@ -1,0 +1,53 @@
+// Command d2mds runs one metadata server: it joins the cluster through the
+// Monitor, receives its global-layer replica and local-layer subtrees, and
+// serves metadata operations.
+//
+// Usage:
+//
+//	d2mds -addr :7081 -monitor 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"d2tree/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "d2mds:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("d2mds", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:0", "listen address")
+		mon       = fs.String("monitor", "127.0.0.1:7070", "monitor address")
+		heartbeat = fs.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Addr:              *addr,
+		MonitorAddr:       *mon,
+		HeartbeatInterval: *heartbeat,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("d2mds %d listening on %s (monitor %s)\n", srv.ID(), srv.Addr(), *mon)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("d2mds: shutting down")
+	return srv.Close()
+}

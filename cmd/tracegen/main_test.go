@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"d2tree/internal/namespace"
+	"d2tree/internal/trace"
+)
+
+func TestRunWritesTraceAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.trace")
+	treePath := filepath.Join(dir, "out.ns")
+	err := run([]string{
+		"-profile", "RA", "-nodes", "800", "-events", "2000", "-seed", "5",
+		"-out", tracePath, "-tree", treePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	name, events, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "RA" || len(events) != 2000 {
+		t.Errorf("trace = %q with %d events", name, len(events))
+	}
+
+	tf, err := os.Open(treePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tf.Close() }()
+	tree, err := namespace.ReadSnapshot(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 800 {
+		t.Errorf("tree nodes = %d", tree.Len())
+	}
+	// Every event must reference a live node.
+	for _, ev := range events[:50] {
+		if tree.Node(ev.Node) == nil {
+			t.Fatalf("event references missing node %d", ev.Node)
+		}
+	}
+}
+
+func TestRunRequiresOut(t *testing.T) {
+	if err := run([]string{"-profile", "DTR"}); err == nil {
+		t.Error("missing -out accepted")
+	}
+}
+
+func TestRunUnknownProfile(t *testing.T) {
+	if err := run([]string{"-profile", "XX", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}

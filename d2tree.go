@@ -1,0 +1,215 @@
+// Package d2tree is the public API of the D2-Tree reproduction: a
+// distributed double-layer namespace tree partition scheme for metadata
+// management in large-scale storage systems (Luo et al., ICDCS 2018).
+//
+// # Overview
+//
+// D2-Tree splits a file-system namespace into a replicated global layer
+// (the most popular upper nodes) and a local layer of intact subtrees, each
+// owned by one metadata server. The package exposes:
+//
+//   - namespace construction and synthetic workloads ([NewNamespace],
+//     [BuildNamespace], [BuildWorkload], the trace profiles [DTR], [LMBE],
+//     [RA]);
+//   - the D2-Tree partition itself ([New], [Split], [SplitProportion],
+//     [MirrorDivide]) plus the four baseline schemes from the paper's
+//     evaluation;
+//   - a deterministic replay simulator ([Run]) producing the
+//     throughput / locality / balance metrics of Figs. 5–7;
+//   - a real TCP metadata cluster ([NewMonitor], [NewServer],
+//     [ConnectClient]) implementing the Monitor, MDS, lock-service and
+//     client-cache design of Sec. IV.
+//
+// # Quick start
+//
+//	w, _ := d2tree.BuildWorkload(d2tree.DTR().Scale(5000), 50000, 1)
+//	d, _ := d2tree.New(w.Tree, 8, d2tree.DefaultConfig())
+//	res, _ := d2tree.Run(w, &d2tree.Scheme{}, 8, 3, d2tree.DefaultCostModel(), 1)
+//	fmt.Println(res.ThroughputOps, res.Locality, res.Balance)
+package d2tree
+
+import (
+	"math/rand"
+
+	"d2tree/internal/baseline"
+	"d2tree/internal/client"
+	"d2tree/internal/core"
+	"d2tree/internal/monitor"
+	"d2tree/internal/namespace"
+	"d2tree/internal/partition"
+	"d2tree/internal/server"
+	"d2tree/internal/sim"
+	"d2tree/internal/trace"
+)
+
+// Namespace substrate.
+type (
+	// Tree is a namespace tree of metadata nodes.
+	Tree = namespace.Tree
+	// Node is one file or directory with popularity annotations.
+	Node = namespace.Node
+	// NodeID identifies a node within a Tree.
+	NodeID = namespace.NodeID
+	// Kind distinguishes directories from files.
+	Kind = namespace.Kind
+	// BuildConfig controls random namespace generation.
+	BuildConfig = namespace.BuildConfig
+)
+
+// Node kinds.
+const (
+	KindDir  = namespace.KindDir
+	KindFile = namespace.KindFile
+)
+
+// NewNamespace returns a tree containing only the root directory.
+func NewNamespace() *Tree { return namespace.NewTree() }
+
+// BuildNamespace generates a random namespace tree.
+func BuildNamespace(cfg BuildConfig) (*Tree, error) { return namespace.Build(cfg) }
+
+// Workload substrate.
+type (
+	// Profile describes one of the paper's trace workloads.
+	Profile = trace.Profile
+	// Workload bundles a namespace with a generated event stream.
+	Workload = trace.Workload
+	// Event is one metadata operation.
+	Event = trace.Event
+	// OpType classifies operations (read / write / update).
+	OpType = trace.OpType
+)
+
+// Operation types.
+const (
+	OpRead   = trace.OpRead
+	OpWrite  = trace.OpWrite
+	OpUpdate = trace.OpUpdate
+)
+
+// Trace profiles from the paper's evaluation (Tables I & II).
+var (
+	// DTR is the Development Tools Release profile.
+	DTR = trace.DTR
+	// LMBE is the Live Maps Back End profile.
+	LMBE = trace.LMBE
+	// RA is the Radius Authentication profile.
+	RA = trace.RA
+	// Profiles returns all three in presentation order.
+	Profiles = trace.Profiles
+)
+
+// BuildWorkload constructs the namespace for a profile and generates an
+// annotated event stream over it.
+func BuildWorkload(p Profile, events int, seed int64) (*Workload, error) {
+	return trace.BuildWorkload(p, events, seed)
+}
+
+// Core D2-Tree.
+type (
+	// D2Tree is a materialised double-layer partition.
+	D2Tree = core.D2Tree
+	// Config assembles a D2-Tree deployment policy.
+	Config = core.Config
+	// SplitConfig carries the L0/U0 constraints of Alg. 1.
+	SplitConfig = core.SplitConfig
+	// SplitResult is the output of Tree-Splitting.
+	SplitResult = core.SplitResult
+	// Subtree is one intact local-layer unit.
+	Subtree = core.Subtree
+	// Allocation maps subtrees to servers.
+	Allocation = core.Allocation
+	// AllocConfig tunes mirror division.
+	AllocConfig = core.AllocConfig
+	// AdjusterConfig tunes dynamic adjustment.
+	AdjusterConfig = core.AdjusterConfig
+	// Scheme adapts D2-Tree to the common partition interface.
+	Scheme = core.Scheme
+	// LocalIndex maps subtree roots to their owners.
+	LocalIndex = core.LocalIndex
+)
+
+// DefaultConfig returns the evaluation defaults (1% global layer).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New splits a tree and allocates its subtrees over m servers.
+func New(t *Tree, m int, cfg Config) (*D2Tree, error) { return core.New(t, m, cfg) }
+
+// Split runs Tree-Splitting (Alg. 1) under explicit L0/U0 constraints.
+func Split(t *Tree, cfg SplitConfig) (*SplitResult, error) { return core.Split(t, cfg) }
+
+// SplitProportion promotes a fixed fraction of nodes into the global layer.
+func SplitProportion(t *Tree, frac float64) (*SplitResult, error) {
+	return core.SplitProportion(t, frac)
+}
+
+// MirrorDivide allocates subtrees to servers proportionally to remaining
+// capacity (Sec. IV-B, Fig. 4).
+func MirrorDivide(subtrees []Subtree, remaining []float64, cfg AllocConfig) (Allocation, error) {
+	return core.MirrorDivide(subtrees, remaining, cfg)
+}
+
+// RandomWalkSample draws local-layer subtree indices by random walks over
+// the namespace (Sec. IV-B), for use as AllocConfig.Sample.
+func RandomWalkSample(t *Tree, split *SplitResult, k int, rng *rand.Rand) ([]int, error) {
+	return core.RandomWalkSample(t, split, k, rng)
+}
+
+// Partition framework and baselines.
+type (
+	// PartitionScheme is the interface all five schemes implement.
+	PartitionScheme = partition.Scheme
+	// Assignment records where every node lives.
+	Assignment = partition.Assignment
+	// ServerID identifies one metadata server.
+	ServerID = partition.ServerID
+	// StaticSubtree is static subtree partitioning.
+	StaticSubtree = baseline.StaticSubtree
+	// DynamicSubtree is Ceph-style dynamic subtree partitioning.
+	DynamicSubtree = baseline.DynamicSubtree
+	// DROP is locality-preserving hashing with histogram balancing.
+	DROP = baseline.DROP
+	// AngleCut is multi-ring locality-preserving hashing.
+	AngleCut = baseline.AngleCut
+)
+
+// Replay simulator.
+type (
+	// CostModel holds per-operation costs.
+	CostModel = sim.CostModel
+	// Result is the outcome of one replay.
+	Result = sim.Result
+)
+
+// DefaultCostModel mirrors the evaluation platform's cost proportions.
+func DefaultCostModel() CostModel { return sim.DefaultCostModel() }
+
+// Run partitions a workload with a scheme and replays it with rebalancing.
+func Run(w *Workload, s PartitionScheme, m, rounds int, cm CostModel, seed int64) (*Result, error) {
+	return sim.Run(w, s, m, rounds, cm, seed)
+}
+
+// Networked cluster.
+type (
+	// Monitor is the cluster coordinator (Sec. IV-A3).
+	Monitor = monitor.Monitor
+	// MonitorConfig parameterises a Monitor.
+	MonitorConfig = monitor.Config
+	// Server is one metadata server process.
+	Server = server.Server
+	// ServerConfig parameterises an MDS.
+	ServerConfig = server.Config
+	// Client talks to a D2-Tree cluster with a cached local index.
+	Client = client.Client
+	// ClientConfig parameterises a client.
+	ClientConfig = client.Config
+)
+
+// NewMonitor builds a Monitor over an authoritative namespace tree.
+func NewMonitor(t *Tree, cfg MonitorConfig) (*Monitor, error) { return monitor.New(t, cfg) }
+
+// NewServer builds a metadata server.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// ConnectClient bootstraps a client from the Monitor.
+func ConnectClient(cfg ClientConfig) (*Client, error) { return client.Connect(cfg) }

@@ -1,0 +1,146 @@
+package d2tree_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"d2tree"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow through
+// the public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	w, err := d2tree.BuildWorkload(d2tree.DTR().Scale(2000), 15000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := d2tree.New(w.Tree, 8, d2tree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Split().GL) == 0 || len(d.Split().Subtrees) == 0 {
+		t.Fatal("empty split")
+	}
+	res, err := d2tree.Run(w, &d2tree.Scheme{}, 8, 2, d2tree.DefaultCostModel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputOps <= 0 || res.Locality <= 0 || res.Balance <= 0 {
+		t.Errorf("bad metrics: %+v", res)
+	}
+	if math.Abs(res.GLQueryFrac-0.83) > 0.08 {
+		t.Errorf("GL hit rate %v, want ≈ 0.83", res.GLQueryFrac)
+	}
+}
+
+// TestPublicAPINamespace builds a namespace by hand through the facade.
+func TestPublicAPINamespace(t *testing.T) {
+	tr := d2tree.NewNamespace()
+	if _, err := tr.AddFile("/a/b/c.txt"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := tr.Lookup("/a/b/c.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind() != d2tree.KindFile {
+		t.Errorf("kind = %v", n.Kind())
+	}
+	built, err := d2tree.BuildNamespace(d2tree.BuildConfig{
+		Nodes: 100, MaxDepth: 4, DirFanout: 2, FilesPerDir: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Len() != 100 {
+		t.Errorf("Len = %d", built.Len())
+	}
+}
+
+// TestPublicAPISplitConstraints drives the explicit L0/U0 splitter.
+func TestPublicAPISplitConstraints(t *testing.T) {
+	w, err := d2tree.BuildWorkload(d2tree.LMBE().Scale(1000), 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d2tree.Split(w.Tree, d2tree.SplitConfig{
+		MaxLocalPopSum: w.Tree.TotalPopularity() * 2, // generous bound
+		MaxUpdateCost:  1 << 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.InGL(w.Tree.Root().ID()) {
+		t.Error("root not in GL")
+	}
+	prop, err := d2tree.SplitProportion(w.Tree, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prop.GL) != w.Tree.Len()/20 {
+		t.Errorf("|GL| = %d", len(prop.GL))
+	}
+}
+
+// TestPublicAPIBaselines runs every baseline through the facade aliases.
+func TestPublicAPIBaselines(t *testing.T) {
+	w, err := d2tree.BuildWorkload(d2tree.RA().Scale(1200), 6000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []d2tree.PartitionScheme{
+		&d2tree.StaticSubtree{}, &d2tree.DynamicSubtree{},
+		&d2tree.DROP{}, &d2tree.AngleCut{},
+	}
+	for _, s := range schemes {
+		res, err := d2tree.Run(w, s, 4, 2, d2tree.DefaultCostModel(), 4)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.Scheme != s.Name() {
+			t.Errorf("scheme name %q", res.Scheme)
+		}
+	}
+}
+
+// TestPublicAPICluster boots the networked stack through the facade.
+func TestPublicAPICluster(t *testing.T) {
+	w, err := d2tree.BuildWorkload(d2tree.LMBE().Scale(600), 3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := d2tree.NewMonitor(w.Tree, d2tree.MonitorConfig{
+		Addr: "127.0.0.1:0", Servers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mon.Close() }()
+	for i := 0; i < 2; i++ {
+		srv := d2tree.NewServer(d2tree.ServerConfig{
+			Addr:              "127.0.0.1:0",
+			MonitorAddr:       mon.Addr(),
+			HeartbeatInterval: 50 * time.Millisecond,
+		})
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = srv.Close() }()
+	}
+	c, err := d2tree.ConnectClient(d2tree.ClientConfig{MonitorAddr: mon.Addr(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	e, err := c.Lookup("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Path != "/" {
+		t.Errorf("entry = %+v", e)
+	}
+}

@@ -1,0 +1,110 @@
+package d2tree_test
+
+import (
+	"fmt"
+	"log"
+
+	"d2tree"
+)
+
+// ExampleMirrorDivide reproduces the paper's Fig. 4: five subtrees with
+// popularity shares .5/.2/.1/.1/.1 divided over three servers whose
+// remaining capacities are .5/.3/.2 of the total.
+func ExampleMirrorDivide() {
+	subtrees := []d2tree.Subtree{
+		{Root: 1, Popularity: 50},
+		{Root: 2, Popularity: 20},
+		{Root: 3, Popularity: 10},
+		{Root: 4, Popularity: 10},
+		{Root: 5, Popularity: 10},
+	}
+	remaining := []float64{5, 3, 2}
+	alloc, err := d2tree.MirrorDivide(subtrees, remaining, d2tree.AllocConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range subtrees {
+		fmt.Printf("Δ%d → m%d\n", i+1, alloc[i]+1)
+	}
+	// Output:
+	// Δ1 → m1
+	// Δ2 → m2
+	// Δ3 → m2
+	// Δ4 → m3
+	// Δ5 → m3
+}
+
+// ExampleSplit runs Tree-Splitting (Alg. 1) on the paper's Fig. 2 namespace.
+func ExampleSplit() {
+	tree := d2tree.NewNamespace()
+	for _, p := range []string{
+		"/home/a/c.txt", "/home/b/g.pdf", "/home/b/h.jpg",
+		"/var/d/x.log", "/var/e/j.doc", "/usr/f/k.bin",
+	} {
+		if _, err := tree.AddFile(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Popularity: the top-level directories dominate.
+	for p, w := range map[string]int64{"/home": 100, "/var": 80, "/usr": 60} {
+		n, err := tree.Lookup(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree.Touch(n, w)
+	}
+	for _, n := range tree.Nodes() {
+		tree.SetUpdateCost(n, 1)
+	}
+
+	// Demanding zero residual local popularity promotes the root plus the
+	// three popular directories — the cold files below them carry no
+	// popularity, so the greedy stops right at the cut-line of Fig. 2.
+	res, err := d2tree.Split(tree, d2tree.SplitConfig{
+		MaxLocalPopSum: 0,
+		MaxUpdateCost:  1 << 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("L0-tight: %d GL nodes, %d local subtrees, Σp_LL=%d\n",
+		len(res.GL), len(res.Subtrees), res.LocalPopSum)
+
+	// A looser locality bound stops the cut-line one promotion earlier.
+	res, err = d2tree.Split(tree, d2tree.SplitConfig{
+		MaxLocalPopSum: 130,
+		MaxUpdateCost:  4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Σp_LL≤130: %d GL nodes, %d subtrees, Σp_LL=%d\n",
+		len(res.GL), len(res.Subtrees), res.LocalPopSum)
+	// Output:
+	// L0-tight: 4 GL nodes, 5 local subtrees, Σp_LL=0
+	// Σp_LL≤130: 3 GL nodes, 5 subtrees, Σp_LL=60
+}
+
+// ExampleNew partitions a synthetic workload and reports the global-layer
+// hit rate of its replay.
+func ExampleNew() {
+	w, err := d2tree.BuildWorkload(d2tree.DTR().Scale(3000), 30000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := d2tree.New(w.Tree, 8, d2tree.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GL proportion: %.1f%%\n",
+		100*float64(len(d.Split().GL))/float64(w.Tree.Len()))
+
+	res, err := d2tree.Run(w, &d2tree.Scheme{}, 8, 1, d2tree.DefaultCostModel(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("global-layer queries: %.0f%%\n", 100*res.GLQueryFrac)
+	// Output:
+	// GL proportion: 1.0%
+	// global-layer queries: 83%
+}

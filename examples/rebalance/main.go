@@ -1,0 +1,98 @@
+// Rebalance: demonstrate Dynamic-Adjustment. A workload hotspot drifts onto
+// one server's subtrees; the adjuster publishes the overloaded server's
+// subtrees into the pending pool and light servers pull them by mirror
+// division, restoring balance. Finally the global layer itself is
+// re-evaluated against the drifted popularity (the paper's infrequent GL
+// adjustment).
+//
+//	go run ./examples/rebalance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"d2tree"
+	"d2tree/internal/core"
+	"d2tree/internal/metrics"
+	"d2tree/internal/partition"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	w, err := d2tree.BuildWorkload(d2tree.RA().Scale(6000), 40000, 5)
+	if err != nil {
+		return err
+	}
+	const m = 6
+	d, err := d2tree.New(w.Tree, m, d2tree.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	caps := partition.Capacities(m, 1)
+
+	report := func(stage string) float64 {
+		loads := d.Assignment().SelfLoads(w.Tree)
+		v, _ := metrics.BalanceVariance(loads, caps)
+		fmt.Printf("%-28s loads=%s variance=%.1f\n", stage, fmtLoads(loads), v)
+		return v
+	}
+	report("initial mirror division:")
+
+	// Hotspot drift: one unlucky server's subtrees go viral.
+	victim, _ := d.SubtreeOwner(0)
+	var drifted int
+	for i, st := range d.Subtrees() {
+		owner, _ := d.SubtreeOwner(i)
+		if owner != victim || drifted >= 4 {
+			continue
+		}
+		w.Tree.Touch(w.Tree.Node(st.Root), 15000)
+		drifted++
+	}
+	fmt.Printf("\nhotspot drift: %d subtrees on MDS %d went viral\n\n", drifted, victim)
+	before := report("after drift, before adjust:")
+
+	// Dynamic-Adjustment rounds: heartbeat loads in, pending pool out.
+	adj := core.NewAdjuster(core.DefaultAdjusterConfig())
+	totalMoved := 0
+	for round := 1; ; round++ {
+		loads := d.Assignment().SelfLoads(w.Tree)
+		moved, err := adj.Rebalance(d, loads)
+		if err != nil {
+			return err
+		}
+		totalMoved += moved
+		if moved == 0 || round >= 8 {
+			break
+		}
+	}
+	after := report(fmt.Sprintf("after %d migrations:", totalMoved))
+	fmt.Printf("\nvariance reduced %.1f → %.1f\n", before, after)
+
+	// Infrequent global-layer re-evaluation: the drifted-hot subtree roots
+	// are promoted into the replicated layer.
+	glBefore := len(d.Split().GL)
+	if err := d.Resplit(); err != nil {
+		return err
+	}
+	fmt.Printf("\nGL re-evaluation: %d → %d nodes; ", glBefore, len(d.Split().GL))
+	report("after GL re-evaluation:")
+	return nil
+}
+
+func fmtLoads(loads []float64) string {
+	out := "["
+	for i, l := range loads {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.0f", l)
+	}
+	return out + "]"
+}

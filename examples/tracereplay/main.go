@@ -1,0 +1,59 @@
+// Tracereplay: replay one synthetic trace under all five partition schemes
+// and print the paper's comparison (throughput, locality, balance) — a
+// single data-point slice through Figs. 5–7.
+//
+//	go run ./examples/tracereplay [-profile LMBE] [-m 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"d2tree"
+	"d2tree/internal/trace"
+)
+
+func main() {
+	profile := flag.String("profile", "LMBE", "trace profile (DTR|LMBE|RA)")
+	m := flag.Int("m", 10, "number of metadata servers")
+	flag.Parse()
+	if err := run(*profile, *m); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(profileName string, m int) error {
+	p, err := trace.ProfileByName(profileName)
+	if err != nil {
+		return err
+	}
+	w, err := d2tree.BuildWorkload(p.Scale(8000), 60000, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %s: %d ops over %d-node namespace, %d MDSs, 5 rounds\n\n",
+		p.Name, len(w.Events), w.Tree.Len(), m)
+
+	schemes := []d2tree.PartitionScheme{
+		&d2tree.Scheme{},
+		&d2tree.StaticSubtree{},
+		&d2tree.DynamicSubtree{},
+		&d2tree.DROP{},
+		&d2tree.AngleCut{},
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Scheme\tThroughput (ops/s)\tLocality\tBalance\tAvg hops\tMigrations")
+	for _, s := range schemes {
+		res, err := d2tree.Run(w, s, m, 5, d2tree.DefaultCostModel(), 11)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.3g\t%.4g\t%.2f\t%d\n",
+			res.Scheme, res.ThroughputOps, res.Locality, res.Balance,
+			res.AvgJumps, res.Moved)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,3 @@
+module d2tree
+
+go 1.22

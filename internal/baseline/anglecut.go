@@ -1,0 +1,168 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"d2tree/internal/namespace"
+	"d2tree/internal/partition"
+)
+
+// AngleCut reimplements the key ideas of "AngleCut: A Ring-Based Hashing
+// Scheme for Distributed Metadata Management" (DASFAA'17): a
+// locality-preserving "angle" hash projects the namespace tree onto
+// Chord-like rings — each node receives an angle inside its parent's arc,
+// computed by recursive subdivision proportional to subtree popularity —
+// and nodes are assigned to the ring selected by their depth. Every ring is
+// cut into per-server arcs holding equal popularity.
+//
+// Because consecutive ancestors sit on different rings (and therefore,
+// usually, different servers), path traversal hops between servers on
+// almost every level — the scalability/locality weakness Fig. 6 shows —
+// while per-ring equal-popularity arcs keep balance excellent.
+type AngleCut struct {
+	// Rings is the number of Chord-like rings; zero means the default of 4.
+	Rings int
+}
+
+var (
+	_ partition.Scheme     = (*AngleCut)(nil)
+	_ partition.Rebalancer = (*AngleCut)(nil)
+)
+
+// Name implements partition.Scheme.
+func (s *AngleCut) Name() string { return "AngleCut" }
+
+func (s *AngleCut) rings() int {
+	if s.Rings <= 0 {
+		return 4
+	}
+	return s.Rings
+}
+
+// angles assigns every node an angle in [0,1) by recursive subdivision of
+// its parent's arc, children ordered by ID and sized by aggregate
+// popularity (uniform when the subtree is cold).
+func angles(t *namespace.Tree) map[namespace.NodeID]float64 {
+	out := make(map[namespace.NodeID]float64, t.Len())
+	var rec func(n *namespace.Node, lo, hi float64)
+	rec = func(n *namespace.Node, lo, hi float64) {
+		out[n.ID()] = lo
+		kids := n.Children()
+		if len(kids) == 0 {
+			return
+		}
+		var total float64
+		for _, c := range kids {
+			total += float64(c.TotalPopularity())
+		}
+		cur := lo
+		width := hi - lo
+		uniform := 1 / float64(len(kids))
+		for i, c := range kids {
+			// Blend the popularity share with a uniform floor so every
+			// child keeps a non-empty arc even when its subtree is cold.
+			share := uniform
+			if total > 0 {
+				share = 0.3*uniform + 0.7*float64(c.TotalPopularity())/total
+			}
+			next := cur + share*width
+			if i == len(kids)-1 {
+				next = hi
+			}
+			rec(c, cur, next)
+			cur = next
+		}
+	}
+	rec(t.Root(), 0, 1)
+	return out
+}
+
+// Partition implements partition.Scheme.
+func (s *AngleCut) Partition(t *namespace.Tree, m int) (*partition.Assignment, error) {
+	if t == nil {
+		return nil, fmt.Errorf("baseline: AngleCut: nil tree")
+	}
+	asg, err := partition.NewAssignment(m)
+	if err != nil {
+		return nil, err
+	}
+	return asg, s.assign(t, asg)
+}
+
+func (s *AngleCut) assign(t *namespace.Tree, asg *partition.Assignment) error {
+	m := asg.M()
+	ang := angles(t)
+	r := s.rings()
+	// Bucket nodes per ring (depth mod rings), ordered by angle.
+	type keyed struct {
+		id    namespace.NodeID
+		angle float64
+		pop   float64
+	}
+	rings := make([][]keyed, r)
+	for _, n := range t.Nodes() {
+		ring := n.Depth() % r
+		rings[ring] = append(rings[ring], keyed{
+			id:    n.ID(),
+			angle: ang[n.ID()],
+			pop:   float64(n.SelfPopularity()),
+		})
+	}
+	for ring := range rings {
+		nodes := rings[ring]
+		sort.Slice(nodes, func(i, j int) bool {
+			if nodes[i].angle != nodes[j].angle {
+				return nodes[i].angle < nodes[j].angle
+			}
+			return nodes[i].id < nodes[j].id
+		})
+		weights := make([]float64, len(nodes))
+		for i, k := range nodes {
+			weights[i] = k.pop
+		}
+		bounds := equalLoadBoundaries(weights, m)
+		for i, k := range nodes {
+			// Rotate arc ownership per ring so the boundary-overshoot of
+			// the leading arc doesn't always land on the same server.
+			srv := partition.ServerID((int(rangeOwner(bounds, i)) + ring) % m)
+			if err := asg.SetOwner(k.id, srv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Rebalance implements partition.Rebalancer by re-cutting every ring's arcs
+// against current popularity, returning the number of relocated nodes.
+func (s *AngleCut) Rebalance(t *namespace.Tree, asg *partition.Assignment, loads []float64) (int, error) {
+	if len(loads) != asg.M() {
+		return 0, fmt.Errorf("baseline: AngleCut: %d loads for %d servers", len(loads), asg.M())
+	}
+	before := make(map[namespace.NodeID]partition.ServerID, t.Len())
+	for _, n := range t.Nodes() {
+		if o, ok := asg.Owner(n.ID()); ok {
+			before[n.ID()] = o
+		}
+	}
+	if err := s.assign(t, asg); err != nil {
+		return 0, err
+	}
+	moved := 0
+	for _, n := range t.Nodes() {
+		if o, ok := asg.Owner(n.ID()); ok {
+			if prev, had := before[n.ID()]; had && prev != o {
+				moved++
+			}
+		}
+	}
+	return moved, nil
+}
+
+// RenameRelocations implements partition.RenameCoster: AngleCut's angle
+// hash is derived from pathnames, so a directory rename rekeys and
+// relocates the whole subtree, like DROP.
+func (s *AngleCut) RenameRelocations(t *namespace.Tree, asg *partition.Assignment, n *namespace.Node) int {
+	return t.SubtreeSize(n)
+}

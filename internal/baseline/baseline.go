@@ -1,0 +1,104 @@
+// Package baseline implements the four comparison schemes the paper
+// evaluates D2-Tree against (Sec. VI "Implements"):
+//
+//   - static subtree partitioning — hash directories near the root and keep
+//     whole subtrees together;
+//   - dynamic subtree partitioning — finer-grained subtrees plus
+//     load-triggered migration (Ceph-style);
+//   - DROP — locality-preserving hashing of the namespace onto a key ring
+//     with histogram-based dynamic load balancing (HDLB);
+//   - AngleCut — locality-preserving hashing projecting the tree onto
+//     multiple Chord-like rings.
+//
+// All schemes are clean-room reimplementations of the key ideas, sufficient
+// to reproduce the comparative behaviour in Figs. 5–7.
+package baseline
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"d2tree/internal/namespace"
+	"d2tree/internal/partition"
+)
+
+// hashPath maps a path string to a stable 64-bit hash (FNV-1a).
+func hashPath(p string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(p))
+	return h.Sum64()
+}
+
+// ancestorAtDepth returns the ancestor of n at the given depth, or n itself
+// when it is shallower.
+func ancestorAtDepth(n *namespace.Node, depth int) *namespace.Node {
+	if n.Depth() <= depth {
+		return n
+	}
+	cur := n
+	for cur.Depth() > depth {
+		cur = cur.Parent()
+	}
+	return cur
+}
+
+// preorderRanks returns each node's DFS pre-order rank — the
+// locality-preserving key space used by DROP: any subtree occupies a
+// contiguous rank interval.
+func preorderRanks(t *namespace.Tree) map[namespace.NodeID]int {
+	ranks := make(map[namespace.NodeID]int, t.Len())
+	next := 0
+	t.Walk(func(n *namespace.Node) bool {
+		ranks[n.ID()] = next
+		next++
+		return true
+	})
+	return ranks
+}
+
+// equalLoadBoundaries splits the item sequence (already in key order, each
+// with a non-negative weight) into m contiguous ranges of approximately
+// equal total weight, returning the first index of each range after the
+// zeroth. Degenerate weights fall back to equal-count ranges.
+func equalLoadBoundaries(weights []float64, m int) []int {
+	n := len(weights)
+	bounds := make([]int, 0, m-1)
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		for k := 1; k < m; k++ {
+			bounds = append(bounds, k*n/m)
+		}
+		return bounds
+	}
+	target := total / float64(m)
+	var acc float64
+	need := target
+	for i, w := range weights {
+		prev := acc
+		acc += w
+		for len(bounds) < m-1 && acc >= need {
+			// Cut at whichever edge of this item lands closer to the
+			// target, halving the worst-case overshoot.
+			if need-prev < acc-need && i > 0 {
+				bounds = append(bounds, i)
+			} else {
+				bounds = append(bounds, i+1)
+			}
+			need += target
+		}
+	}
+	for len(bounds) < m-1 {
+		bounds = append(bounds, n)
+	}
+	return bounds
+}
+
+// rangeOwner returns the index of the range containing position i given the
+// sorted range-start boundaries produced by equalLoadBoundaries.
+func rangeOwner(bounds []int, i int) partition.ServerID {
+	k := sort.SearchInts(bounds, i+1)
+	return partition.ServerID(k)
+}

@@ -1,0 +1,379 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"d2tree/internal/metrics"
+	"d2tree/internal/namespace"
+	"d2tree/internal/partition"
+	"d2tree/internal/trace"
+)
+
+func workload(t testing.TB, nodes, events int, seed int64) *trace.Workload {
+	t.Helper()
+	w, err := trace.BuildWorkload(trace.LMBE().Scale(nodes), events, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func allSchemes() []partition.Scheme {
+	return []partition.Scheme{
+		&StaticSubtree{}, &DynamicSubtree{}, &DROP{}, &AngleCut{},
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	want := map[string]bool{
+		"Static Subtree": true, "Dynamic Subtree": true,
+		"DROP": true, "AngleCut": true,
+	}
+	for _, s := range allSchemes() {
+		if !want[s.Name()] {
+			t.Errorf("unexpected scheme name %q", s.Name())
+		}
+	}
+}
+
+func TestAllSchemesProduceValidAssignments(t *testing.T) {
+	w := workload(t, 1500, 8000, 3)
+	for _, s := range allSchemes() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			for _, m := range []int{1, 2, 5, 16} {
+				asg, err := s.Partition(w.Tree, m)
+				if err != nil {
+					t.Fatalf("m=%d: %v", m, err)
+				}
+				if err := asg.Validate(w.Tree); err != nil {
+					t.Fatalf("m=%d: %v", m, err)
+				}
+				if asg.M() != m {
+					t.Fatalf("m=%d: M() = %d", m, asg.M())
+				}
+			}
+		})
+	}
+}
+
+func TestAllSchemesRejectNilTree(t *testing.T) {
+	for _, s := range allSchemes() {
+		if _, err := s.Partition(nil, 2); err == nil {
+			t.Errorf("%s accepted nil tree", s.Name())
+		}
+	}
+}
+
+func TestStaticSubtreeKeepsSubtreesIntact(t *testing.T) {
+	w := workload(t, 1200, 4000, 5)
+	s := &StaticSubtree{}
+	asg, err := s.Partition(w.Tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node at depth > 1 must share its depth-1 ancestor's server.
+	for _, n := range w.Tree.Nodes() {
+		if n.Depth() <= 1 {
+			continue
+		}
+		anchor := ancestorAtDepth(n, 1)
+		so, _ := asg.Owner(n.ID())
+		ao, _ := asg.Owner(anchor.ID())
+		if so != ao {
+			t.Fatalf("node %d split from its top-level subtree", n.ID())
+		}
+	}
+}
+
+func TestStaticSubtreeDeterministic(t *testing.T) {
+	w := workload(t, 600, 2000, 7)
+	s := &StaticSubtree{}
+	a, _ := s.Partition(w.Tree, 3)
+	b, _ := s.Partition(w.Tree, 3)
+	for _, n := range w.Tree.Nodes() {
+		oa, _ := a.Owner(n.ID())
+		ob, _ := b.Owner(n.ID())
+		if oa != ob {
+			t.Fatal("static partition not deterministic")
+		}
+	}
+}
+
+func TestDynamicSubtreeFinerThanStatic(t *testing.T) {
+	w := workload(t, 1500, 6000, 9)
+	m := 4
+	st, _ := (&StaticSubtree{}).Partition(w.Tree, m)
+	dy, _ := (&DynamicSubtree{}).Partition(w.Tree, m)
+	// Finer granularity ⇒ jump sum at least as large (more cut edges).
+	if dy.WeightedJumpSum(w.Tree) < st.WeightedJumpSum(w.Tree) {
+		t.Error("dynamic partition should not have better locality than static")
+	}
+}
+
+func TestDynamicSubtreeRebalanceReducesVariance(t *testing.T) {
+	w := workload(t, 2500, 20000, 11)
+	m := 4
+	s := &DynamicSubtree{MaxMovesPerRound: 64}
+	asg, err := s.Partition(w.Tree, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := partition.Capacities(m, 1)
+	loads := asg.SelfLoads(w.Tree)
+	before, _ := metrics.BalanceVariance(loads, caps)
+	if before == 0 {
+		t.Skip("workload happened to balance perfectly")
+	}
+	var moved int
+	for round := 0; round < 10; round++ {
+		n, err := s.Rebalance(w.Tree, asg, asg.SelfLoads(w.Tree))
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved += n
+		if n == 0 {
+			break
+		}
+	}
+	if moved == 0 {
+		t.Skip("no migrations triggered")
+	}
+	after, _ := metrics.BalanceVariance(asg.SelfLoads(w.Tree), caps)
+	if after > before {
+		t.Errorf("variance got worse: %v → %v", before, after)
+	}
+	if err := asg.Validate(w.Tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDROPBalanceNearPerfect(t *testing.T) {
+	w := workload(t, 2000, 20000, 13)
+	m := 8
+	asg, err := (&DROP{}).Partition(w.Tree, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := asg.SelfLoads(w.Tree)
+	var total, maxLoad float64
+	for _, l := range loads {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	ideal := total / float64(m)
+	if maxLoad > ideal*1.5 {
+		t.Errorf("DROP max load %v vs ideal %v — balance too poor", maxLoad, ideal)
+	}
+}
+
+func TestDROPKeysAreSubtreeContiguous(t *testing.T) {
+	w := workload(t, 800, 1000, 15)
+	ids := sortedIDsByRank(w.Tree)
+	pos := make(map[namespace.NodeID]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	// Pre-order property: each subtree occupies a contiguous interval.
+	for _, n := range w.Tree.Nodes() {
+		if !n.IsDir() || n.NumChildren() == 0 {
+			continue
+		}
+		size := w.Tree.SubtreeSize(n)
+		start := pos[n.ID()]
+		for _, sn := range w.Tree.SubtreeNodes(n) {
+			if pos[sn.ID()] < start || pos[sn.ID()] >= start+size {
+				t.Fatalf("subtree of %d not contiguous in key space", n.ID())
+			}
+		}
+	}
+}
+
+func TestDROPRebalanceCountsMoves(t *testing.T) {
+	w := workload(t, 1200, 5000, 17)
+	m := 4
+	s := &DROP{}
+	asg, err := s.Partition(w.Tree, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift popularity: hammer the last subtree hard.
+	nodes := w.Tree.Nodes()
+	w.Tree.Touch(nodes[len(nodes)-1], 100000)
+	moved, err := s.Rebalance(w.Tree, asg, asg.SelfLoads(w.Tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Error("expected rehashing moves after drastic popularity shift")
+	}
+	if err := asg.Validate(w.Tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAngleCutAnglesNested(t *testing.T) {
+	w := workload(t, 700, 1000, 19)
+	ang := angles(w.Tree)
+	for _, n := range w.Tree.Nodes() {
+		a := ang[n.ID()]
+		if a < 0 || a >= 1 {
+			t.Fatalf("angle %v out of [0,1)", a)
+		}
+		if p := n.Parent(); p != nil && ang[n.ID()] < ang[p.ID()] {
+			t.Fatalf("child angle %v before parent %v", ang[n.ID()], ang[p.ID()])
+		}
+	}
+}
+
+func TestAngleCutBalanceNearPerfect(t *testing.T) {
+	w := workload(t, 2000, 20000, 21)
+	m := 8
+	asg, err := (&AngleCut{}).Partition(w.Tree, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := asg.SelfLoads(w.Tree)
+	var total, maxLoad float64
+	for _, l := range loads {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if ideal := total / float64(m); maxLoad > ideal*1.6 {
+		t.Errorf("AngleCut max load %v vs ideal %v", maxLoad, ideal)
+	}
+}
+
+func TestAngleCutWorseLocalityThanStatic(t *testing.T) {
+	w := workload(t, 1500, 10000, 23)
+	m := 6
+	st, _ := (&StaticSubtree{}).Partition(w.Tree, m)
+	ac, _ := (&AngleCut{}).Partition(w.Tree, m)
+	if ac.WeightedJumpSum(w.Tree) <= st.WeightedJumpSum(w.Tree) {
+		t.Error("AngleCut should have worse locality than static subtree")
+	}
+}
+
+func TestAngleCutRebalance(t *testing.T) {
+	w := workload(t, 1000, 5000, 25)
+	s := &AngleCut{}
+	asg, err := s.Partition(w.Tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := w.Tree.Nodes()
+	w.Tree.Touch(nodes[len(nodes)-1], 50000)
+	if _, err := s.Rebalance(w.Tree, asg, asg.SelfLoads(w.Tree)); err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(w.Tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualLoadBoundaries(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+		m       int
+		want    []int
+	}{
+		{"even", []float64{1, 1, 1, 1}, 2, []int{2}},
+		{"skewed front", []float64{10, 1, 1, 1, 1}, 2, []int{1}},
+		{"zero weights", []float64{0, 0, 0, 0}, 2, []int{2}},
+		{"more servers than items", []float64{5}, 3, []int{1, 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := equalLoadBoundaries(tt.weights, tt.m)
+			if len(got) != len(tt.want) {
+				t.Fatalf("bounds = %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("bounds = %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestEqualLoadBoundariesProperty(t *testing.T) {
+	// Property: boundaries are sorted, within range, and produce m ranges
+	// whose max load ≤ ideal + max single weight.
+	prop := func(raw []uint16, m8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		m := int(m8%6) + 2
+		weights := make([]float64, len(raw))
+		var total, maxW float64
+		for i, r := range raw {
+			weights[i] = float64(r % 1000)
+			total += weights[i]
+			if weights[i] > maxW {
+				maxW = weights[i]
+			}
+		}
+		bounds := equalLoadBoundaries(weights, m)
+		if len(bounds) != m-1 {
+			return false
+		}
+		prev := 0
+		for _, b := range bounds {
+			if b < prev || b > len(weights) {
+				return false
+			}
+			prev = b
+		}
+		if total == 0 {
+			return true
+		}
+		ideal := total / float64(m)
+		loads := make([]float64, m)
+		for i, w := range weights {
+			loads[rangeOwner(bounds, i)] += w
+		}
+		for _, l := range loads {
+			if l > ideal+maxW+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeOwner(t *testing.T) {
+	bounds := []int{3, 5} // ranges [0,3) [3,5) [5,...)
+	wants := map[int]partition.ServerID{0: 0, 2: 0, 3: 1, 4: 1, 5: 2, 9: 2}
+	for i, want := range wants {
+		if got := rangeOwner(bounds, i); got != want {
+			t.Errorf("rangeOwner(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestAncestorAtDepth(t *testing.T) {
+	tr := namespace.NewTree()
+	n, err := tr.MkdirAll("/a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ancestorAtDepth(n, 1); tr.Path(got) != "/a" {
+		t.Errorf("ancestorAtDepth(1) = %q", tr.Path(got))
+	}
+	if got := ancestorAtDepth(n, 5); got != n {
+		t.Error("deeper-than-node depth should return the node itself")
+	}
+	if got := ancestorAtDepth(tr.Root(), 2); got != tr.Root() {
+		t.Error("root should anchor to itself")
+	}
+}

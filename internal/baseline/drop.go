@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"d2tree/internal/namespace"
+	"d2tree/internal/partition"
+)
+
+// DROP reimplements the key ideas of "DROP: Facilitating Distributed
+// Metadata Management in EB-scale Storage Systems" (MSST'13 / TPDS'14):
+// a locality-preserving hash places every node on a one-dimensional key
+// ring — here the DFS pre-order rank, under which any subtree is a
+// contiguous interval — and each server owns one contiguous range. HDLB
+// (histogram-based dynamic load balancing) positions the range boundaries
+// so every server receives equal popularity.
+//
+// Balance is therefore near-perfect, but boundaries cut straight through
+// subtrees and ancestor chains, so path traversal hops between servers —
+// the locality weakness Figs. 5–6 show.
+//
+// As in consistent-hashing systems, each server owns several scattered
+// virtual ranges rather than one contiguous arc; that is what lets HDLB
+// rebalance incrementally, and it is also why DROP's locality trails the
+// subtree schemes.
+type DROP struct {
+	// VirtualNodes is the number of ranges per server (default 8).
+	VirtualNodes int
+}
+
+func (s *DROP) virtualNodes() int {
+	if s.VirtualNodes <= 0 {
+		return 8
+	}
+	return s.VirtualNodes
+}
+
+var (
+	_ partition.Scheme     = (*DROP)(nil)
+	_ partition.Rebalancer = (*DROP)(nil)
+)
+
+// Name implements partition.Scheme.
+func (s *DROP) Name() string { return "DROP" }
+
+// Partition implements partition.Scheme: LPH keys + HDLB boundaries.
+func (s *DROP) Partition(t *namespace.Tree, m int) (*partition.Assignment, error) {
+	if t == nil {
+		return nil, fmt.Errorf("baseline: DROP: nil tree")
+	}
+	asg, err := partition.NewAssignment(m)
+	if err != nil {
+		return nil, err
+	}
+	return asg, s.assign(t, asg)
+}
+
+// assign (re)computes the range ownership from current popularity.
+func (s *DROP) assign(t *namespace.Tree, asg *partition.Assignment) error {
+	m := asg.M()
+	ranks := preorderRanks(t)
+	// Nodes in key order with popularity weights.
+	ordered := make([]*namespace.Node, t.Len())
+	for _, n := range t.Nodes() {
+		ordered[ranks[n.ID()]] = n
+	}
+	weights := make([]float64, len(ordered))
+	for i, n := range ordered {
+		weights[i] = float64(n.SelfPopularity())
+	}
+	// v virtual ranges of equal load, dealt round-robin to the m servers.
+	v := m * s.virtualNodes()
+	if v > len(ordered) {
+		v = m
+	}
+	bounds := equalLoadBoundaries(weights, v)
+	for i, n := range ordered {
+		srv := partition.ServerID(int(rangeOwner(bounds, i)) % m)
+		if err := asg.SetOwner(n.ID(), srv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rebalance implements partition.Rebalancer: HDLB recomputes the boundaries
+// from the current popularity histogram and returns how many nodes changed
+// owner — the "rehashing overhead" the paper attributes to hash schemes.
+func (s *DROP) Rebalance(t *namespace.Tree, asg *partition.Assignment, loads []float64) (int, error) {
+	if len(loads) != asg.M() {
+		return 0, fmt.Errorf("baseline: DROP: %d loads for %d servers", len(loads), asg.M())
+	}
+	before := make(map[namespace.NodeID]partition.ServerID, t.Len())
+	for _, n := range t.Nodes() {
+		if o, ok := asg.Owner(n.ID()); ok {
+			before[n.ID()] = o
+		}
+	}
+	if err := s.assign(t, asg); err != nil {
+		return 0, err
+	}
+	moved := 0
+	for _, n := range t.Nodes() {
+		if o, ok := asg.Owner(n.ID()); ok {
+			if prev, had := before[n.ID()]; had && prev != o {
+				moved++
+			}
+		}
+	}
+	return moved, nil
+}
+
+// sortedIDsByRank is a test helper exposing the key order.
+func sortedIDsByRank(t *namespace.Tree) []namespace.NodeID {
+	ranks := preorderRanks(t)
+	ids := make([]namespace.NodeID, 0, len(ranks))
+	for id := range ranks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ranks[ids[i]] < ranks[ids[j]] })
+	return ids
+}
+
+// RenameRelocations implements partition.RenameCoster. DROP keys metadata
+// by locality-preserving hashes of full pathnames, so renaming a directory
+// changes every descendant's key: the entire subtree must rehash and
+// relocate — the rename overhead Sec. II attributes to hash-based mapping.
+func (s *DROP) RenameRelocations(t *namespace.Tree, asg *partition.Assignment, n *namespace.Node) int {
+	return t.SubtreeSize(n)
+}

@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"d2tree/internal/metrics"
+	"d2tree/internal/namespace"
+	"d2tree/internal/partition"
+)
+
+// DynamicSubtree is dynamic subtree partitioning in the style of Ceph's MDS:
+// the namespace is split at a finer granularity than static partitioning,
+// and when a server becomes heavily loaded it migrates some of its
+// subdirectories to lighter servers. The migration policy is greedy
+// (hottest subtree from the most loaded server to the least loaded), which
+// reproduces the thrashing behaviour the paper cites from [10]: shedding a
+// hot subtree can overload the receiver.
+type DynamicSubtree struct {
+	// Depth is the subtree granularity; zero means the default of 2.
+	Depth int
+	// Slack is the tolerated relative overload before migration; zero means
+	// 0.05.
+	Slack float64
+	// MaxMovesPerRound caps migrations per rebalance round; zero means 8.
+	MaxMovesPerRound int
+}
+
+var (
+	_ partition.Scheme     = (*DynamicSubtree)(nil)
+	_ partition.Rebalancer = (*DynamicSubtree)(nil)
+	_ partition.Router     = (*DynamicSubtree)(nil)
+)
+
+// Name implements partition.Scheme.
+func (s *DynamicSubtree) Name() string { return "Dynamic Subtree" }
+
+func (s *DynamicSubtree) depth() int {
+	if s.Depth <= 0 {
+		return 2
+	}
+	return s.Depth
+}
+
+func (s *DynamicSubtree) slack() float64 {
+	if s.Slack <= 0 {
+		return 0.05
+	}
+	return s.Slack
+}
+
+func (s *DynamicSubtree) maxMoves() int {
+	if s.MaxMovesPerRound <= 0 {
+		return 8
+	}
+	return s.MaxMovesPerRound
+}
+
+// Partition implements partition.Scheme: hash-place fine-grained subtrees,
+// exactly like static partitioning but at greater depth.
+func (s *DynamicSubtree) Partition(t *namespace.Tree, m int) (*partition.Assignment, error) {
+	if t == nil {
+		return nil, fmt.Errorf("baseline: %s: nil tree", s.Name())
+	}
+	asg, err := partition.NewAssignment(m)
+	if err != nil {
+		return nil, err
+	}
+	d := s.depth()
+	for _, n := range t.Nodes() {
+		anchor := ancestorAtDepth(n, d)
+		srv := partition.ServerID(hashPath(t.Path(anchor)) % uint64(m))
+		if err := asg.SetOwner(n.ID(), srv); err != nil {
+			return nil, err
+		}
+	}
+	return asg, nil
+}
+
+// Forwards implements partition.Router: the mapping changes under dynamic
+// migration, so clients cannot rely on a static mount table — requests
+// reach the right server only after discovery through a possibly stale
+// route, costing (M−1)/M expected forwards per op.
+func (s *DynamicSubtree) Forwards(t *namespace.Tree, asg *partition.Assignment, n *namespace.Node) float64 {
+	m := asg.M()
+	if m <= 1 {
+		return 0
+	}
+	return float64(m-1) / float64(m)
+}
+
+// migrationGroup is one movable unit: a subtree anchored at the cut depth
+// (or a shallow node forming its own group).
+type migrationGroup struct {
+	anchor namespace.NodeID
+	nodes  []namespace.NodeID
+	load   float64
+	owner  partition.ServerID
+}
+
+// Rebalance implements partition.Rebalancer: busy servers shed their hottest
+// subtrees to the currently lightest server, one at a time.
+func (s *DynamicSubtree) Rebalance(t *namespace.Tree, asg *partition.Assignment, loads []float64) (int, error) {
+	m := asg.M()
+	if len(loads) != m {
+		return 0, fmt.Errorf("baseline: %s: %d loads for %d servers", s.Name(), len(loads), m)
+	}
+	caps := partition.Capacities(m, 1)
+	mu, err := metrics.IdealLoadFactor(loads, caps)
+	if err != nil {
+		return 0, err
+	}
+	if mu == 0 {
+		return 0, nil
+	}
+
+	// Build migration groups from the current assignment.
+	d := s.depth()
+	groups := make(map[namespace.NodeID]*migrationGroup)
+	for _, n := range t.Nodes() {
+		anchor := ancestorAtDepth(n, d)
+		g, ok := groups[anchor.ID()]
+		if !ok {
+			owner, owned := asg.Owner(anchor.ID())
+			if !owned {
+				continue // replicated or unplaced anchors are not migratable
+			}
+			g = &migrationGroup{anchor: anchor.ID(), owner: owner}
+			groups[anchor.ID()] = g
+		}
+		g.nodes = append(g.nodes, n.ID())
+		g.load += float64(n.SelfPopularity())
+	}
+	// Per-server group lists sorted hottest-first.
+	bySrv := make([][]*migrationGroup, m)
+	for _, g := range groups {
+		bySrv[g.owner] = append(bySrv[g.owner], g)
+	}
+	for k := range bySrv {
+		sort.Slice(bySrv[k], func(i, j int) bool {
+			if bySrv[k][i].load != bySrv[k][j].load {
+				return bySrv[k][i].load > bySrv[k][j].load
+			}
+			return bySrv[k][i].anchor < bySrv[k][j].anchor
+		})
+	}
+
+	cur := make([]float64, m)
+	copy(cur, loads)
+	moved := 0
+	for moved < s.maxMoves() {
+		// Most loaded vs least loaded.
+		hi, lo := 0, 0
+		for k := 1; k < m; k++ {
+			if cur[k] > cur[hi] {
+				hi = k
+			}
+			if cur[k] < cur[lo] {
+				lo = k
+			}
+		}
+		if cur[hi] <= (1+s.slack())*mu*caps[hi] || hi == lo {
+			break
+		}
+		// Hottest group on hi that fits: greedy takes the hottest, even if
+		// it overloads lo — the thrashing mechanism.
+		var pick *migrationGroup
+		for _, g := range bySrv[hi] {
+			if g.owner == partition.ServerID(hi) && len(g.nodes) > 0 {
+				pick = g
+				break
+			}
+		}
+		if pick == nil {
+			break
+		}
+		for _, id := range pick.nodes {
+			if err := asg.SetOwner(id, partition.ServerID(lo)); err != nil {
+				return moved, err
+			}
+		}
+		pick.owner = partition.ServerID(lo)
+		bySrv[lo] = append(bySrv[lo], pick)
+		bySrv[hi] = bySrv[hi][1:]
+		cur[hi] -= pick.load
+		cur[lo] += pick.load
+		moved++
+	}
+	return moved, nil
+}
+
+// RenameRelocations implements partition.RenameCoster: like static subtree
+// partitioning, the migration groups follow the rename; nothing relocates.
+func (s *DynamicSubtree) RenameRelocations(t *namespace.Tree, asg *partition.Assignment, n *namespace.Node) int {
+	return 0
+}

@@ -1,0 +1,39 @@
+package baseline
+
+import (
+	"testing"
+
+	"d2tree/internal/partition"
+)
+
+func TestRenameRelocations(t *testing.T) {
+	w := workload(t, 1200, 4000, 31)
+	m := 4
+	// A busy depth-1 directory.
+	var dir = w.Tree.Root().Children()[0]
+	size := w.Tree.SubtreeSize(dir)
+	if size < 2 {
+		t.Skip("degenerate tree")
+	}
+	for _, tc := range []struct {
+		scheme partition.Scheme
+		want   int
+	}{
+		{&StaticSubtree{}, 0},
+		{&DynamicSubtree{}, 0},
+		{&DROP{}, size},
+		{&AngleCut{}, size},
+	} {
+		asg, err := tc.scheme.Partition(w.Tree, m)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.scheme.Name(), err)
+		}
+		rc, ok := tc.scheme.(partition.RenameCoster)
+		if !ok {
+			t.Fatalf("%s does not implement RenameCoster", tc.scheme.Name())
+		}
+		if got := rc.RenameRelocations(w.Tree, asg, dir); got != tc.want {
+			t.Errorf("%s relocations = %d, want %d", tc.scheme.Name(), got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package baseline
+
+import (
+	"fmt"
+
+	"d2tree/internal/namespace"
+	"d2tree/internal/partition"
+)
+
+// StaticSubtree is static subtree partitioning: the namespace is cut at a
+// fixed shallow depth and each subtree is pinned to the server chosen by
+// hashing the subtree root's path — the paper's "hashing directories near
+// the root of the hierarchy". No replication, no migration; locality is
+// excellent (whole subtrees never split) but skewed workloads imbalance the
+// cluster and only manual intervention can fix it.
+type StaticSubtree struct {
+	// Depth is the cut depth; subtree roots live at this depth. Zero means
+	// the default of 1 (top-level directories).
+	Depth int
+}
+
+var (
+	_ partition.Scheme = (*StaticSubtree)(nil)
+	_ partition.Router = (*StaticSubtree)(nil)
+)
+
+// Name implements partition.Scheme.
+func (s *StaticSubtree) Name() string { return "Static Subtree" }
+
+func (s *StaticSubtree) depth() int {
+	if s.Depth <= 0 {
+		return 1
+	}
+	return s.Depth
+}
+
+// Partition implements partition.Scheme.
+func (s *StaticSubtree) Partition(t *namespace.Tree, m int) (*partition.Assignment, error) {
+	if t == nil {
+		return nil, fmt.Errorf("baseline: %s: nil tree", s.Name())
+	}
+	asg, err := partition.NewAssignment(m)
+	if err != nil {
+		return nil, err
+	}
+	d := s.depth()
+	for _, n := range t.Nodes() {
+		anchor := ancestorAtDepth(n, d)
+		srv := partition.ServerID(hashPath(t.Path(anchor)) % uint64(m))
+		if err := asg.SetOwner(n.ID(), srv); err != nil {
+			return nil, err
+		}
+	}
+	return asg, nil
+}
+
+// Forwards implements partition.Router: the mapping is fixed and published
+// (a mount table), so clients send requests straight to the owning server
+// and each MDS caches the few prefix directories above its subtrees —
+// no runtime forwarding. This is static partitioning's one advantage.
+func (s *StaticSubtree) Forwards(t *namespace.Tree, asg *partition.Assignment, n *namespace.Node) float64 {
+	return 0
+}
+
+// RenameRelocations implements partition.RenameCoster: the subtree mapping
+// follows the rename (a mount-table update), so no metadata relocates.
+func (s *StaticSubtree) RenameRelocations(t *namespace.Tree, asg *partition.Assignment, n *namespace.Node) int {
+	return 0
+}

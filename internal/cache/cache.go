@@ -1,0 +1,184 @@
+// Package cache implements the version/timeout/lease entry cache of
+// Sec. IV-A2: clients (and MDS hot caches) keep recently fetched metadata
+// entries under a lease; within the lease an entry may be served locally,
+// after it the entry must be revalidated against its origin. Version
+// numbers detect staleness on revalidation, and an LRU bound caps memory.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Errors reported by the cache.
+var (
+	ErrBadCapacity = errors.New("cache: capacity must be positive")
+	ErrBadLease    = errors.New("cache: lease must be positive")
+)
+
+// Entry is the cached value: an opaque payload plus its origin version.
+type Entry struct {
+	// Value is the cached payload.
+	Value interface{}
+	// Version is the origin's version number at fetch time.
+	Version int64
+}
+
+type item struct {
+	key     string
+	entry   Entry
+	expires time.Time
+	elem    *list.Element
+}
+
+// Cache is a leased LRU cache keyed by path. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lease    time.Duration
+	items    map[string]*item
+	lru      *list.List // front = most recent
+	now      func() time.Time
+
+	hits, misses, expired uint64
+}
+
+// New builds a cache holding at most capacity entries, each valid for the
+// given lease.
+func New(capacity int, lease time.Duration) (*Cache, error) {
+	if capacity < 1 {
+		return nil, ErrBadCapacity
+	}
+	if lease <= 0 {
+		return nil, ErrBadLease
+	}
+	return &Cache{
+		capacity: capacity,
+		lease:    lease,
+		items:    make(map[string]*item, capacity),
+		lru:      list.New(),
+		now:      time.Now,
+	}, nil
+}
+
+// SetClock overrides the time source (tests).
+func (c *Cache) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// Put stores an entry under a fresh lease, evicting the least recently used
+// entry if full.
+func (c *Cache) Put(key string, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if it, ok := c.items[key]; ok {
+		it.entry = e
+		it.expires = c.now().Add(c.lease)
+		c.lru.MoveToFront(it.elem)
+		return
+	}
+	for len(c.items) >= c.capacity {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		victim, ok := oldest.Value.(*item)
+		if !ok {
+			break
+		}
+		c.lru.Remove(oldest)
+		delete(c.items, victim.key)
+	}
+	it := &item{key: key, entry: e, expires: c.now().Add(c.lease)}
+	it.elem = c.lru.PushFront(it)
+	c.items[key] = it
+}
+
+// Get returns a live cached entry. Expired entries are removed and count as
+// misses.
+func (c *Cache) Get(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	if !it.expires.After(c.now()) {
+		c.removeLocked(it)
+		c.expired++
+		c.misses++
+		return Entry{}, false
+	}
+	c.lru.MoveToFront(it.elem)
+	c.hits++
+	return it.entry, true
+}
+
+// Peek returns the entry even if the lease expired, along with whether the
+// lease is still live — the revalidation path: an expired entry's version
+// can be compared against the origin instead of refetching the body.
+func (c *Cache) Peek(key string) (e Entry, live bool, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, found := c.items[key]
+	if !found {
+		return Entry{}, false, false
+	}
+	return it.entry, it.expires.After(c.now()), true
+}
+
+// Renew extends the lease of a cached entry whose version the origin just
+// confirmed. It reports whether the key was present with that version.
+func (c *Cache) Renew(key string, version int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.items[key]
+	if !ok || it.entry.Version != version {
+		return false
+	}
+	it.expires = c.now().Add(c.lease)
+	c.lru.MoveToFront(it.elem)
+	return true
+}
+
+// Invalidate removes one key (e.g. after a local update).
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if it, ok := c.items[key]; ok {
+		c.removeLocked(it)
+	}
+}
+
+// InvalidateAll clears the cache (e.g. on an index-version bump).
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[string]*item, c.capacity)
+	c.lru.Init()
+}
+
+// Len returns the number of resident entries (including expired ones not
+// yet reaped).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Stats reports hit/miss/expiry counters.
+func (c *Cache) Stats() (hits, misses, expired uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.expired
+}
+
+func (c *Cache) removeLocked(it *item) {
+	c.lru.Remove(it.elem)
+	delete(c.items, it.key)
+}

@@ -1,0 +1,182 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTest(t *testing.T, capacity int) (*Cache, *time.Time) {
+	t.Helper()
+	c, err := New(capacity, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	return c, &now
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, time.Second); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("want ErrBadCapacity, got %v", err)
+	}
+	if _, err := New(1, 0); !errors.Is(err, ErrBadLease) {
+		t.Errorf("want ErrBadLease, got %v", err)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	c, _ := newTest(t, 4)
+	c.Put("/a", Entry{Value: "va", Version: 1})
+	e, ok := c.Get("/a")
+	if !ok || e.Value != "va" || e.Version != 1 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	if _, ok := c.Get("/missing"); ok {
+		t.Error("missing key hit")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	c, now := newTest(t, 4)
+	c.Put("/a", Entry{Version: 1})
+	*now = now.Add(11 * time.Second)
+	if _, ok := c.Get("/a"); ok {
+		t.Error("expired entry served")
+	}
+	_, _, expired := c.Stats()
+	if expired != 1 {
+		t.Errorf("expired counter = %d", expired)
+	}
+	if c.Len() != 0 {
+		t.Error("expired entry not reaped on Get")
+	}
+}
+
+func TestPeekAndRenew(t *testing.T) {
+	c, now := newTest(t, 4)
+	c.Put("/a", Entry{Version: 7})
+	*now = now.Add(11 * time.Second)
+	e, live, ok := c.Peek("/a")
+	if !ok || live || e.Version != 7 {
+		t.Fatalf("Peek = %+v live=%v ok=%v", e, live, ok)
+	}
+	// Origin confirms version 7 is still current: lease renews.
+	if !c.Renew("/a", 7) {
+		t.Fatal("Renew rejected matching version")
+	}
+	if _, ok := c.Get("/a"); !ok {
+		t.Error("renewed entry not served")
+	}
+	if c.Renew("/a", 8) {
+		t.Error("Renew accepted wrong version")
+	}
+	if c.Renew("/missing", 1) {
+		t.Error("Renew accepted missing key")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := newTest(t, 3)
+	for i := 0; i < 3; i++ {
+		c.Put("/k"+strconv.Itoa(i), Entry{Version: int64(i)})
+	}
+	// Touch /k0 so /k1 becomes the LRU victim.
+	if _, ok := c.Get("/k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("/k3", Entry{Version: 3})
+	if _, ok := c.Get("/k1"); ok {
+		t.Error("LRU victim /k1 survived")
+	}
+	for _, k := range []string{"/k0", "/k2", "/k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestPutUpdatesInPlace(t *testing.T) {
+	c, _ := newTest(t, 2)
+	c.Put("/a", Entry{Version: 1})
+	c.Put("/a", Entry{Version: 2})
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	e, _ := c.Get("/a")
+	if e.Version != 2 {
+		t.Errorf("Version = %d", e.Version)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c, _ := newTest(t, 4)
+	c.Put("/a", Entry{})
+	c.Put("/b", Entry{})
+	c.Invalidate("/a")
+	if _, ok := c.Get("/a"); ok {
+		t.Error("invalidated entry served")
+	}
+	if _, ok := c.Get("/b"); !ok {
+		t.Error("unrelated entry lost")
+	}
+	c.InvalidateAll()
+	if c.Len() != 0 {
+		t.Error("InvalidateAll left entries")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	prop := func(keys []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		c, err := New(capacity, time.Minute)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			c.Put(fmt.Sprintf("/k%d", k%64), Entry{Version: int64(k)})
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, err := New(64, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := "/k" + strconv.Itoa(i%100)
+				c.Put(key, Entry{Version: int64(i)})
+				c.Get(key)
+				if i%50 == 0 {
+					c.Invalidate(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("Len = %d exceeds capacity", c.Len())
+	}
+}

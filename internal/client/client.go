@@ -1,0 +1,421 @@
+// Package client is the D2-Tree client library: it bootstraps membership
+// and the local index from the Monitor, caches the index to route queries
+// directly (Sec. IV-A2 — prefix check against cached inter-node index,
+// otherwise any random MDS, since the global layer is replicated
+// everywhere), and refreshes the cache when a server redirects it.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"d2tree/internal/cache"
+	"d2tree/internal/wire"
+)
+
+// Config parameterises a client.
+type Config struct {
+	// MonitorAddr is the Monitor's address.
+	MonitorAddr string
+	// DialTimeout defaults to 2s.
+	DialTimeout time.Duration
+	// MaxRedirects bounds redirect-chasing per operation (default 4).
+	MaxRedirects int
+	// Seed drives random GL server selection (0 = time-based).
+	Seed int64
+	// CacheEntries enables the Sec. IV-A2 client entry cache when > 0:
+	// lookups within CacheLease of a previous fetch are served locally.
+	// Staleness is bounded by the lease, exactly as in the paper's
+	// version/timeout/lease design.
+	CacheEntries int
+	// CacheLease is the entry lease (default 2s when the cache is enabled).
+	CacheLease time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.MaxRedirects == 0 {
+		c.MaxRedirects = 4
+	}
+	if c.CacheEntries > 0 && c.CacheLease == 0 {
+		c.CacheLease = 2 * time.Second
+	}
+}
+
+// Errors reported by the client.
+var (
+	ErrNoServers    = errors.New("client: cluster has no servers")
+	ErrTooManyHops  = errors.New("client: redirect limit exceeded")
+	ErrBadPath      = errors.New("client: path must be absolute")
+	ErrNotConnected = errors.New("client: not connected")
+)
+
+// Client talks to a D2-Tree cluster. Safe for concurrent use. Construct
+// with Connect, release with Close.
+type Client struct {
+	cfg Config
+	rng *rand.Rand
+
+	mu       sync.Mutex
+	servers  []string
+	index    map[string]string
+	indexVer int64
+	conns    map[string]*wire.Conn
+	mon      *wire.Conn
+	entries  *cache.Cache // nil when disabled
+	closed   bool
+
+	// CacheMisses counts redirects observed (stale index), for tests.
+	cacheMisses int64
+}
+
+// Connect bootstraps a client from the Monitor.
+func Connect(cfg Config) (*Client, error) {
+	cfg.applyDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Client{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		index: make(map[string]string),
+		conns: make(map[string]*wire.Conn),
+	}
+	if cfg.CacheEntries > 0 {
+		entries, err := cache.New(cfg.CacheEntries, cfg.CacheLease)
+		if err != nil {
+			return nil, err
+		}
+		c.entries = entries
+	}
+	mon, err := wire.Dial(cfg.MonitorAddr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.mon = mon
+	if err := c.refreshClusterInfo(); err != nil {
+		_ = mon.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases every connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, conn := range c.conns {
+		_ = conn.Close()
+	}
+	if c.mon != nil {
+		_ = c.mon.Close()
+	}
+	return nil
+}
+
+// CacheMisses returns the number of stale-index redirects observed.
+func (c *Client) CacheMisses() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cacheMisses
+}
+
+// refreshClusterInfo re-fetches membership and the index from the Monitor.
+func (c *Client) refreshClusterInfo() error {
+	c.mu.Lock()
+	mon := c.mon
+	c.mu.Unlock()
+	if mon == nil {
+		return ErrNotConnected
+	}
+	var info wire.ClusterInfoResponse
+	if err := mon.Call(wire.TypeClusterInfo, nil, &info); err != nil {
+		return fmt.Errorf("client: cluster info: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.servers = info.Servers
+	c.indexVer = info.IndexVer
+	c.index = make(map[string]string, len(info.Index))
+	for k, v := range info.Index {
+		c.index[k] = v
+	}
+	return nil
+}
+
+// route picks the MDS address for a path: longest indexed prefix, else a
+// random server (global layer).
+func (c *Client) route(path string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.servers) == 0 {
+		return "", ErrNoServers
+	}
+	cur := path
+	for {
+		if a, ok := c.index[cur]; ok {
+			return a, nil
+		}
+		i := strings.LastIndexByte(cur, '/')
+		if i <= 0 {
+			break
+		}
+		cur = cur[:i]
+	}
+	return c.servers[c.rng.Intn(len(c.servers))], nil
+}
+
+// conn returns a pooled connection to addr.
+func (c *Client) conn(addr string) (*wire.Conn, error) {
+	c.mu.Lock()
+	if conn, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	conn, err := wire.Dial(addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.conns[addr]; ok {
+		_ = conn.Close()
+		return existing, nil
+	}
+	c.conns[addr] = conn
+	return conn, nil
+}
+
+// dropConn discards a broken pooled connection.
+func (c *Client) dropConn(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.conns[addr]; ok {
+		_ = conn.Close()
+		delete(c.conns, addr)
+	}
+}
+
+// call performs one routed request, following redirects and refreshing the
+// cache when the route was stale. attempt runs the RPC against one server
+// with a fresh response value and reports any redirect address.
+func (c *Client) call(path, msgType string,
+	attempt func(conn *wire.Conn) (redirect string, err error)) error {
+	if path == "" || path[0] != '/' {
+		return fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	addr, err := c.route(path)
+	if err != nil {
+		return err
+	}
+	for hop := 0; hop <= c.cfg.MaxRedirects; hop++ {
+		conn, err := c.conn(addr)
+		if err != nil {
+			// Server may be down: refresh membership and retry once per hop.
+			if rerr := c.refreshClusterInfo(); rerr != nil {
+				return err
+			}
+			addr, err = c.route(path)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		redirect, err := attempt(conn)
+		if err != nil {
+			if strings.Contains(err.Error(), "remote error") {
+				return err
+			}
+			c.dropConn(addr)
+			if rerr := c.refreshClusterInfo(); rerr != nil {
+				return err
+			}
+			next, rerr := c.route(path)
+			if rerr != nil {
+				return rerr
+			}
+			addr = next
+			continue
+		}
+		if redirect == "" {
+			return nil
+		}
+		c.mu.Lock()
+		c.cacheMisses++
+		c.mu.Unlock()
+		_ = c.refreshClusterInfo()
+		addr = redirect
+	}
+	return fmt.Errorf("%w: %s %s", ErrTooManyHops, msgType, path)
+}
+
+// Lookup resolves a path to its metadata entry. With the entry cache
+// enabled, a lease-live cached copy is returned without touching the
+// cluster; staleness is bounded by the configured lease.
+func (c *Client) Lookup(path string) (*wire.Entry, error) {
+	if c.entries != nil {
+		if cached, ok := c.entries.Get(path); ok {
+			if e, ok := cached.Value.(wire.Entry); ok {
+				cp := e
+				return &cp, nil
+			}
+		}
+	}
+	var entry *wire.Entry
+	err := c.call(path, wire.TypeLookup, func(conn *wire.Conn) (string, error) {
+		var resp wire.LookupResponse
+		if err := conn.Call(wire.TypeLookup, &wire.LookupRequest{Path: path}, &resp); err != nil {
+			return "", err
+		}
+		entry = resp.Entry
+		return resp.Redirect, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if c.entries != nil && entry != nil {
+		c.entries.Put(path, cache.Entry{Value: *entry, Version: entry.Version})
+	}
+	return entry, nil
+}
+
+// Create makes a file or directory.
+func (c *Client) Create(path string, kind wire.EntryKind) (*wire.Entry, error) {
+	var entry *wire.Entry
+	err := c.call(path, wire.TypeCreate, func(conn *wire.Conn) (string, error) {
+		var resp wire.CreateResponse
+		req := &wire.CreateRequest{Path: path, Kind: kind}
+		if err := conn.Call(wire.TypeCreate, req, &resp); err != nil {
+			return "", err
+		}
+		entry = resp.Entry
+		return resp.Redirect, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return entry, nil
+}
+
+// SetAttr updates a path's attributes (an "update" operation). The cached
+// copy, if any, is replaced by the committed entry.
+func (c *Client) SetAttr(path string, size int64, mode uint32) (*wire.Entry, error) {
+	if c.entries != nil {
+		c.entries.Invalidate(path)
+	}
+	var entry *wire.Entry
+	err := c.call(path, wire.TypeSetAttr, func(conn *wire.Conn) (string, error) {
+		var resp wire.SetAttrResponse
+		req := &wire.SetAttrRequest{Path: path, Size: size, Mode: mode}
+		if err := conn.Call(wire.TypeSetAttr, req, &resp); err != nil {
+			return "", err
+		}
+		entry = resp.Entry
+		return resp.Redirect, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return entry, nil
+}
+
+// Rename renames a local-layer node (carrying its subtree) in place. The
+// cached entry for the old path, if any, is invalidated.
+func (c *Client) Rename(path, newName string) (*wire.Entry, error) {
+	if c.entries != nil {
+		c.entries.Invalidate(path)
+	}
+	var entry *wire.Entry
+	err := c.call(path, wire.TypeRename, func(conn *wire.Conn) (string, error) {
+		var resp wire.RenameResponse
+		req := &wire.RenameRequest{Path: path, NewName: newName}
+		if err := conn.Call(wire.TypeRename, req, &resp); err != nil {
+			return "", err
+		}
+		entry = resp.Entry
+		return resp.Redirect, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return entry, nil
+}
+
+// Readdir lists a directory's children: the serving MDS's view merged with
+// the client's cached local index, so subtree roots hosted elsewhere appear
+// even while the server's own index snapshot is still catching up.
+func (c *Client) Readdir(path string) ([]string, error) {
+	var names []string
+	err := c.call(path, wire.TypeReaddir, func(conn *wire.Conn) (string, error) {
+		var resp wire.ReaddirResponse
+		if err := conn.Call(wire.TypeReaddir, &wire.ReaddirRequest{Path: path}, &resp); err != nil {
+			return "", err
+		}
+		names = resp.Names
+		return resp.Redirect, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	prefix := path + "/"
+	if path == "/" {
+		prefix = "/"
+	}
+	c.mu.Lock()
+	for root := range c.index {
+		if !strings.HasPrefix(root, prefix) || root == path {
+			continue
+		}
+		rest := root[len(prefix):]
+		if rest == "" || strings.ContainsRune(rest, '/') || seen[rest] {
+			continue
+		}
+		seen[rest] = true
+		names = append(names, rest)
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stats fetches one MDS's counters by address.
+func (c *Client) Stats(addr string) (*wire.StatsResponse, error) {
+	conn, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	var resp wire.StatsResponse
+	if err := conn.Call(wire.TypeStats, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Servers returns the cached MDS address list.
+func (c *Client) Servers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.servers))
+	copy(out, c.servers)
+	return out
+}
+
+// Refresh forces a cluster-info refresh (tests, failover).
+func (c *Client) Refresh() error { return c.refreshClusterInfo() }

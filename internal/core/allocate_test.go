@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"d2tree/internal/metrics"
+	"d2tree/internal/namespace"
+	"d2tree/internal/partition"
+)
+
+// fig4Subtrees reproduces the Fig. 4 example: five subtrees with popularity
+// shares .5, .2, .1, .1, .1.
+func fig4Subtrees() []Subtree {
+	return []Subtree{
+		{Root: 1, Popularity: 50},
+		{Root: 2, Popularity: 20},
+		{Root: 3, Popularity: 10},
+		{Root: 4, Popularity: 10},
+		{Root: 5, Popularity: 10},
+	}
+}
+
+func TestMirrorDivideFig4Example(t *testing.T) {
+	// Three servers with remaining capacities .5, .3, .2 of the total.
+	alloc, err := MirrorDivide(fig4Subtrees(), []float64{5, 3, 2}, AllocConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]partition.ServerID{0: 0, 1: 1, 2: 1, 3: 2, 4: 2}
+	for i, srv := range want {
+		if alloc[i] != srv {
+			t.Errorf("Δ%d → m%d, want m%d", i+1, alloc[i], srv)
+		}
+	}
+}
+
+func TestMirrorDivideErrors(t *testing.T) {
+	if _, err := MirrorDivide(nil, []float64{1}, AllocConfig{}); !errors.Is(err, ErrNoSubtrees) {
+		t.Errorf("want ErrNoSubtrees, got %v", err)
+	}
+	if _, err := MirrorDivide(fig4Subtrees(), nil, AllocConfig{}); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("want ErrNoCapacity, got %v", err)
+	}
+	if _, err := MirrorDivide(fig4Subtrees(), []float64{0, -1}, AllocConfig{}); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("want ErrNoCapacity, got %v", err)
+	}
+}
+
+func TestMirrorDivideSkipsSaturatedServers(t *testing.T) {
+	alloc, err := MirrorDivide(fig4Subtrees(), []float64{0, 10, 0}, AllocConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, srv := range alloc {
+		if srv != 1 {
+			t.Errorf("subtree %d on server %d, want 1 (only positive capacity)", i, srv)
+		}
+	}
+}
+
+func TestMirrorDivideZeroPopularityRoundRobins(t *testing.T) {
+	subtrees := []Subtree{{Root: 1}, {Root: 2}, {Root: 3}, {Root: 4}}
+	alloc, err := MirrorDivide(subtrees, []float64{1, 1}, AllocConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[partition.ServerID]int{}
+	for _, s := range alloc {
+		counts[s]++
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("round robin uneven: %v", counts)
+	}
+}
+
+func TestMirrorDivideCompleteAndProportional(t *testing.T) {
+	// Property: every subtree is placed exactly once, and per-server load is
+	// proportional to capacity within the granularity of the largest subtree.
+	prop := func(seed int64, n uint8, m uint8) bool {
+		nSub := int(n%60) + 5
+		nSrv := int(m%8) + 2
+		subtrees := make([]Subtree, nSub)
+		var maxPop, total float64
+		for i := range subtrees {
+			pop := int64((uint64(seed)>>uint(i%13))%97 + 1)
+			subtrees[i] = Subtree{Root: namespace.NodeID(i + 1), Popularity: pop}
+			if float64(pop) > maxPop {
+				maxPop = float64(pop)
+			}
+			total += float64(pop)
+		}
+		caps := partition.Capacities(nSrv, 1)
+		alloc, err := MirrorDivide(subtrees, caps, AllocConfig{})
+		if err != nil {
+			return false
+		}
+		if len(alloc) != nSub {
+			return false
+		}
+		loads := AllocationLoads(subtrees, alloc, nSrv)
+		ideal := total / float64(nSrv)
+		for _, l := range loads {
+			if math.Abs(l-ideal) > maxPop+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMirrorDivideHeterogeneousCapacities(t *testing.T) {
+	subtrees := make([]Subtree, 100)
+	for i := range subtrees {
+		subtrees[i] = Subtree{Root: namespace.NodeID(i + 1), Popularity: 10}
+	}
+	caps := []float64{1, 2, 7} // shares 10%, 20%, 70%
+	alloc, err := MirrorDivide(subtrees, caps, AllocConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := AllocationLoads(subtrees, alloc, 3)
+	if math.Abs(loads[0]-100) > 20 || math.Abs(loads[1]-200) > 20 || math.Abs(loads[2]-700) > 20 {
+		t.Errorf("loads = %v, want ≈ [100 200 700]", loads)
+	}
+}
+
+func TestMirrorDivideSampledStaysWithinDKWBound(t *testing.T) {
+	// The sampled variant must produce loads close to the exact variant —
+	// the Thm. 3 claim, tested empirically at a generous tolerance.
+	nSub := 2000
+	subtrees := make([]Subtree, nSub)
+	for i := range subtrees {
+		subtrees[i] = Subtree{
+			Root:       namespace.NodeID(i + 1),
+			Popularity: int64(i%50 + 1),
+		}
+	}
+	caps := partition.Capacities(8, 1)
+	exact, err := MirrorDivide(subtrees, caps, AllocConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := MirrorDivide(subtrees, caps, AllocConfig{SampleSize: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := AllocationLoads(subtrees, exact, 8)
+	ls := AllocationLoads(subtrees, sampled, 8)
+	var totalPop float64
+	for i := range subtrees {
+		totalPop += float64(subtrees[i].Popularity)
+	}
+	for k := range le {
+		if math.Abs(le[k]-ls[k])/totalPop > 0.10 {
+			t.Errorf("server %d: exact %v vs sampled %v diverge", k, le[k], ls[k])
+		}
+	}
+	bv, err := metrics.BalanceVariance(ls, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv > math.Pow(0.15*totalPop/8, 2) {
+		t.Errorf("sampled allocation variance %v too large", bv)
+	}
+}
+
+func TestGreedyLPTBalances(t *testing.T) {
+	subtrees := fig4Subtrees()
+	alloc, err := GreedyLPT(subtrees, partition.Capacities(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := AllocationLoads(subtrees, alloc, 2)
+	// LPT on {50,20,10,10,10} over 2 servers: 50 | 20+10+10+10 = perfect.
+	if loads[0] != 50 || loads[1] != 50 {
+		t.Errorf("loads = %v, want [50 50]", loads)
+	}
+}
+
+func TestGreedyLPTErrors(t *testing.T) {
+	if _, err := GreedyLPT(nil, []float64{1}); !errors.Is(err, ErrNoSubtrees) {
+		t.Errorf("want ErrNoSubtrees, got %v", err)
+	}
+	if _, err := GreedyLPT(fig4Subtrees(), nil); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("want ErrNoCapacity, got %v", err)
+	}
+	if _, err := GreedyLPT(fig4Subtrees(), []float64{1, 0}); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("want ErrBadCapacity, got %v", err)
+	}
+}
+
+func TestMirrorDivideDeterministic(t *testing.T) {
+	subtrees := fig4Subtrees()
+	caps := []float64{2, 3, 5}
+	a, err := MirrorDivide(subtrees, caps, AllocConfig{SampleSize: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MirrorDivide(subtrees, caps, AllocConfig{SampleSize: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("allocation not deterministic at %d", i)
+		}
+	}
+}

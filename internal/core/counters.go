@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+
+	"d2tree/internal/namespace"
+)
+
+// Counters are the decaying access counters MDSs keep on inter nodes and
+// local-layer metadata (Sec. IV-B, Dynamic-Adjustment): each access bumps a
+// counter; Decay multiplies every counter by a factor so stale popularity
+// fades and the Monitor sees recent load. Safe for concurrent use.
+type Counters struct {
+	mu     sync.RWMutex
+	counts map[namespace.NodeID]float64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{counts: make(map[namespace.NodeID]float64)}
+}
+
+// Add records weight w of access against a node.
+func (c *Counters) Add(id namespace.NodeID, w float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[id] += w
+}
+
+// Get returns the current decayed count for a node.
+func (c *Counters) Get(id namespace.NodeID) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.counts[id]
+}
+
+// Len returns the number of tracked nodes.
+func (c *Counters) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.counts)
+}
+
+// Decay multiplies every counter by factor (0 ≤ factor ≤ 1) and drops
+// counters that fall below epsilon, bounding memory over long runs.
+func (c *Counters) Decay(factor, epsilon float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, v := range c.counts {
+		v *= factor
+		if v < epsilon {
+			delete(c.counts, id)
+			continue
+		}
+		c.counts[id] = v
+	}
+}
+
+// Snapshot returns a copy of all counters, for heartbeat reporting.
+func (c *Counters) Snapshot() map[namespace.NodeID]float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[namespace.NodeID]float64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// ApplyToTree overwrites the tree's individual popularities with the decayed
+// counters (nodes without a counter get 0) and recomputes aggregates — used
+// before re-running the splitter during global-layer re-evaluation.
+func (c *Counters) ApplyToTree(t *namespace.Tree) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, n := range t.Nodes() {
+		want := int64(c.counts[n.ID()])
+		if delta := want - n.SelfPopularity(); delta != 0 {
+			t.Touch(n, delta)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"d2tree/internal/metrics"
+	"d2tree/internal/namespace"
+	"d2tree/internal/partition"
+	"d2tree/internal/trace"
+)
+
+func buildWorkloadTree(t testing.TB, nodes int, seed int64) *namespace.Tree {
+	t.Helper()
+	p := trace.DTR().Scale(nodes)
+	w, err := trace.BuildWorkload(p, nodes*5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Tree
+}
+
+func TestNewValidatesArgs(t *testing.T) {
+	tr := buildFig2Tree(t)
+	if _, err := New(nil, 2, DefaultConfig()); !errors.Is(err, ErrNilTree) {
+		t.Errorf("want ErrNilTree, got %v", err)
+	}
+	if _, err := New(tr, 0, DefaultConfig()); !errors.Is(err, partition.ErrBadM) {
+		t.Errorf("want ErrBadM, got %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.Capacities = []float64{1}
+	if _, err := New(tr, 2, cfg); !errors.Is(err, ErrCapacityLen) {
+		t.Errorf("want ErrCapacityLen, got %v", err)
+	}
+}
+
+func TestNewProducesValidAssignment(t *testing.T) {
+	tr := buildWorkloadTree(t, 2000, 21)
+	d, err := New(tr, 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Assignment().Validate(tr); err != nil {
+		t.Fatalf("assignment invalid: %v", err)
+	}
+	if got := d.Assignment().NumReplicated(); got != len(d.Split().GL) {
+		t.Errorf("replicated %d != |GL| %d", got, len(d.Split().GL))
+	}
+	if d.Index().Len() != len(d.Split().Subtrees) {
+		t.Errorf("index size %d != subtree count %d",
+			d.Index().Len(), len(d.Split().Subtrees))
+	}
+}
+
+func TestSubtreesStayIntact(t *testing.T) {
+	// Paper Sec. IV-A1: each subtree is an allocation unit — every node in a
+	// subtree must land on the subtree root's server.
+	tr := buildWorkloadTree(t, 1500, 5)
+	d, err := New(tr, 6, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range d.Subtrees() {
+		owner, ok := d.SubtreeOwner(i)
+		if !ok {
+			t.Fatalf("subtree %d unallocated", i)
+		}
+		for _, n := range tr.SubtreeNodes(tr.Node(st.Root)) {
+			got, ok := d.Assignment().Owner(n.ID())
+			if !ok || got != owner {
+				t.Fatalf("node %d of subtree %d on %v (ok=%v), want %v",
+					n.ID(), i, got, ok, owner)
+			}
+		}
+	}
+}
+
+func TestRouteGlobalAndLocal(t *testing.T) {
+	tr := buildFig2Tree(t)
+	cfg := Config{GLProportion: 0.25} // root + 3 dirs
+	d, err := New(tr, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, _ := tr.Lookup("/home")
+	if srv := d.Route(home, nil); srv != 0 {
+		t.Errorf("nil-rng GL route = %d, want 0", srv)
+	}
+	rng := rand.New(rand.NewSource(1))
+	seen := map[partition.ServerID]bool{}
+	for i := 0; i < 100; i++ {
+		seen[d.Route(home, rng)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("GL routing should spread across servers")
+	}
+	// Local node routes to its fixed owner.
+	c, _ := tr.Lookup("/home/a/c.txt")
+	first := d.Route(c, rng)
+	for i := 0; i < 10; i++ {
+		if got := d.Route(c, rng); got != first {
+			t.Fatalf("LL route flapped: %d then %d", first, got)
+		}
+	}
+	if !d.Assignment().Holds(c.ID(), first) {
+		t.Error("LL route went to a server not holding the node")
+	}
+}
+
+func TestMoveSubtree(t *testing.T) {
+	tr := buildFig2Tree(t)
+	d, err := New(tr, 3, Config{GLProportion: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Subtrees()) == 0 {
+		t.Fatal("no subtrees to move")
+	}
+	cur, _ := d.SubtreeOwner(0)
+	dst := (cur + 1) % 3
+	if err := d.MoveSubtree(0, dst); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.SubtreeOwner(0)
+	if got != dst {
+		t.Errorf("owner = %d, want %d", got, dst)
+	}
+	st := d.Subtrees()[0]
+	if s, ok := d.Index().Owner(st.Root); !ok || s != dst {
+		t.Errorf("index owner = %v/%v, want %d", s, ok, dst)
+	}
+	for _, n := range tr.SubtreeNodes(tr.Node(st.Root)) {
+		if o, _ := d.Assignment().Owner(n.ID()); o != dst {
+			t.Errorf("node %d not moved", n.ID())
+		}
+	}
+	if err := d.MoveSubtree(99, 0); err == nil {
+		t.Error("out-of-range subtree accepted")
+	}
+	if err := d.MoveSubtree(0, 99); !errors.Is(err, partition.ErrBadServer) {
+		t.Errorf("want ErrBadServer, got %v", err)
+	}
+}
+
+func TestSchemeInterface(t *testing.T) {
+	tr := buildWorkloadTree(t, 1000, 9)
+	var s Scheme
+	if s.Name() != "D2-Tree" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	asg, err := s.Partition(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	if s.Last() == nil {
+		t.Error("Last() nil after Partition")
+	}
+	loads := asg.SelfLoads(tr)
+	if _, err := s.Rebalance(tr, asg, loads); err != nil {
+		t.Errorf("Rebalance: %v", err)
+	}
+}
+
+func TestSchemeRebalanceBeforePartition(t *testing.T) {
+	tr := buildFig2Tree(t)
+	var s Scheme
+	asg, _ := partition.NewAssignment(2)
+	if _, err := s.Rebalance(tr, asg, []float64{1, 1}); err == nil {
+		t.Error("Rebalance before Partition accepted")
+	}
+}
+
+func TestD2TreeBalanceBeatsStaticSkew(t *testing.T) {
+	// Sanity: on a skewed workload the D2 layout's static load split must be
+	// far more balanced than assigning whole top-level subtrees.
+	tr := buildWorkloadTree(t, 3000, 33)
+	m := 5
+	d, err := New(tr, m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := partition.Capacities(m, 1)
+	d2Loads := d.Assignment().SelfLoads(tr)
+	d2Bal, err := metrics.Balance(d2Loads, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive static: hash top-level dirs across servers.
+	asg, _ := partition.NewAssignment(m)
+	for _, n := range tr.Nodes() {
+		chain := n.Ancestors()
+		srv := partition.ServerID(0)
+		if len(chain) > 1 {
+			srv = partition.ServerID(int(chain[1].ID()) % m)
+		}
+		_ = asg.SetOwner(n.ID(), srv)
+	}
+	staticLoads := asg.SelfLoads(tr)
+	staticBal, err := metrics.Balance(staticLoads, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2Bal <= staticBal {
+		t.Errorf("D2 balance %v should beat naive static %v", d2Bal, staticBal)
+	}
+}
+
+func TestCapacitiesCopied(t *testing.T) {
+	tr := buildFig2Tree(t)
+	caps := []float64{1, 2}
+	d, err := New(tr, 2, Config{GLProportion: 0.2, Capacities: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Capacities()
+	got[0] = 99
+	if d.Capacities()[0] == 99 {
+		t.Error("Capacities exposed internal slice")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sync"
+
+	"d2tree/internal/namespace"
+	"d2tree/internal/partition"
+)
+
+// LocalIndex maps local-layer subtree roots to their owning MDS. Every MDS
+// keeps one "to allow a quick search" for an inter node's subtrees
+// (Sec. IV-A1), and clients cache it to route queries directly (Sec. IV-A2).
+// The index is safe for concurrent use.
+type LocalIndex struct {
+	mu    sync.RWMutex
+	owner map[namespace.NodeID]partition.ServerID
+}
+
+// NewLocalIndex returns an empty index.
+func NewLocalIndex() *LocalIndex {
+	return &LocalIndex{owner: make(map[namespace.NodeID]partition.ServerID)}
+}
+
+// Set records (or moves) a subtree root's owner.
+func (ix *LocalIndex) Set(root namespace.NodeID, s partition.ServerID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.owner[root] = s
+}
+
+// Delete removes a subtree root (e.g. after it was merged into the GL).
+func (ix *LocalIndex) Delete(root namespace.NodeID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	delete(ix.owner, root)
+}
+
+// Owner returns the owner of a subtree root, if indexed.
+func (ix *LocalIndex) Owner(root namespace.NodeID) (partition.ServerID, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s, ok := ix.owner[root]
+	return s, ok
+}
+
+// Len returns the number of indexed subtree roots.
+func (ix *LocalIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.owner)
+}
+
+// Locate resolves where a query for node n must be sent, replicating the
+// client logic of Sec. IV-A2: walk the prefix chain; if some prefix is an
+// indexed subtree root, the owning MDS serves the query; otherwise the node
+// is in the replicated global layer and any MDS will do (global is true).
+func (ix *LocalIndex) Locate(n *namespace.Node) (srv partition.ServerID, global bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for cur := n; cur != nil; cur = cur.Parent() {
+		if s, ok := ix.owner[cur.ID()]; ok {
+			return s, false
+		}
+	}
+	return 0, true
+}
+
+// Snapshot returns a copy of the index contents, for shipping to clients.
+func (ix *LocalIndex) Snapshot() map[namespace.NodeID]partition.ServerID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make(map[namespace.NodeID]partition.ServerID, len(ix.owner))
+	for k, v := range ix.owner {
+		out[k] = v
+	}
+	return out
+}
+
+// Replace atomically swaps the index contents with the given mapping.
+func (ix *LocalIndex) Replace(m map[namespace.NodeID]partition.ServerID) {
+	cp := make(map[namespace.NodeID]partition.ServerID, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.owner = cp
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"d2tree/internal/namespace"
+)
+
+// RandomWalkSample draws k local-layer subtree indices using random walks
+// over the namespace tree (Sec. IV-B, citing full-information lookups [20]):
+// each walk starts at the root, descends by picking a uniformly random
+// child, and terminates at the first node below the cut-line — the root of
+// a local-layer subtree. Only per-node child lists are consulted, so an MDS
+// can sample without enumerating the (possibly huge) global subtree set.
+//
+// Walks land on a subtree with probability proportional to the product of
+// inverse fanouts along its path, not uniformly; for popularity estimation
+// this bias is benign in practice because the cut-line keeps subtree roots
+// at similar depths, and the DKW machinery (metrics.LemmaSampleSize) governs
+// the sample size either way. Samples are drawn with replacement.
+func RandomWalkSample(t *namespace.Tree, split *SplitResult, k int, rng *rand.Rand) ([]int, error) {
+	if t == nil {
+		return nil, ErrNilTree
+	}
+	if split == nil || len(split.Subtrees) == 0 {
+		return nil, ErrNoSubtrees
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: RandomWalkSample k = %d, need >= 1", k)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	idxByRoot := make(map[namespace.NodeID]int, len(split.Subtrees))
+	for i, st := range split.Subtrees {
+		idxByRoot[st.Root] = i
+	}
+	const maxSteps = 1 << 12 // bail out on pathological walks
+	out := make([]int, 0, k)
+	for len(out) < k {
+		cur := t.Root()
+		for step := 0; step < maxSteps; step++ {
+			if idx, hit := idxByRoot[cur.ID()]; hit {
+				out = append(out, idx)
+				break
+			}
+			kids := cur.Children()
+			if len(kids) == 0 {
+				// Dead end inside the global layer (a GL leaf): restart.
+				break
+			}
+			cur = kids[rng.Intn(len(kids))]
+			if !split.InGL(cur.ID()) {
+				// Crossed the cut-line; cur is a subtree root by
+				// construction (its parent is an inter node).
+				idx, hit := idxByRoot[cur.ID()]
+				if !hit {
+					return nil, fmt.Errorf("core: walk crossed cut at unknown subtree root %d", cur.ID())
+				}
+				out = append(out, idx)
+				break
+			}
+		}
+	}
+	return out, nil
+}

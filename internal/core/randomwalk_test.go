@@ -1,0 +1,117 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"d2tree/internal/partition"
+)
+
+func TestRandomWalkSampleValidation(t *testing.T) {
+	tr := buildWorkloadTree(t, 800, 51)
+	split, err := SplitProportion(tr, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RandomWalkSample(nil, split, 5, nil); !errors.Is(err, ErrNilTree) {
+		t.Errorf("want ErrNilTree, got %v", err)
+	}
+	if _, err := RandomWalkSample(tr, nil, 5, nil); !errors.Is(err, ErrNoSubtrees) {
+		t.Errorf("want ErrNoSubtrees, got %v", err)
+	}
+	if _, err := RandomWalkSample(tr, split, 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestRandomWalkSampleHitsOnlySubtreeRoots(t *testing.T) {
+	tr := buildWorkloadTree(t, 1500, 52)
+	split, err := SplitProportion(tr, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	sample, err := RandomWalkSample(tr, split, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 200 {
+		t.Fatalf("sample size = %d", len(sample))
+	}
+	for _, idx := range sample {
+		if idx < 0 || idx >= len(split.Subtrees) {
+			t.Fatalf("index %d out of range", idx)
+		}
+	}
+	// Coverage: walks should reach a decent spread of subtrees.
+	uniq := map[int]bool{}
+	for _, idx := range sample {
+		uniq[idx] = true
+	}
+	if len(uniq) < 10 {
+		t.Errorf("only %d distinct subtrees sampled", len(uniq))
+	}
+}
+
+func TestRandomWalkSampleDeterministic(t *testing.T) {
+	tr := buildWorkloadTree(t, 1000, 53)
+	split, err := SplitProportion(tr, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RandomWalkSample(tr, split, 50, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomWalkSample(tr, split, 50, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not deterministic per seed")
+		}
+	}
+}
+
+func TestMirrorDivideWithWalkSample(t *testing.T) {
+	tr := buildWorkloadTree(t, 3000, 54)
+	split, err := SplitProportion(tr, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := partition.Capacities(6, 1)
+	sample, err := RandomWalkSample(tr, split, 100, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := MirrorDivide(split.Subtrees, caps, AllocConfig{Sample: sample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc) != len(split.Subtrees) {
+		t.Fatalf("allocated %d of %d subtrees", len(alloc), len(split.Subtrees))
+	}
+	// Sampled allocation must stay in the neighbourhood of the exact one.
+	exact, err := MirrorDivide(split.Subtrees, caps, AllocConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := AllocationLoads(split.Subtrees, exact, 6)
+	lw := AllocationLoads(split.Subtrees, alloc, 6)
+	var total float64
+	for _, st := range split.Subtrees {
+		total += float64(st.Popularity)
+	}
+	for k := range le {
+		if math.Abs(le[k]-lw[k])/total > 0.25 {
+			t.Errorf("server %d: exact %v vs walk-sampled %v diverge too far", k, le[k], lw[k])
+		}
+	}
+	// Bad sample indices are rejected.
+	if _, err := MirrorDivide(split.Subtrees, caps, AllocConfig{Sample: []int{-1}}); err == nil {
+		t.Error("negative sample index accepted")
+	}
+}

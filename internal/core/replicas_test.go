@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"d2tree/internal/partition"
+	"d2tree/internal/sim"
+	"d2tree/internal/trace"
+)
+
+func TestBoundedReplicationPlacement(t *testing.T) {
+	tr := buildWorkloadTree(t, 2000, 41)
+	m, r := 8, 3
+	d, err := New(tr, m, Config{GLProportion: 0.01, GLReplicas: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := d.Assignment()
+	if err := asg.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	for id := range d.Split().GL {
+		if asg.IsReplicated(id) {
+			t.Fatalf("GL node %d fully replicated despite GLReplicas=%d", id, r)
+		}
+		rs, ok := asg.Replicas(id)
+		if !ok || len(rs) != r {
+			t.Fatalf("GL node %d replicas = %v (ok=%v), want %d", id, rs, ok, r)
+		}
+	}
+}
+
+func TestBoundedReplicationDegenerateCounts(t *testing.T) {
+	tr := buildWorkloadTree(t, 800, 42)
+	// r >= m behaves like full replication.
+	d, err := New(tr, 4, Config{GLProportion: 0.01, GLReplicas: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range d.Split().GL {
+		if !d.Assignment().IsReplicated(id) {
+			t.Fatalf("GL node %d not fully replicated with r>=m", id)
+		}
+	}
+	// r == 1 pins each GL node to one server.
+	d1, err := New(tr, 4, Config{GLProportion: 0.01, GLReplicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range d1.Split().GL {
+		if _, ok := d1.Assignment().Owner(id); !ok {
+			t.Fatalf("GL node %d not single-owned with r=1", id)
+		}
+	}
+}
+
+func TestBoundedReplicationJumpsBetweenFullAndNone(t *testing.T) {
+	// Locality ordering across the replication threshold:
+	// full GL replication ≤ jumps(r=4) ≤ jumps(r=1)-ish.
+	tr := buildWorkloadTree(t, 3000, 43)
+	m := 8
+	sum := func(r int) float64 {
+		t.Helper()
+		d, err := New(tr, m, Config{GLProportion: 0.01, GLReplicas: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Assignment().WeightedJumpSum(tr)
+	}
+	full := sum(0)
+	half := sum(4)
+	two := sum(2)
+	if !(full <= half && half <= two) {
+		t.Errorf("jump sums not monotone in replica count: full=%v r=4 %v r=2 %v",
+			full, half, two)
+	}
+}
+
+func TestBoundedReplicationRouteStaysOnReplica(t *testing.T) {
+	tr := buildWorkloadTree(t, 1500, 44)
+	m, r := 6, 2
+	d, err := New(tr, m, Config{GLProportion: 0.01, GLReplicas: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for id := range d.Split().GL {
+		n := tr.Node(id)
+		for i := 0; i < 10; i++ {
+			srv := d.Route(n, rng)
+			if !d.Assignment().Holds(id, srv) {
+				t.Fatalf("route sent GL node %d to non-replica %d", id, srv)
+			}
+		}
+	}
+}
+
+func TestBoundedReplicationReplayWorks(t *testing.T) {
+	w, err := trace.BuildWorkload(trace.RA().Scale(2000), 15000, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 8
+	full := &Scheme{}
+	bounded := &Scheme{Cfg: Config{GLProportion: 0.01, GLReplicas: 2}}
+	resFull, err := sim.Run(w, full, m, 1, sim.DefaultCostModel(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBounded, err := sim.Run(w, bounded, m, 1, sim.DefaultCostModel(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounded replication must forward more often than full replication.
+	if resBounded.AvgJumps <= resFull.AvgJumps {
+		t.Errorf("bounded avg jumps %v should exceed full %v",
+			resBounded.AvgJumps, resFull.AvgJumps)
+	}
+	if resBounded.GLQueryFrac < 0.4 {
+		t.Errorf("GL queries disappeared under bounded replication: %v",
+			resBounded.GLQueryFrac)
+	}
+}
+
+func TestSetReplicasValidation(t *testing.T) {
+	asg, err := partition.NewAssignment(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.SetReplicas(1, nil); err == nil {
+		t.Error("empty replica set accepted")
+	}
+	if err := asg.SetReplicas(1, []partition.ServerID{0, 9}); err == nil {
+		t.Error("out-of-range replica accepted")
+	}
+	// Duplicates collapse.
+	if err := asg.SetReplicas(1, []partition.ServerID{2, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	rs, ok := asg.Replicas(1)
+	if !ok || len(rs) != 2 {
+		t.Errorf("replicas = %v, %v", rs, ok)
+	}
+	// Full-cluster set normalises to full replication.
+	if err := asg.SetReplicas(2, []partition.ServerID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !asg.IsReplicated(2) {
+		t.Error("full set not normalised to IsReplicated")
+	}
+	// Singleton normalises to ownership.
+	if err := asg.SetReplicas(3, []partition.ServerID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if o, ok := asg.Owner(3); !ok || o != 1 {
+		t.Error("singleton set not normalised to owner")
+	}
+}
+
+func TestPartialReplicaLoadsSplit(t *testing.T) {
+	tr := buildFig2Tree(t)
+	asg, _ := partition.NewAssignment(4)
+	for _, n := range tr.Nodes() {
+		_ = asg.SetOwner(n.ID(), 0)
+	}
+	home, _ := tr.Lookup("/home")
+	if err := asg.SetReplicas(home.ID(), []partition.ServerID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	loads := asg.Loads(tr)
+	p := float64(home.TotalPopularity())
+	if loads[1] != p/2 || loads[2] != p/2 {
+		t.Errorf("partial replica loads = %v, want %v on servers 1,2", loads, p/2)
+	}
+}

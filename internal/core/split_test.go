@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"d2tree/internal/namespace"
+)
+
+// buildFig2Tree reproduces the paper's Fig. 2 namespace:
+// /home/{a,b}, /var/{d,e}, /usr/f with files, and a popularity profile that
+// makes {/, home, var, usr} the hottest nodes.
+func buildFig2Tree(t testing.TB) *namespace.Tree {
+	t.Helper()
+	tr := namespace.NewTree()
+	files := []string{
+		"/home/a/c.txt", "/home/b/g.pdf", "/home/b/h.jpg",
+		"/var/d/x.log", "/var/e/j.doc", "/usr/f/k.bin",
+	}
+	for _, p := range files {
+		if _, err := tr.AddFile(p); err != nil {
+			t.Fatalf("AddFile(%q): %v", p, err)
+		}
+	}
+	// One access per file plus direct hits on the top-level directories so
+	// the shallow prefix dominates, as in realistic traces.
+	for _, p := range files {
+		n, err := tr.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Touch(n, 10)
+	}
+	for p, w := range map[string]int64{"/home": 100, "/var": 80, "/usr": 60} {
+		n, err := tr.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Touch(n, w)
+	}
+	// Update costs: 1 per node.
+	for _, n := range tr.Nodes() {
+		tr.SetUpdateCost(n, 1)
+	}
+	return tr
+}
+
+func TestSplitNilTree(t *testing.T) {
+	if _, err := Split(nil, SplitConfig{}); !errors.Is(err, ErrNilTree) {
+		t.Errorf("want ErrNilTree, got %v", err)
+	}
+	if _, err := SplitTopK(nil, 1); !errors.Is(err, ErrNilTree) {
+		t.Errorf("want ErrNilTree, got %v", err)
+	}
+	if _, err := SplitProportion(nil, 0.5); !errors.Is(err, ErrNilTree) {
+		t.Errorf("want ErrNilTree, got %v", err)
+	}
+}
+
+func TestSplitGreedyPicksTopLevelDirs(t *testing.T) {
+	tr := buildFig2Tree(t)
+	// Total pop = 60; ask for Σ_LL p ≤ 130 (initial non-root sum is
+	// 60 (dirs) + 60 (leaf dirs) + 60 (files) = depends; compute from tree).
+	var nonRoot int64
+	for _, n := range tr.Nodes() {
+		if n != tr.Root() {
+			nonRoot += n.TotalPopularity()
+		}
+	}
+	// Require promoting the three top dirs: each sheds its aggregate.
+	home, _ := tr.Lookup("/home")
+	vr, _ := tr.Lookup("/var")
+	usr, _ := tr.Lookup("/usr")
+	target := nonRoot - home.TotalPopularity() - vr.TotalPopularity() - usr.TotalPopularity()
+	res, err := Split(tr, SplitConfig{MaxLocalPopSum: target, MaxUpdateCost: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*namespace.Node{tr.Root(), home, vr, usr} {
+		if !res.InGL(n.ID()) {
+			t.Errorf("%s should be in GL", tr.Path(n))
+		}
+	}
+	if len(res.GL) != 4 {
+		t.Errorf("|GL| = %d, want 4", len(res.GL))
+	}
+	if res.LocalPopSum != target {
+		t.Errorf("LocalPopSum = %d, want %d", res.LocalPopSum, target)
+	}
+	if res.UpdateCost != 4 { // root + 3 dirs, cost 1 each
+		t.Errorf("UpdateCost = %d, want 4", res.UpdateCost)
+	}
+}
+
+func TestSplitInfeasible(t *testing.T) {
+	tr := buildFig2Tree(t)
+	_, err := Split(tr, SplitConfig{MaxLocalPopSum: 0, MaxUpdateCost: 2})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSplitWholeTreeIntoGL(t *testing.T) {
+	tr := buildFig2Tree(t)
+	res, err := Split(tr, SplitConfig{MaxLocalPopSum: 0, MaxUpdateCost: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GL) != tr.Len() {
+		t.Errorf("|GL| = %d, want %d", len(res.GL), tr.Len())
+	}
+	if len(res.Subtrees) != 0 || len(res.Inter) != 0 {
+		t.Error("fully global split should have no subtrees or inter nodes")
+	}
+	if res.LocalPopSum != 0 {
+		t.Errorf("LocalPopSum = %d, want 0", res.LocalPopSum)
+	}
+}
+
+func TestSplitGLIsConnectedPrefix(t *testing.T) {
+	// Property: the GL always forms a connected prefix containing the root —
+	// every GL node's parent is in GL.
+	prop := func(seed int64, k uint8) bool {
+		tr, err := namespace.Build(namespace.BuildConfig{
+			Nodes: 400, MaxDepth: 8, DirFanout: 2, FilesPerDir: 3, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for i, n := range tr.Nodes() {
+			tr.Touch(n, int64(i%17)+1)
+		}
+		res, err := SplitTopK(tr, int(k)+1)
+		if err != nil {
+			return false
+		}
+		for id := range res.GL {
+			n := tr.Node(id)
+			if n.Parent() == nil {
+				continue
+			}
+			if !res.InGL(n.Parent().ID()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitGreedyOrderIsByPopularity(t *testing.T) {
+	// The k-th promotion is always the most popular frontier node: verify
+	// GL(k) ⊂ GL(k+1) (greedy is monotone).
+	tr := buildFig2Tree(t)
+	prev, err := SplitTopK(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= tr.Len(); k++ {
+		cur, err := SplitTopK(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range prev.GL {
+			if !cur.InGL(id) {
+				t.Fatalf("GL(%d) not a superset of GL(%d)", k, k-1)
+			}
+		}
+		if len(cur.GL) != k {
+			t.Fatalf("|GL(%d)| = %d", k, len(cur.GL))
+		}
+		prev = cur
+	}
+}
+
+func TestSubtreeEnumeration(t *testing.T) {
+	tr := buildFig2Tree(t)
+	res, err := SplitTopK(tr, 4) // root + home, var, usr
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subtrees: a, b under home; d, e under var; f under usr.
+	if len(res.Subtrees) != 5 {
+		t.Fatalf("|subtrees| = %d, want 5", len(res.Subtrees))
+	}
+	if len(res.Inter) != 3 {
+		t.Errorf("|inter| = %d, want 3", len(res.Inter))
+	}
+	// b has two files → popularity 20, the highest; canonical order puts it
+	// first.
+	b, _ := tr.Lookup("/home/b")
+	if res.Subtrees[0].Root != b.ID() || res.Subtrees[0].Popularity != 20 {
+		t.Errorf("subtrees[0] = %+v, want root=%d pop=20", res.Subtrees[0], b.ID())
+	}
+	for _, st := range res.Subtrees {
+		if !res.InGL(st.Parent) {
+			t.Errorf("subtree parent %d not an inter/GL node", st.Parent)
+		}
+		if res.InGL(st.Root) {
+			t.Errorf("subtree root %d must not be in GL", st.Root)
+		}
+		if st.Size != tr.SubtreeSize(tr.Node(st.Root)) {
+			t.Errorf("subtree %d size mismatch", st.Root)
+		}
+	}
+	// LocalPopSum equals Σ p_j over all LL nodes.
+	var want int64
+	for _, n := range tr.Nodes() {
+		if !res.InGL(n.ID()) {
+			want += n.TotalPopularity()
+		}
+	}
+	if res.LocalPopSum != want {
+		t.Errorf("LocalPopSum = %d, want %d", res.LocalPopSum, want)
+	}
+}
+
+func TestSplitProportionBounds(t *testing.T) {
+	tr := buildFig2Tree(t)
+	if _, err := SplitProportion(tr, 0); err == nil {
+		t.Error("frac 0 accepted")
+	}
+	if _, err := SplitProportion(tr, 1.5); err == nil {
+		t.Error("frac > 1 accepted")
+	}
+	res, err := SplitProportion(tr, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Len() / 4
+	if len(res.GL) != want {
+		t.Errorf("|GL| = %d, want %d", len(res.GL), want)
+	}
+	full, err := SplitProportion(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.GL) != tr.Len() {
+		t.Errorf("frac 1: |GL| = %d, want %d", len(full.GL), tr.Len())
+	}
+}
+
+func TestSplitTopKMoreThanNodes(t *testing.T) {
+	tr := buildFig2Tree(t)
+	res, err := SplitTopK(tr, tr.Len()+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GL) != tr.Len() {
+		t.Errorf("|GL| = %d, want %d", len(res.GL), tr.Len())
+	}
+}
+
+func TestSplitConfigLocalityBound(t *testing.T) {
+	if (SplitConfig{}).LocalityBound() != 0 {
+		t.Error("zero config should have 0 bound")
+	}
+	if got := (SplitConfig{MaxLocalPopSum: 4}).LocalityBound(); got != 0.25 {
+		t.Errorf("bound = %v, want 0.25", got)
+	}
+}
+
+func TestSplitDecrementsUpdateCostAndLocality(t *testing.T) {
+	// Fig. 8's monotonicity at the unit level: growing k never increases
+	// LocalPopSum and never decreases UpdateCost.
+	tr := buildFig2Tree(t)
+	var lastPop, lastCost int64 = 1 << 62, -1
+	for k := 1; k <= tr.Len(); k++ {
+		res, err := SplitTopK(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LocalPopSum > lastPop {
+			t.Fatalf("LocalPopSum increased at k=%d", k)
+		}
+		if res.UpdateCost < lastCost {
+			t.Fatalf("UpdateCost decreased at k=%d", k)
+		}
+		lastPop, lastCost = res.LocalPopSum, res.UpdateCost
+	}
+}

@@ -1,0 +1,221 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. VI): Table I–II dataset descriptions and operation
+// breakdowns, Fig. 5 throughput, Fig. 6 locality, Fig. 7 load balance,
+// Fig. 8 L0/U0 versus global-layer proportion, and Fig. 9 balance versus
+// cluster size under different GL proportions.
+//
+// Each experiment returns structured series (for benches and tests) and can
+// format itself as the rows/curves the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+
+	"d2tree/internal/baseline"
+	"d2tree/internal/core"
+	"d2tree/internal/partition"
+	"d2tree/internal/sim"
+	"d2tree/internal/trace"
+)
+
+// Config sizes an experiment run.
+type Config struct {
+	// TreeNodes is the synthetic namespace size per trace.
+	TreeNodes int
+	// Events is the trace length replayed per data point.
+	Events int
+	// Rounds is the number of replay rounds with rebalancing between them
+	// (the paper replays subtraces 20×).
+	Rounds int
+	// MList is the cluster-size sweep (the paper uses 5..30 step 5).
+	MList []int
+	// Seed drives all randomness.
+	Seed int64
+	// Cost is the replay cost model.
+	Cost sim.CostModel
+}
+
+// Quick returns a configuration sized for CI and benchmarks (seconds).
+func Quick() Config {
+	return Config{
+		TreeNodes: 3000,
+		Events:    20000,
+		Rounds:    3,
+		MList:     []int{5, 10, 15, 20, 25, 30},
+		Seed:      1,
+		Cost:      sim.DefaultCostModel(),
+	}
+}
+
+// Full returns the paper-scale configuration (minutes).
+func Full() Config {
+	return Config{
+		TreeNodes: 20000,
+		Events:    200000,
+		Rounds:    20,
+		MList:     []int{5, 10, 15, 20, 25, 30},
+		Seed:      1,
+		Cost:      sim.DefaultCostModel(),
+	}
+}
+
+// Validate reports whether the config is runnable.
+func (c Config) Validate() error {
+	if c.TreeNodes < 100 || c.Events < 100 || c.Rounds < 1 || len(c.MList) == 0 {
+		return fmt.Errorf("experiments: config too small: %+v", c)
+	}
+	return c.Cost.Validate()
+}
+
+// Series is one plotted curve: Y over X.
+type Series struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// Panel is one subplot (e.g. Fig. 5a = the DTR panel).
+type Panel struct {
+	Name   string   `json:"name"`
+	Series []Series `json:"series"`
+}
+
+// Figure is a complete reproduced figure.
+type Figure struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	XLabel string  `json:"xLabel"`
+	YLabel string  `json:"yLabel"`
+	Panels []Panel `json:"panels"`
+}
+
+// Format renders the figure as aligned text tables, one per panel.
+func (f *Figure) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, p := range f.Panels {
+		if _, err := fmt.Fprintf(w, "\n[%s]  (%s vs %s)\n", p.Name, f.YLabel, f.XLabel); err != nil {
+			return err
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "%s", f.XLabel)
+		for _, s := range p.Series {
+			fmt.Fprintf(tw, "\t%s", s.Name)
+		}
+		fmt.Fprintln(tw)
+		if len(p.Series) == 0 {
+			continue
+		}
+		for i := range p.Series[0].X {
+			fmt.Fprintf(tw, "%g", p.Series[0].X[i])
+			for _, s := range p.Series {
+				fmt.Fprintf(tw, "\t%.4g", s.Y[i])
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// schemes returns fresh instances of all five partition schemes in the
+// paper's legend order. Fresh instances matter: some schemes are stateful
+// across Partition/Rebalance.
+func schemes() []partition.Scheme {
+	return []partition.Scheme{
+		&baseline.StaticSubtree{},
+		&baseline.DynamicSubtree{},
+		&core.Scheme{},
+		&baseline.AngleCut{},
+		&baseline.DROP{},
+	}
+}
+
+// buildWorkloads constructs the three trace workloads once.
+func buildWorkloads(cfg Config) ([]*trace.Workload, error) {
+	profiles := trace.Profiles()
+	out := make([]*trace.Workload, 0, len(profiles))
+	for _, p := range profiles {
+		w, err := trace.BuildWorkload(p.Scale(cfg.TreeNodes), cfg.Events, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// sweep runs every scheme over the M list for one workload, extracting one
+// Y value per run. Data points are independent, so they run concurrently
+// (each point re-partitions its own scheme instance; the workload tree is
+// only read).
+func sweep(cfg Config, w *trace.Workload, metric func(*sim.Result) float64) ([]Series, error) {
+	names := make([]string, 0, 5)
+	for _, proto := range schemes() {
+		names = append(names, proto.Name())
+	}
+	type point struct {
+		scheme, m int
+		y         float64
+		err       error
+	}
+	points := make(chan point, len(names)*len(cfg.MList))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for si, name := range names {
+		for _, m := range cfg.MList {
+			wg.Add(1)
+			go func(si, m int, name string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				sch := freshScheme(name)
+				res, err := sim.Run(w, sch, m, cfg.Rounds, cfg.Cost, cfg.Seed+int64(m))
+				if err != nil {
+					points <- point{err: fmt.Errorf("%s m=%d: %w", name, m, err)}
+					return
+				}
+				points <- point{scheme: si, m: m, y: metric(res)}
+			}(si, m, name)
+		}
+	}
+	wg.Wait()
+	close(points)
+	values := make(map[int]map[int]float64, len(names))
+	for p := range points {
+		if p.err != nil {
+			return nil, p.err
+		}
+		if values[p.scheme] == nil {
+			values[p.scheme] = make(map[int]float64, len(cfg.MList))
+		}
+		values[p.scheme][p.m] = p.y
+	}
+	out := make([]Series, 0, len(names))
+	for si, name := range names {
+		s := Series{Name: name}
+		for _, m := range cfg.MList {
+			s.X = append(s.X, float64(m))
+			s.Y = append(s.Y, values[si][m])
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// freshScheme builds a new scheme instance by legend name.
+func freshScheme(name string) partition.Scheme {
+	for _, s := range schemes() {
+		if s.Name() == name {
+			return s
+		}
+	}
+	return &core.Scheme{}
+}

@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny returns a config small enough for unit tests.
+func tiny() Config {
+	cfg := Quick()
+	cfg.TreeNodes = 1500
+	cfg.Events = 8000
+	cfg.Rounds = 2
+	cfg.MList = []int{4, 8}
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Quick().Validate(); err != nil {
+		t.Errorf("Quick invalid: %v", err)
+	}
+	if err := Full().Validate(); err != nil {
+		t.Errorf("Full invalid: %v", err)
+	}
+	bad := Quick()
+	bad.MList = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty MList accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	wantDepth := map[string]int{"DTR": 49, "LMBE": 9, "RA": 13}
+	for _, r := range rows {
+		if r.MaxDepth != wantDepth[r.Trace] {
+			t.Errorf("%s depth %d, want %d", r.Trace, r.MaxDepth, wantDepth[r.Trace])
+		}
+		if r.SynthMaxDepth > r.MaxDepth {
+			t.Errorf("%s synthetic depth %d exceeds paper depth %d",
+				r.Trace, r.SynthMaxDepth, r.MaxDepth)
+		}
+		if r.SynthNodes == 0 || r.SynthEvents == 0 {
+			t.Errorf("%s empty synthetic workload", r.Trace)
+		}
+	}
+	var buf bytes.Buffer
+	if err := FormatTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Radius") && !strings.Contains(buf.String(), "RADIUS") {
+		t.Error("formatted table missing RA description")
+	}
+}
+
+func TestTable2MatchesPaperMix(t *testing.T) {
+	rows, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.Abs(r.Paper.Read-r.Measured.Read) > 0.03 ||
+			math.Abs(r.Paper.Write-r.Measured.Write) > 0.03 ||
+			math.Abs(r.Paper.Update-r.Measured.Update) > 0.03 {
+			t.Errorf("%s: measured %+v deviates from paper %+v", r.Trace, r.Measured, r.Paper)
+		}
+	}
+	var buf bytes.Buffer
+	if err := FormatTable2(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Update") {
+		t.Error("formatted table missing Update row")
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	fig, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 3 {
+		t.Fatalf("panels = %d", len(fig.Panels))
+	}
+	for _, p := range fig.Panels {
+		if len(p.Series) != 5 {
+			t.Fatalf("%s: series = %d", p.Name, len(p.Series))
+		}
+		for _, s := range p.Series {
+			if len(s.X) != 2 || len(s.Y) != 2 {
+				t.Fatalf("%s/%s: points = %d", p.Name, s.Name, len(s.Y))
+			}
+			for _, y := range s.Y {
+				if y <= 0 {
+					t.Errorf("%s/%s: non-positive throughput", p.Name, s.Name)
+				}
+			}
+		}
+	}
+	// Headline claim: D2-Tree beats DROP and AngleCut on every trace at the
+	// larger cluster size.
+	for _, p := range fig.Panels {
+		vals := map[string]float64{}
+		for _, s := range p.Series {
+			vals[s.Name] = s.Y[len(s.Y)-1]
+		}
+		if vals["D2-Tree"] <= vals["DROP"] || vals["D2-Tree"] <= vals["AngleCut"] {
+			t.Errorf("%s: D2-Tree %v should beat DROP %v and AngleCut %v",
+				p.Name, vals["D2-Tree"], vals["DROP"], vals["AngleCut"])
+		}
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	fig, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fig.Panels {
+		vals := map[string][]float64{}
+		for _, s := range p.Series {
+			vals[s.Name] = s.Y
+		}
+		last := func(name string) float64 { return vals[name][len(vals[name])-1] }
+		// D2 and static keep locality flat in M; hashed schemes are worse.
+		if last("D2-Tree") < last("DROP") || last("D2-Tree") < last("AngleCut") {
+			t.Errorf("%s: D2 locality should beat hash schemes", p.Name)
+		}
+		if last("Static Subtree") < last("DROP") {
+			t.Errorf("%s: static locality should beat DROP", p.Name)
+		}
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	fig, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fig.Panels {
+		vals := map[string]float64{}
+		for _, s := range p.Series {
+			vals[s.Name] = s.Y[len(s.Y)-1]
+		}
+		if vals["Static Subtree"] > vals["D2-Tree"] {
+			t.Errorf("%s: static balance %v should not beat D2 %v",
+				p.Name, vals["Static Subtree"], vals["D2-Tree"])
+		}
+	}
+}
+
+func TestFig8Monotonicity(t *testing.T) {
+	pts, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].L0 < pts[i-1].L0 {
+			t.Errorf("L0 not non-decreasing at p=%v", pts[i].GLProportion)
+		}
+		if pts[i].U0 < pts[i-1].U0 {
+			t.Errorf("U0 not non-decreasing at p=%v", pts[i].GLProportion)
+		}
+		if pts[i].GLNodes <= pts[i-1].GLNodes {
+			t.Errorf("GLNodes not increasing at p=%v", pts[i].GLProportion)
+		}
+	}
+}
+
+func TestFig9LargerGLBalancesBetter(t *testing.T) {
+	fig, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 1 || len(fig.Panels[0].Series) != 4 {
+		t.Fatalf("unexpected shape: %+v", fig.Panels)
+	}
+	s := fig.Panels[0].Series
+	// Average balance across the sweep must improve with GL proportion
+	// between the extremes (0.001 vs 0.20).
+	avg := func(ys []float64) float64 {
+		var t float64
+		for _, y := range ys {
+			t += y
+		}
+		return t / float64(len(ys))
+	}
+	if avg(s[0].Y) > avg(s[3].Y) {
+		t.Errorf("GL 0.001 balance %v should not beat GL 0.20 %v", avg(s[0].Y), avg(s[3].Y))
+	}
+}
+
+func TestFigureFormat(t *testing.T) {
+	fig := &Figure{
+		ID: "FigX", Title: "test", XLabel: "M", YLabel: "Y",
+		Panels: []Panel{{
+			Name: "P",
+			Series: []Series{
+				{Name: "A", X: []float64{1, 2}, Y: []float64{3, 4}},
+				{Name: "B", X: []float64{1, 2}, Y: []float64{5, 6}},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := fig.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FigX", "[P]", "A", "B", "5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureExports(t *testing.T) {
+	fig := &Figure{
+		ID: "FigX", Title: "t", XLabel: "M", YLabel: "Y",
+		Panels: []Panel{{
+			Name:   "P",
+			Series: []Series{{Name: "A", X: []float64{1, 2}, Y: []float64{3.5, 4}}},
+		}},
+	}
+	var csvBuf bytes.Buffer
+	if err := fig.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	want := "figure,panel,series,x,y\nFigX,P,A,1,3.5\nFigX,P,A,2,4\n"
+	if csvBuf.String() != want {
+		t.Errorf("csv = %q, want %q", csvBuf.String(), want)
+	}
+	var jsonBuf bytes.Buffer
+	if err := fig.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back Figure
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "FigX" || len(back.Panels) != 1 || back.Panels[0].Series[0].Y[0] != 3.5 {
+		t.Errorf("json round trip = %+v", back)
+	}
+}
+
+func TestFig8AndTablesExport(t *testing.T) {
+	pts := []Fig8Point{{GLProportion: 0.01, L0: 2.5, U0: 7, GLNodes: 3}}
+	var buf bytes.Buffer
+	if err := WriteFig8CSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.01,2.5,7,3") {
+		t.Errorf("fig8 csv = %q", buf.String())
+	}
+	cfg := tiny()
+	t1, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteTablesJSON(&buf, t1, t2); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Table1 []Table1Row `json:"table1"`
+		Table2 []Table2Row `json:"table2"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Table1) != 3 || len(back.Table2) != 3 {
+		t.Errorf("tables json round trip lost rows")
+	}
+}
+
+func TestRenameCostExtras(t *testing.T) {
+	rows, err := RenameCost(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byScheme := map[string]RenameCostRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	for _, name := range []string{"D2-Tree", "Static Subtree", "Dynamic Subtree"} {
+		if byScheme[name].Relocations != 0 {
+			t.Errorf("%s relocations = %d, want 0", name, byScheme[name].Relocations)
+		}
+	}
+	for _, name := range []string{"DROP", "AngleCut"} {
+		if byScheme[name].Relocations != byScheme[name].SubtreeSize {
+			t.Errorf("%s relocations = %d, want subtree size %d",
+				name, byScheme[name].Relocations, byScheme[name].SubtreeSize)
+		}
+	}
+	var buf bytes.Buffer
+	if err := FormatRenameCost(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Relocations") {
+		t.Error("format missing header")
+	}
+}
+
+func TestReplicaSweepExtras(t *testing.T) {
+	rows, err := ReplicaSweep(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Forwards shrink as replication grows; full replication forwards least.
+	if rows[0].AvgForwards <= rows[4].AvgForwards {
+		t.Errorf("r=1 forwards %v should exceed r=all %v",
+			rows[0].AvgForwards, rows[4].AvgForwards)
+	}
+	var buf bytes.Buffer
+	if err := FormatReplicaSweep(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "all") {
+		t.Error("format missing 'all' row")
+	}
+}
+
+func TestGLHitRatesExtras(t *testing.T) {
+	rows, err := GLHitRates(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.Paper-r.Measured) > 0.08 {
+			t.Errorf("%s hit rate %v deviates from paper %v", r.Trace, r.Measured, r.Paper)
+		}
+	}
+	var buf bytes.Buffer
+	if err := FormatGLHitRates(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Measured") {
+		t.Error("format missing header")
+	}
+}

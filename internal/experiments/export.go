@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON serialises the figure for plotting tools.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("experiments: encode %s: %w", f.ID, err)
+	}
+	return nil
+}
+
+// WriteCSV emits the figure as tidy CSV rows:
+// figure,panel,series,x,y — one row per data point, plot-ready.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "panel", "series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, p := range f.Panels {
+		for _, s := range p.Series {
+			for i := range s.X {
+				rec := []string{
+					f.ID, p.Name, s.Name,
+					strconv.FormatFloat(s.X[i], 'g', -1, 64),
+					strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig8CSV emits Fig. 8 points as CSV.
+func WriteFig8CSV(w io.Writer, pts []Fig8Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"glProportion", "l0", "u0", "glNodes"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			strconv.FormatFloat(p.GLProportion, 'g', -1, 64),
+			strconv.FormatFloat(p.L0, 'g', -1, 64),
+			strconv.FormatInt(p.U0, 10),
+			strconv.Itoa(p.GLNodes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTablesJSON emits Table I and II rows as one JSON document.
+func WriteTablesJSON(w io.Writer, t1 []Table1Row, t2 []Table2Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Table1 []Table1Row `json:"table1"`
+		Table2 []Table2Row `json:"table2"`
+	}{t1, t2})
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"d2tree/internal/core"
+	"d2tree/internal/partition"
+	"d2tree/internal/sim"
+	"d2tree/internal/trace"
+)
+
+// RenameCostRow compares the relocation cost of renaming one directory
+// across the five schemes — quantifying Sec. II's "overhead of rehashing
+// metadata when renaming an upper directory".
+type RenameCostRow struct {
+	Scheme      string `json:"scheme"`
+	Relocations int    `json:"relocations"`
+	SubtreeSize int    `json:"subtreeSize"`
+}
+
+// RenameCost renames the largest top-level directory of a DTR-like
+// namespace under every scheme and reports how many records each must
+// relocate.
+func RenameCost(cfg Config) ([]RenameCostRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := trace.BuildWorkload(trace.DTR().Scale(cfg.TreeNodes), cfg.Events, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// The biggest top-level subtree is the worst case.
+	var target = w.Tree.Root().Children()[0]
+	for _, c := range w.Tree.Root().Children() {
+		if w.Tree.SubtreeSize(c) > w.Tree.SubtreeSize(target) {
+			target = c
+		}
+	}
+	size := w.Tree.SubtreeSize(target)
+	rows := make([]RenameCostRow, 0, 5)
+	for _, s := range schemes() {
+		asg, err := s.Partition(w.Tree, 8)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		rc, ok := s.(partition.RenameCoster)
+		if !ok {
+			return nil, fmt.Errorf("%s: no rename cost model", s.Name())
+		}
+		rows = append(rows, RenameCostRow{
+			Scheme:      s.Name(),
+			Relocations: rc.RenameRelocations(w.Tree, asg, target),
+			SubtreeSize: size,
+		})
+	}
+	return rows, nil
+}
+
+// FormatRenameCost renders the rename-cost comparison.
+func FormatRenameCost(w io.Writer, rows []RenameCostRow) error {
+	fmt.Fprintln(w, "Extra — records relocated by renaming the largest top-level directory")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Scheme\tRelocations\tSubtree Size")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", r.Scheme, r.Relocations, r.SubtreeSize)
+	}
+	return tw.Flush()
+}
+
+// ReplicaSweepRow is one bounded-replication sample (the paper's Sec. VII
+// future-work knob).
+type ReplicaSweepRow struct {
+	Replicas      int     `json:"replicas"` // 0 = every server
+	ThroughputOps float64 `json:"throughputOps"`
+	AvgForwards   float64 `json:"avgForwards"`
+	Balance       float64 `json:"balance"`
+	GLQueryFrac   float64 `json:"glQueryFrac"`
+}
+
+// ReplicaSweep replays the update-heavy RA trace under D2-Tree with
+// bounded global-layer replication r ∈ {1, 2, 4, 8, all}.
+func ReplicaSweep(cfg Config) ([]ReplicaSweepRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := trace.BuildWorkload(trace.RA().Scale(cfg.TreeNodes), cfg.Events, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m := 16
+	rows := make([]ReplicaSweepRow, 0, 5)
+	for _, r := range []int{1, 2, 4, 8, 0} {
+		s := &core.Scheme{Cfg: core.Config{GLProportion: 0.01, GLReplicas: r}}
+		res, err := sim.Run(w, s, m, cfg.Rounds, cfg.Cost, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("replicas=%d: %w", r, err)
+		}
+		rows = append(rows, ReplicaSweepRow{
+			Replicas:      r,
+			ThroughputOps: res.ThroughputOps,
+			AvgForwards:   res.AvgJumps,
+			Balance:       normalizedBalance(res),
+			GLQueryFrac:   res.GLQueryFrac,
+		})
+	}
+	return rows, nil
+}
+
+// FormatReplicaSweep renders the bounded-replication sweep.
+func FormatReplicaSweep(w io.Writer, rows []ReplicaSweepRow) error {
+	fmt.Fprintln(w, "Extra — bounded GL replication on RA, 16 MDSs (Sec. VII future work)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Replicas\tThroughput (ops/s)\tAvg forwards\tBalance\tGL queries")
+	for _, r := range rows {
+		label := "all"
+		if r.Replicas > 0 {
+			label = fmt.Sprintf("%d", r.Replicas)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.3f\t%.4g\t%.1f%%\n",
+			label, r.ThroughputOps, r.AvgForwards, r.Balance, r.GLQueryFrac*100)
+	}
+	return tw.Flush()
+}
+
+// HitRateRow records one trace's measured global-layer hit rate against the
+// paper's reported value.
+type HitRateRow struct {
+	Trace    string  `json:"trace"`
+	Paper    float64 `json:"paper"`
+	Measured float64 `json:"measured"`
+}
+
+// GLHitRates measures the fraction of operations served by the replicated
+// global layer for each trace (the paper reports 83.06% / 41.43% and 67% of
+// RA updates).
+func GLHitRates(cfg Config) ([]HitRateRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]HitRateRow, 0, len(ws))
+	for _, w := range ws {
+		s := &core.Scheme{}
+		res, err := sim.Run(w, s, 8, 1, cfg.Cost, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Profile.Name, err)
+		}
+		rows = append(rows, HitRateRow{
+			Trace:    w.Profile.Name,
+			Paper:    w.Profile.HotAccessFrac,
+			Measured: res.GLQueryFrac,
+		})
+	}
+	return rows, nil
+}
+
+// FormatGLHitRates renders the hit-rate calibration table.
+func FormatGLHitRates(w io.Writer, rows []HitRateRow) error {
+	fmt.Fprintln(w, "Extra — global-layer hit rates (paper-measured vs reproduced)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Trace\tPaper\tMeasured")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f%%\t%.2f%%\n", r.Trace, r.Paper*100, r.Measured*100)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"d2tree/internal/core"
+	"d2tree/internal/metrics"
+	"d2tree/internal/partition"
+	"d2tree/internal/sim"
+	"d2tree/internal/trace"
+)
+
+// Fig5 reproduces "Throughput as the MDS cluster is scaled" — one panel per
+// trace, one series per scheme, throughput in ops/s.
+func Fig5(cfg Config) (*Figure, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Fig5",
+		Title:  "Throughput as the MDS cluster is scaled",
+		XLabel: "Number of MDSs",
+		YLabel: "Throughput (ops/s)",
+	}
+	for _, w := range ws {
+		series, err := sweep(cfg, w, func(r *sim.Result) float64 { return r.ThroughputOps })
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", w.Profile.Name, err)
+		}
+		fig.Panels = append(fig.Panels, Panel{Name: w.Profile.Name, Series: series})
+	}
+	return fig, nil
+}
+
+// Fig6 reproduces "Locality performance under different schemes" (Eq. 1,
+// reported at the paper's E-9 scale).
+func Fig6(cfg Config) (*Figure, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Fig6",
+		Title:  "Locality performance under different schemes",
+		XLabel: "Number of MDSs",
+		YLabel: "Locality (E-9)",
+	}
+	for _, w := range ws {
+		series, err := sweep(cfg, w, func(r *sim.Result) float64 {
+			return r.Locality * 1e9
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", w.Profile.Name, err)
+		}
+		fig.Panels = append(fig.Panels, Panel{Name: w.Profile.Name, Series: series})
+	}
+	return fig, nil
+}
+
+// Fig7 reproduces "Load balancing performance under different schemes"
+// (Eq. 2 after the subtrace is replayed `Rounds` times with rebalancing).
+func Fig7(cfg Config) (*Figure, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Fig7",
+		Title:  "Load balancing performance under different schemes",
+		XLabel: "Number of MDSs",
+		YLabel: "Balance",
+	}
+	for _, w := range ws {
+		series, err := sweep(cfg, w, func(r *sim.Result) float64 {
+			return normalizedBalance(r)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", w.Profile.Name, err)
+		}
+		fig.Panels = append(fig.Panels, Panel{Name: w.Profile.Name, Series: series})
+	}
+	return fig, nil
+}
+
+// normalizedBalance rescales Eq. 2 into the paper's plotted magnitude:
+// loads are normalised to fractions of the total so balance values are
+// comparable across cluster sizes and event counts.
+func normalizedBalance(r *sim.Result) float64 {
+	var total float64
+	for _, l := range r.Loads {
+		total += l
+	}
+	if total == 0 {
+		return 0
+	}
+	norm := make([]float64, len(r.Loads))
+	for i, l := range r.Loads {
+		norm[i] = l / total * float64(len(r.Loads))
+	}
+	caps := partition.Capacities(len(r.Loads), 1)
+	b, err := metrics.Balance(norm, caps)
+	if err != nil {
+		return 0
+	}
+	return b
+}
+
+// Fig8Point is one GL-proportion sample of Fig. 8.
+type Fig8Point struct {
+	GLProportion float64 `json:"glProportion"`
+	// L0 is the achieved locality bound 1/Σ_{LL} p_j, reported at the
+	// paper's E-8 scale.
+	L0 float64 `json:"l0"`
+	// U0 is the global-layer update cost (Def. 4), at the paper's E5 scale
+	// in the formatted output.
+	U0 int64 `json:"u0"`
+	// GLNodes is the resulting global-layer size.
+	GLNodes int `json:"glNodes"`
+}
+
+// Fig8 reproduces "L0 and U0 under different GL proportions" on the DTR
+// trace with a 4-MDS cluster: sweep the proportion, split, and report the
+// constraint values the split realises.
+func Fig8(cfg Config) ([]Fig8Point, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := trace.BuildWorkload(trace.DTR().Scale(cfg.TreeNodes), cfg.Events, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	props := []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50}
+	out := make([]Fig8Point, 0, len(props))
+	for _, p := range props {
+		res, err := core.SplitProportion(w.Tree, p)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 p=%v: %w", p, err)
+		}
+		l0 := 0.0
+		if res.LocalPopSum > 0 {
+			l0 = 1 / float64(res.LocalPopSum)
+		}
+		out = append(out, Fig8Point{
+			GLProportion: p,
+			L0:           l0,
+			U0:           res.UpdateCost,
+			GLNodes:      len(res.GL),
+		})
+	}
+	return out, nil
+}
+
+// Fig9 reproduces "Balance performance as the MDS cluster is scaled" for GL
+// proportions {0.001, 0.01, 0.10, 0.20} on DTR.
+func Fig9(cfg Config) (*Figure, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := trace.BuildWorkload(trace.DTR().Scale(cfg.TreeNodes), cfg.Events, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Fig9",
+		Title:  "Balance performance as the MDS cluster is scaled (DTR)",
+		XLabel: "Number of MDSs",
+		YLabel: "Balance",
+	}
+	panel := Panel{Name: "DTR"}
+	for _, prop := range []float64{0.001, 0.01, 0.10, 0.20} {
+		s := Series{Name: fmt.Sprintf("%g", prop)}
+		for _, m := range cfg.MList {
+			sch := &core.Scheme{Cfg: core.Config{GLProportion: prop}}
+			res, err := sim.Run(w, sch, m, cfg.Rounds, cfg.Cost, cfg.Seed+int64(m))
+			if err != nil {
+				return nil, fmt.Errorf("fig9 p=%v m=%d: %w", prop, m, err)
+			}
+			s.X = append(s.X, float64(m))
+			s.Y = append(s.Y, normalizedBalance(res))
+		}
+		panel.Series = append(panel.Series, s)
+	}
+	fig.Panels = append(fig.Panels, panel)
+	return fig, nil
+}

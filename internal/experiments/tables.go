@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"d2tree/internal/trace"
+)
+
+// Table1Row describes one dataset (Table I), pairing the paper's reported
+// values with this reproduction's scaled synthetic equivalents.
+type Table1Row struct {
+	Trace         string  `json:"trace"`
+	PaperSizeGB   float64 `json:"paperSizeGB"`
+	PaperRecords  int64   `json:"paperRecords"`
+	MaxDepth      int     `json:"maxDepth"`
+	Description   string  `json:"description"`
+	SynthNodes    int     `json:"synthNodes"`
+	SynthEvents   int     `json:"synthEvents"`
+	SynthMaxDepth int     `json:"synthMaxDepth"`
+}
+
+// Table1 regenerates Table I from the synthetic workloads.
+func Table1(cfg Config) ([]Table1Row, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(ws))
+	for _, w := range ws {
+		rows = append(rows, Table1Row{
+			Trace:         w.Profile.Name,
+			PaperSizeGB:   w.Profile.PaperSizeGB,
+			PaperRecords:  w.Profile.PaperRecords,
+			MaxDepth:      w.Profile.MaxDepth,
+			Description:   w.Profile.Description,
+			SynthNodes:    w.Tree.Len(),
+			SynthEvents:   len(w.Events),
+			SynthMaxDepth: w.Tree.MaxDepth(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table I.
+func FormatTable1(w io.Writer, rows []Table1Row) error {
+	fmt.Fprintln(w, "Table I — The description of 3 datasets (paper | synthetic)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Trace\tSize\tRecords\tMax Depth\tSynth Nodes\tSynth Events\tSynth Depth\tDescription")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f GB\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			r.Trace, r.PaperSizeGB, r.PaperRecords, r.MaxDepth,
+			r.SynthNodes, r.SynthEvents, r.SynthMaxDepth, r.Description)
+	}
+	return tw.Flush()
+}
+
+// Table2Row is one trace's operation breakdown (Table II), paper vs
+// measured on the regenerated stream.
+type Table2Row struct {
+	Trace          string    `json:"trace"`
+	Paper          trace.Mix `json:"paper"`
+	Measured       trace.Mix `json:"measured"`
+	GLQueryTarget  float64   `json:"glQueryTarget"`
+	UpdateHotShare float64   `json:"updateHotShare"`
+}
+
+// Table2 regenerates Table II.
+func Table2(cfg Config) ([]Table2Row, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, 0, len(ws))
+	for _, w := range ws {
+		rows = append(rows, Table2Row{
+			Trace:          w.Profile.Name,
+			Paper:          w.Profile.OpMix,
+			Measured:       trace.CountMix(w.Events),
+			GLQueryTarget:  w.Profile.HotAccessFrac,
+			UpdateHotShare: w.Profile.UpdateHotFrac,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table II.
+func FormatTable2(w io.Writer, rows []Table2Row) error {
+	fmt.Fprintln(w, "Table II — Operation breakdowns (paper% / measured%)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Op\t"+rows[0].Trace+"\t"+rows[1].Trace+"\t"+rows[2].Trace)
+	line := func(name string, f func(trace.Mix) float64) {
+		fmt.Fprintf(tw, "%s", name)
+		for _, r := range rows {
+			fmt.Fprintf(tw, "\t%.3f%% / %.3f%%", f(r.Paper)*100, f(r.Measured)*100)
+		}
+		fmt.Fprintln(tw)
+	}
+	line("Read", func(m trace.Mix) float64 { return m.Read })
+	line("Write", func(m trace.Mix) float64 { return m.Write })
+	line("Update", func(m trace.Mix) float64 { return m.Update })
+	return tw.Flush()
+}

@@ -1,0 +1,209 @@
+// Package loadgen drives a *live* D2-Tree cluster with a synthetic trace —
+// the in-repo counterpart of the paper's 200-client EC2 experiment. A fixed
+// population of closed-loop clients replays metadata operations through the
+// client library (cached-index routing, redirects, GL updates through the
+// lock service) while per-operation latencies and error counts are
+// recorded.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"d2tree/internal/client"
+	"d2tree/internal/namespace"
+	"d2tree/internal/stats"
+	"d2tree/internal/trace"
+)
+
+// Config parameterises one load run.
+type Config struct {
+	// MonitorAddr locates the cluster.
+	MonitorAddr string
+	// Clients is the closed-loop client population (the paper fixes 200).
+	Clients int
+	// Tree resolves event node IDs to paths.
+	Tree *namespace.Tree
+	// Events is the operation stream, split round-robin across clients.
+	Events []trace.Event
+	// Timeout bounds the whole run (0 = no bound).
+	Timeout time.Duration
+	// Seed diversifies per-client randomness.
+	Seed int64
+	// CacheEntries enables each client's lease entry cache (Sec. IV-A2);
+	// zero disables it.
+	CacheEntries int
+	// CacheLease is the entry lease when the cache is enabled.
+	CacheLease time.Duration
+}
+
+// Validate reports whether the config is runnable.
+func (c Config) Validate() error {
+	switch {
+	case c.MonitorAddr == "":
+		return errors.New("loadgen: missing monitor address")
+	case c.Clients < 1:
+		return fmt.Errorf("loadgen: Clients = %d, need >= 1", c.Clients)
+	case c.Tree == nil:
+		return errors.New("loadgen: nil namespace tree")
+	case len(c.Events) == 0:
+		return errors.New("loadgen: empty event stream")
+	}
+	return nil
+}
+
+// Report is the outcome of a load run.
+type Report struct {
+	Ops           uint64        `json:"ops"`
+	Errors        uint64        `json:"errors"`
+	Elapsed       time.Duration `json:"elapsed"`
+	ThroughputOps float64       `json:"throughputOps"`
+	Latency       stats.Summary `json:"latency"`
+	// Queries/Updates split latency by the paper's op classification.
+	Queries stats.Summary `json:"queries"`
+	Updates stats.Summary `json:"updates"`
+	// ErrorSample holds one representative error message when Errors > 0.
+	ErrorSample string `json:"errorSample,omitempty"`
+}
+
+// Run replays the configured trace against the cluster and reports
+// aggregate throughput and latency.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+
+	// Resolve paths once; workers share the read-only slice.
+	paths := make([]string, len(cfg.Events))
+	for i, ev := range cfg.Events {
+		n := cfg.Tree.Node(ev.Node)
+		if n == nil {
+			return nil, fmt.Errorf("loadgen: event %d references unknown node %d", i, ev.Node)
+		}
+		paths[i] = cfg.Tree.Path(n)
+	}
+
+	type workerResult struct {
+		ops, errs uint64
+		all       *stats.Histogram
+		queries   *stats.Histogram
+		updates   *stats.Histogram
+		err       error
+		opErr     error // sample of a failed operation
+	}
+	results := make([]workerResult, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			res.all = &stats.Histogram{}
+			res.queries = &stats.Histogram{}
+			res.updates = &stats.Histogram{}
+			cl, err := client.Connect(client.Config{
+				MonitorAddr:  cfg.MonitorAddr,
+				Seed:         cfg.Seed + int64(w) + 1,
+				CacheEntries: cfg.CacheEntries,
+				CacheLease:   cfg.CacheLease,
+			})
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer func() { _ = cl.Close() }()
+			for i := w; i < len(cfg.Events); i += cfg.Clients {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				ev := cfg.Events[i]
+				t0 := time.Now()
+				var opErr error
+				if ev.Op == trace.OpUpdate {
+					_, opErr = cl.SetAttr(paths[i], int64(i), 0o644)
+				} else {
+					_, opErr = cl.Lookup(paths[i])
+				}
+				lat := time.Since(t0)
+				res.ops++
+				if opErr != nil {
+					res.errs++
+					if res.opErr == nil {
+						res.opErr = opErr
+					}
+					continue
+				}
+				res.all.Record(lat)
+				if ev.Op == trace.OpUpdate {
+					res.updates.Record(lat)
+				} else {
+					res.queries.Record(lat)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var (
+		all, queries, updates stats.Histogram
+		ops, errs             uint64
+	)
+	for i := range results {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("loadgen: client %d: %w", i, results[i].err)
+		}
+		ops += results[i].ops
+		errs += results[i].errs
+		all.Merge(results[i].all)
+		queries.Merge(results[i].queries)
+		updates.Merge(results[i].updates)
+	}
+	var sample string
+	for i := range results {
+		if results[i].opErr != nil {
+			sample = results[i].opErr.Error()
+			break
+		}
+	}
+	rep := &Report{
+		ErrorSample: sample,
+		Ops:         ops,
+		Errors:      errs,
+		Elapsed:     elapsed,
+		Latency:     all.Summarize(),
+		Queries:     queries.Summarize(),
+		Updates:     updates.Summarize(),
+	}
+	if elapsed > 0 {
+		rep.ThroughputOps = float64(ops) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// Format renders the report for humans.
+func (r *Report) Format() string {
+	out := fmt.Sprintf(
+		"ops=%d errors=%d elapsed=%v throughput=%.0f ops/s\n"+
+			"latency: mean=%v p50=%v p90=%v p99=%v max=%v\n"+
+			"queries: n=%d p50=%v p99=%v | updates: n=%d p50=%v p99=%v",
+		r.Ops, r.Errors, r.Elapsed.Round(time.Millisecond), r.ThroughputOps,
+		r.Latency.Mean, r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max,
+		r.Queries.Count, r.Queries.P50, r.Queries.P99,
+		r.Updates.Count, r.Updates.P50, r.Updates.P99)
+	if r.ErrorSample != "" {
+		out += "\nerror sample: " + r.ErrorSample
+	}
+	return out
+}

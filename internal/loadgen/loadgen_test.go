@@ -1,0 +1,136 @@
+package loadgen_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"d2tree/internal/loadgen"
+	"d2tree/internal/monitor"
+	"d2tree/internal/server"
+	"d2tree/internal/trace"
+)
+
+func startCluster(t *testing.T, n int) (*monitor.Monitor, *trace.Workload) {
+	t.Helper()
+	w, err := trace.BuildWorkload(trace.LMBE().Scale(800), 3000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(w.Tree, monitor.Config{Addr: "127.0.0.1:0", Servers: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mon.Close() })
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Config{
+			Addr:              "127.0.0.1:0",
+			MonitorAddr:       mon.Addr(),
+			HeartbeatInterval: 100 * time.Millisecond,
+		})
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+	}
+	return mon, w
+}
+
+func TestConfigValidate(t *testing.T) {
+	w, err := trace.BuildWorkload(trace.DTR().Scale(200), 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := loadgen.Config{
+		MonitorAddr: "x:1", Clients: 1, Tree: w.Tree, Events: w.Events,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*loadgen.Config){
+		"no monitor": func(c *loadgen.Config) { c.MonitorAddr = "" },
+		"no clients": func(c *loadgen.Config) { c.Clients = 0 },
+		"no tree":    func(c *loadgen.Config) { c.Tree = nil },
+		"no events":  func(c *loadgen.Config) { c.Events = nil },
+	} {
+		bad := valid
+		mut(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestRunAgainstLiveCluster(t *testing.T) {
+	mon, w := startCluster(t, 3)
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		MonitorAddr: mon.Addr(),
+		Clients:     8,
+		Tree:        w.Tree,
+		Events:      w.Events[:1200],
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 1200 {
+		t.Errorf("ops = %d, want 1200", rep.Ops)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+	if rep.ThroughputOps <= 0 {
+		t.Error("throughput not positive")
+	}
+	if rep.Latency.Count == 0 || rep.Latency.P50 == 0 {
+		t.Errorf("latency summary empty: %+v", rep.Latency)
+	}
+	if rep.Queries.Count+rep.Updates.Count != rep.Ops {
+		t.Errorf("query/update split %d+%d != ops %d",
+			rep.Queries.Count, rep.Updates.Count, rep.Ops)
+	}
+	if rep.Format() == "" {
+		t.Error("empty format")
+	}
+}
+
+func TestRunHonoursTimeout(t *testing.T) {
+	mon, w := startCluster(t, 2)
+	start := time.Now()
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		MonitorAddr: mon.Addr(),
+		Clients:     2,
+		Tree:        w.Tree,
+		Events:      w.Events, // 3000 events; timeout cuts it short
+		Timeout:     50 * time.Millisecond,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("run did not stop near the timeout")
+	}
+	if rep.Ops == 0 {
+		t.Error("no ops completed before timeout")
+	}
+}
+
+func TestRunBadMonitor(t *testing.T) {
+	w, err := trace.BuildWorkload(trace.DTR().Scale(200), 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loadgen.Run(context.Background(), loadgen.Config{
+		MonitorAddr: "127.0.0.1:1",
+		Clients:     2,
+		Tree:        w.Tree,
+		Events:      w.Events,
+	})
+	if err == nil {
+		t.Error("run against dead monitor succeeded")
+	}
+}

@@ -1,0 +1,120 @@
+// Package locksvc is the Zookeeper stand-in of Sec. IV-A3: a lease-based
+// exclusive lock service used to serialise writes to the replicated global
+// layer. Locks are named (by path), owned, and expire after their lease so
+// a crashed client cannot wedge the cluster.
+package locksvc
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Errors reported by the service.
+var (
+	ErrNotHeld   = errors.New("locksvc: lock not held by owner")
+	ErrBadLease  = errors.New("locksvc: non-positive lease")
+	ErrEmptyName = errors.New("locksvc: empty lock name or owner")
+)
+
+type lease struct {
+	owner   string
+	expires time.Time
+}
+
+// Service is an in-process lock table. Safe for concurrent use. The zero
+// value is not usable; construct with New.
+type Service struct {
+	mu    sync.Mutex
+	locks map[string]lease
+	now   func() time.Time
+}
+
+// New returns an empty lock service.
+func New() *Service {
+	return &Service{locks: make(map[string]lease), now: time.Now}
+}
+
+// SetClock overrides the time source (tests).
+func (s *Service) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// Acquire attempts to take the named lock for owner with the given lease.
+// It returns true when granted — including re-entrant acquisition by the
+// current holder, which extends the lease. Expired leases are reaped lazily.
+func (s *Service) Acquire(name, owner string, ttl time.Duration) (bool, error) {
+	if name == "" || owner == "" {
+		return false, ErrEmptyName
+	}
+	if ttl <= 0 {
+		return false, ErrBadLease
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	if l, ok := s.locks[name]; ok && l.owner != owner && l.expires.After(now) {
+		return false, nil
+	}
+	s.locks[name] = lease{owner: owner, expires: now.Add(ttl)}
+	return true, nil
+}
+
+// Release frees the named lock. Only the current holder may release;
+// releasing an expired or unheld lock returns ErrNotHeld.
+func (s *Service) Release(name, owner string) error {
+	if name == "" || owner == "" {
+		return ErrEmptyName
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.locks[name]
+	if !ok || l.owner != owner || !l.expires.After(s.now()) {
+		return ErrNotHeld
+	}
+	delete(s.locks, name)
+	return nil
+}
+
+// Holder returns the current live holder of a lock, if any.
+func (s *Service) Holder(name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.locks[name]
+	if !ok || !l.expires.After(s.now()) {
+		return "", false
+	}
+	return l.owner, true
+}
+
+// Len returns the number of live locks (expired leases are reaped).
+func (s *Service) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	for name, l := range s.locks {
+		if !l.expires.After(now) {
+			delete(s.locks, name)
+		}
+	}
+	return len(s.locks)
+}
+
+// WithLock runs fn while holding the named lock, spinning with a small
+// backoff until acquired. It is a convenience for in-process callers.
+func (s *Service) WithLock(name, owner string, ttl time.Duration, fn func() error) error {
+	for {
+		ok, err := s.Acquire(name, owner, ttl)
+		if err != nil {
+			return err
+		}
+		if ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	defer func() { _ = s.Release(name, owner) }()
+	return fn()
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmptySample is returned when building a CDF from no observations.
+var ErrEmptySample = errors.New("metrics: empty sample")
+
+// ECDF is an empirical cumulative distribution function over float64
+// observations, the F̃(·) of Thm. 2. It supports both point evaluation
+// F(x) and quantile inversion F⁻¹(q), which is what mirror division needs.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from the sample. The input slice is copied.
+func NewECDF(sample []float64) (*ECDF, error) {
+	if len(sample) == 0 {
+		return nil, ErrEmptySample
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// Len returns the number of observations.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Min returns the smallest observation (the paper's L).
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest observation (the paper's U).
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Eval returns F_k(x) = (#observations ≤ x) / k.
+func (e *ECDF) Eval(x float64) float64 {
+	n := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest observation v with F(v) ≥ q, clamping q to
+// [0, 1]. Quantile(0) is the minimum; Quantile(1) the maximum.
+func (e *ECDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.sorted[idx]
+}
+
+// SupDistance returns sup_x |F(x) − other(x)| evaluated at the jump points of
+// both CDFs — the Kolmogorov–Smirnov statistic used in the DKW bound.
+func (e *ECDF) SupDistance(other *ECDF) float64 {
+	var sup float64
+	for _, pts := range [][]float64{e.sorted, other.sorted} {
+		for _, x := range pts {
+			d := math.Abs(e.Eval(x) - other.Eval(x))
+			if d > sup {
+				sup = d
+			}
+			// also check just below the jump
+			y := math.Nextafter(x, math.Inf(-1))
+			d = math.Abs(e.Eval(y) - other.Eval(y))
+			if d > sup {
+				sup = d
+			}
+		}
+	}
+	return sup
+}
+
+// Histogram approximates a probability distribution with equal-probability
+// buckets per Def. 6: breakpoints x_1 < x_2 < … < x_k with
+// Pr(x_i ≤ Z ≤ x_{i+1}) = Δx = 1/(k−1).
+type Histogram struct {
+	breaks []float64
+}
+
+// NewHistogram builds a k-breakpoint equal-probability histogram from the
+// sample (k ≥ 2). Breakpoints are the 0, 1/(k−1), …, 1 quantiles.
+func NewHistogram(sample []float64, k int) (*Histogram, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("metrics: histogram needs k >= 2, got %d", k)
+	}
+	ecdf, err := NewECDF(sample)
+	if err != nil {
+		return nil, err
+	}
+	breaks := make([]float64, k)
+	for i := 0; i < k; i++ {
+		breaks[i] = ecdf.Quantile(float64(i) / float64(k-1))
+	}
+	return &Histogram{breaks: breaks}, nil
+}
+
+// Breaks returns a copy of the breakpoints x_1 … x_k.
+func (h *Histogram) Breaks() []float64 {
+	out := make([]float64, len(h.breaks))
+	copy(out, h.breaks)
+	return out
+}
+
+// DeltaX returns Δx = 1/(k−1), the probability mass of each interval.
+func (h *Histogram) DeltaX() float64 { return 1 / float64(len(h.breaks)-1) }
+
+// Bucket returns the interval index i such that x ∈ [x_i, x_{i+1}), clamped
+// to the outer intervals for out-of-range values.
+func (h *Histogram) Bucket(x float64) int {
+	i := sort.SearchFloat64s(h.breaks, x)
+	// SearchFloat64s returns the insertion point; convert to interval index.
+	if i > 0 {
+		i--
+	}
+	if i > len(h.breaks)-2 {
+		i = len(h.breaks) - 2
+	}
+	return i
+}
+
+// DKWEpsilon returns the ε for which Pr(sup|F_k − F| > ε) ≤ bound after k
+// samples, inverting Thm. 2's tail 2/e^{2kε²}: ε = sqrt(ln(2/bound)/(2k)).
+func DKWEpsilon(k int, bound float64) float64 {
+	if k <= 0 || bound <= 0 || bound >= 2 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(math.Log(2/bound) / (2 * float64(k)))
+}
+
+// DKWTailBound returns Pr(sup|F_k − F| > ε) ≤ 2·e^{−2kε²} (Thm. 2).
+func DKWTailBound(k int, eps float64) float64 {
+	if k <= 0 || eps <= 0 {
+		return 1
+	}
+	b := 2 * math.Exp(-2*float64(k)*eps*eps)
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// LemmaSampleSize returns the number of subtrees an MDS must sample so that
+// E[|s_i − s_j|] < δ with probability ≥ 1 − 2/(t·H), per Lemma 1:
+// ln(t·H)/2 · ((U−L)/δ)². Values of t·H ≤ 1 or δ ≤ 0 yield 0 (no guarantee).
+func LemmaSampleSize(t float64, h int, u, l, delta float64) int {
+	if t <= 0 || h <= 0 || delta <= 0 || u <= l {
+		return 0
+	}
+	th := t * float64(h)
+	if th <= 1 {
+		return 0
+	}
+	r := (u - l) / delta
+	return int(math.Ceil(math.Log(th) / 2 * r * r))
+}
+
+// TheoremSampleSize returns the per-MDS sample size of Thm. 3:
+// ln(t·H²)/2 · (H·p_k·(U−L)/(δ·μ·C_k))², where p_k = C_k / ΣC.
+func TheoremSampleSize(t float64, h int, pk, u, l, delta, mu, ck float64) int {
+	if t <= 0 || h <= 0 || delta <= 0 || mu <= 0 || ck <= 0 || u <= l {
+		return 0
+	}
+	th := t * float64(h) * float64(h)
+	if th <= 1 {
+		return 0
+	}
+	r := float64(h) * pk * (u - l) / (delta * mu * ck)
+	return int(math.Ceil(math.Log(th) / 2 * r * r))
+}
+
+// BalanceExpectationBound returns the Thm. 4 bound on E[balance⁻¹]… strictly,
+// the paper states E[balance] < M/(M−1)·δ²μ² for the *variance* form; this
+// helper returns that right-hand side for comparison in tests and benches.
+func BalanceExpectationBound(m int, delta, mu float64) float64 {
+	if m < 2 {
+		return math.Inf(1)
+	}
+	return float64(m) / float64(m-1) * delta * delta * mu * mu
+}

@@ -1,0 +1,268 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); !errors.Is(err, ErrEmptySample) {
+		t.Errorf("want ErrEmptySample, got %v", err)
+	}
+}
+
+func TestECDFEval(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, tt := range tests {
+		if got := e.Eval(tt.x); got != tt.want {
+			t.Errorf("Eval(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e, _ := NewECDF([]float64{10, 20, 30, 40})
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{-1, 10}, {0, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20},
+		{0.75, 30}, {1, 40}, {2, 40},
+	}
+	for _, tt := range tests {
+		if got := e.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestECDFMinMax(t *testing.T) {
+	e, _ := NewECDF([]float64{5, -2, 9})
+	if e.Min() != -2 || e.Max() != 9 || e.Len() != 3 {
+		t.Errorf("Min/Max/Len = %v/%v/%d", e.Min(), e.Max(), e.Len())
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	e, _ := NewECDF(in)
+	in[0] = 99
+	if e.Max() != 3 {
+		t.Error("ECDF aliased caller slice")
+	}
+}
+
+// Property: Eval is monotone non-decreasing and Quantile inverts it:
+// Eval(Quantile(q)) >= q for all q in (0,1].
+func TestECDFQuantileInverseProperty(t *testing.T) {
+	prop := func(seed int64, n uint8, qs []float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n%100) + 1
+		sample := make([]float64, k)
+		for i := range sample {
+			sample[i] = rng.NormFloat64() * 100
+		}
+		e, err := NewECDF(sample)
+		if err != nil {
+			return false
+		}
+		for _, q := range qs {
+			q = math.Abs(math.Mod(q, 1))
+			if q == 0 {
+				continue
+			}
+			if e.Eval(e.Quantile(q)) < q-1e-12 {
+				return false
+			}
+		}
+		// monotonicity over sorted sample points
+		prev := -1.0
+		for _, x := range sample {
+			v := e.Eval(x)
+			_ = v
+		}
+		sort.Float64s(sample)
+		for _, x := range sample {
+			v := e.Eval(x)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupDistanceSelfIsZero(t *testing.T) {
+	e, _ := NewECDF([]float64{1, 5, 9})
+	if d := e.SupDistance(e); d != 0 {
+		t.Errorf("SupDistance(self) = %v", d)
+	}
+}
+
+func TestSupDistanceKnown(t *testing.T) {
+	a, _ := NewECDF([]float64{1, 2})
+	b, _ := NewECDF([]float64{1, 3})
+	// At x=2: F_a=1, F_b=0.5 → sup ≥ 0.5.
+	if d := a.SupDistance(b); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("SupDistance = %v, want 0.5", d)
+	}
+}
+
+func TestDKWConvergence(t *testing.T) {
+	// Empirical CDFs of growing samples from U(0,1) must approach the true
+	// CDF within the DKW epsilon at 95% confidence. Deterministic seed keeps
+	// the test stable.
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{100, 1000, 10000} {
+		sample := make([]float64, k)
+		for i := range sample {
+			sample[i] = rng.Float64()
+		}
+		e, _ := NewECDF(sample)
+		eps := DKWEpsilon(k, 0.05)
+		// true CDF of U(0,1) is F(x)=x; check at 101 grid points.
+		var sup float64
+		for i := 0; i <= 100; i++ {
+			x := float64(i) / 100
+			d := math.Abs(e.Eval(x) - x)
+			if d > sup {
+				sup = d
+			}
+		}
+		if sup > eps {
+			t.Errorf("k=%d: sup distance %v exceeds DKW eps %v", k, sup, eps)
+		}
+	}
+}
+
+func TestDKWEpsilonShrinks(t *testing.T) {
+	if !(DKWEpsilon(100, 0.05) > DKWEpsilon(10000, 0.05)) {
+		t.Error("epsilon should shrink with sample size")
+	}
+	if !math.IsInf(DKWEpsilon(0, 0.05), 1) {
+		t.Error("k=0 should give +Inf epsilon")
+	}
+}
+
+func TestDKWTailBound(t *testing.T) {
+	if b := DKWTailBound(1000, 0.1); b <= 0 || b >= 1 {
+		t.Errorf("bound = %v, want in (0,1)", b)
+	}
+	if DKWTailBound(0, 0.1) != 1 || DKWTailBound(10, 0) != 1 {
+		t.Error("degenerate inputs should return 1")
+	}
+	// Round trip: epsilon from bound gives back roughly the bound.
+	k := 500
+	eps := DKWEpsilon(k, 0.05)
+	if b := DKWTailBound(k, eps); math.Abs(b-0.05) > 1e-9 {
+		t.Errorf("round trip bound = %v, want 0.05", b)
+	}
+}
+
+func TestHistogramEqualProbability(t *testing.T) {
+	sample := make([]float64, 1000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range sample {
+		sample[i] = rng.ExpFloat64()
+	}
+	k := 11
+	h, err := NewHistogram(sample, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.DeltaX()-0.1) > 1e-12 {
+		t.Errorf("DeltaX = %v, want 0.1", h.DeltaX())
+	}
+	breaks := h.Breaks()
+	if len(breaks) != k {
+		t.Fatalf("len(breaks) = %d, want %d", len(breaks), k)
+	}
+	for i := 1; i < len(breaks); i++ {
+		if breaks[i] < breaks[i-1] {
+			t.Errorf("breaks not sorted at %d: %v < %v", i, breaks[i], breaks[i-1])
+		}
+	}
+	// Each interval should hold roughly DeltaX of the sample mass.
+	counts := make([]int, k-1)
+	for _, x := range sample {
+		counts[h.Bucket(x)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(len(sample))
+		if math.Abs(frac-h.DeltaX()) > 0.05 {
+			t.Errorf("bucket %d mass = %v, want ≈ %v", i, frac, h.DeltaX())
+		}
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram([]float64{1, 2}, 1); err == nil {
+		t.Error("k=1 should error")
+	}
+	if _, err := NewHistogram(nil, 3); !errors.Is(err, ErrEmptySample) {
+		t.Errorf("want ErrEmptySample, got %v", err)
+	}
+}
+
+func TestHistogramBucketClamps(t *testing.T) {
+	h, _ := NewHistogram([]float64{1, 2, 3, 4, 5}, 3)
+	if h.Bucket(-100) != 0 {
+		t.Error("below-range bucket should clamp to 0")
+	}
+	if h.Bucket(100) != 1 {
+		t.Errorf("above-range bucket should clamp to last, got %d", h.Bucket(100))
+	}
+}
+
+func TestLemmaSampleSize(t *testing.T) {
+	n := LemmaSampleSize(0.5, 10000, 100, 1, 5)
+	if n <= 0 {
+		t.Fatalf("sample size = %d, want > 0", n)
+	}
+	// Tighter delta needs more samples.
+	if LemmaSampleSize(0.5, 10000, 100, 1, 1) <= n {
+		t.Error("smaller delta should need more samples")
+	}
+	if LemmaSampleSize(0, 10, 1, 0, 1) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestTheoremSampleSize(t *testing.T) {
+	n := TheoremSampleSize(0.5, 1000, 0.25, 100, 1, 0.1, 1.0, 50)
+	if n <= 0 {
+		t.Fatalf("sample size = %d, want > 0", n)
+	}
+	// Larger capacity share (pk) needs more samples.
+	if TheoremSampleSize(0.5, 1000, 0.5, 100, 1, 0.1, 1.0, 50) <= n {
+		t.Error("larger pk should need more samples")
+	}
+}
+
+func TestBalanceExpectationBound(t *testing.T) {
+	b := BalanceExpectationBound(4, 0.1, 2)
+	want := 4.0 / 3.0 * 0.01 * 4
+	if math.Abs(b-want) > 1e-12 {
+		t.Errorf("bound = %v, want %v", b, want)
+	}
+	if !math.IsInf(BalanceExpectationBound(1, 0.1, 1), 1) {
+		t.Error("M=1 should be +Inf")
+	}
+}

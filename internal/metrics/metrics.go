@@ -1,0 +1,120 @@
+// Package metrics implements the paper's formal performance measures:
+// system locality (Eq. 1), load-balance degree (Eq. 2), update cost (Def. 4),
+// plus the histogram / empirical-CDF machinery (Def. 6) and the
+// Dvoretzky–Kiefer–Wolfowitz sampling bounds (Thm. 2–4) used by the
+// mirror-division allocator.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors reported by metric computations.
+var (
+	ErrLengthMismatch = errors.New("metrics: loads and capacities length mismatch")
+	ErrNoServers      = errors.New("metrics: need at least one server")
+	ErrBadCapacity    = errors.New("metrics: capacities must be positive")
+)
+
+// Locality computes Eq. 1: locality = 1 / Σ_j jp_j·p_j given the already
+// weighted sum. A zero sum (every access is jump-free, e.g. a single server)
+// yields +Inf, matching the paper's "locality equals +∞ under single server".
+func Locality(weightedJumpSum float64) float64 {
+	if weightedJumpSum <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / weightedJumpSum
+}
+
+// IdealLoadFactor computes μ = Σ L_i / Σ C_i.
+func IdealLoadFactor(loads, capacities []float64) (float64, error) {
+	if len(loads) != len(capacities) {
+		return 0, fmt.Errorf("%w: %d loads, %d capacities",
+			ErrLengthMismatch, len(loads), len(capacities))
+	}
+	if len(loads) == 0 {
+		return 0, ErrNoServers
+	}
+	var sumL, sumC float64
+	for i := range loads {
+		if capacities[i] <= 0 {
+			return 0, fmt.Errorf("%w: C[%d] = %v", ErrBadCapacity, i, capacities[i])
+		}
+		sumL += loads[i]
+		sumC += capacities[i]
+	}
+	return sumL / sumC, nil
+}
+
+// Balance computes Eq. 2:
+//
+//	balance = 1 / ( (1/(M-1)) Σ_k (L_k/C_k − μ)² )
+//
+// Larger is better; a perfectly balanced cluster yields +Inf. M must be ≥ 2
+// for the variance denominator to be defined; M == 1 returns +Inf since a
+// single server is trivially balanced.
+func Balance(loads, capacities []float64) (float64, error) {
+	mu, err := IdealLoadFactor(loads, capacities)
+	if err != nil {
+		return 0, err
+	}
+	m := len(loads)
+	if m == 1 {
+		return math.Inf(1), nil
+	}
+	var ss float64
+	for i := range loads {
+		d := loads[i]/capacities[i] - mu
+		ss += d * d
+	}
+	v := ss / float64(m-1)
+	if v == 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / v, nil
+}
+
+// BalanceVariance returns the raw variance term (1/(M-1)) Σ (L_k/C_k − μ)²,
+// i.e. 1/balance. Handy when plotting: it stays finite for balanced clusters.
+func BalanceVariance(loads, capacities []float64) (float64, error) {
+	mu, err := IdealLoadFactor(loads, capacities)
+	if err != nil {
+		return 0, err
+	}
+	m := len(loads)
+	if m == 1 {
+		return 0, nil
+	}
+	var ss float64
+	for i := range loads {
+		d := loads[i]/capacities[i] - mu
+		ss += d * d
+	}
+	return ss / float64(m-1), nil
+}
+
+// RelativeCapacities returns Re_k = L_k − μ·C_k for each server. Positive
+// values mark heavily loaded servers, negative values light ones (Sec. III-B).
+func RelativeCapacities(loads, capacities []float64) ([]float64, error) {
+	mu, err := IdealLoadFactor(loads, capacities)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(loads))
+	for i := range loads {
+		out[i] = loads[i] - mu*capacities[i]
+	}
+	return out, nil
+}
+
+// UpdateCost computes Def. 4: update = Σ_{n_j ∈ GL} u_j given the per-node
+// update costs of the global-layer members.
+func UpdateCost(globalLayerCosts []int64) int64 {
+	var sum int64
+	for _, u := range globalLayerCosts {
+		sum += u
+	}
+	return sum
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestLocality(t *testing.T) {
+	tests := []struct {
+		name string
+		sum  float64
+		want float64
+	}{
+		{"zero sum is +Inf", 0, math.Inf(1)},
+		{"negative clamps to +Inf", -3, math.Inf(1)},
+		{"simple inverse", 4, 0.25},
+		{"paper scale", 1e9, 1e-9},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Locality(tt.sum); got != tt.want {
+				t.Errorf("Locality(%v) = %v, want %v", tt.sum, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIdealLoadFactor(t *testing.T) {
+	mu, err := IdealLoadFactor([]float64{10, 20, 30}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu != 20 {
+		t.Errorf("mu = %v, want 20", mu)
+	}
+}
+
+func TestIdealLoadFactorErrors(t *testing.T) {
+	if _, err := IdealLoadFactor([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+	if _, err := IdealLoadFactor(nil, nil); !errors.Is(err, ErrNoServers) {
+		t.Errorf("want ErrNoServers, got %v", err)
+	}
+	if _, err := IdealLoadFactor([]float64{1}, []float64{0}); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("want ErrBadCapacity, got %v", err)
+	}
+}
+
+func TestBalancePerfect(t *testing.T) {
+	b, err := Balance([]float64{5, 5, 5}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(b, 1) {
+		t.Errorf("perfect balance should be +Inf, got %v", b)
+	}
+}
+
+func TestBalanceHeterogeneousCapacities(t *testing.T) {
+	// loads proportional to capacities => perfectly balanced.
+	b, err := Balance([]float64{10, 20, 30}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(b, 1) {
+		t.Errorf("proportional loads should be +Inf balance, got %v", b)
+	}
+}
+
+func TestBalanceKnownValue(t *testing.T) {
+	// loads 0 and 2 on unit capacities: mu=1, deviations ±1, variance=2/(2-1)=2.
+	b, err := Balance([]float64{0, 2}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-0.5) > 1e-12 {
+		t.Errorf("balance = %v, want 0.5", b)
+	}
+	v, err := BalanceVariance([]float64{0, 2}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2) > 1e-12 {
+		t.Errorf("variance = %v, want 2", v)
+	}
+}
+
+func TestBalanceSingleServer(t *testing.T) {
+	b, err := Balance([]float64{7}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(b, 1) {
+		t.Errorf("single server balance should be +Inf, got %v", b)
+	}
+	v, err := BalanceVariance([]float64{7}, []float64{2})
+	if err != nil || v != 0 {
+		t.Errorf("variance = %v err %v, want 0", v, err)
+	}
+}
+
+func TestBalanceMonotonicInImbalance(t *testing.T) {
+	caps := []float64{1, 1, 1, 1}
+	mild, _ := Balance([]float64{9, 10, 10, 11}, caps)
+	severe, _ := Balance([]float64{1, 5, 14, 20}, caps)
+	if mild <= severe {
+		t.Errorf("milder imbalance should score higher: mild=%v severe=%v", mild, severe)
+	}
+}
+
+func TestRelativeCapacities(t *testing.T) {
+	re, err := RelativeCapacities([]float64{10, 30}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re[0] != -10 || re[1] != 10 {
+		t.Errorf("re = %v, want [-10 10]", re)
+	}
+	var sum float64
+	for _, r := range re {
+		sum += r
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("relative capacities must sum to 0, got %v", sum)
+	}
+}
+
+func TestUpdateCost(t *testing.T) {
+	if got := UpdateCost([]int64{1, 2, 3}); got != 6 {
+		t.Errorf("UpdateCost = %d, want 6", got)
+	}
+	if got := UpdateCost(nil); got != 0 {
+		t.Errorf("UpdateCost(nil) = %d, want 0", got)
+	}
+}

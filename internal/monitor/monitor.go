@@ -1,0 +1,841 @@
+// Package monitor implements the cluster Monitor of Sec. IV-A3: it accepts
+// MDS registrations and periodic heartbeats, maintains the authoritative
+// global layer (serialising updates through the lock service), owns the
+// local index mapping subtree roots to servers, runs the pending-pool
+// dynamic adjustment, and detects MDS failure and arrival.
+//
+// The Monitor holds the authoritative namespace tree it was bootstrapped
+// with, which lets it (re)materialise subtree entries for joining or
+// replacement servers — a prototype simplification standing in for durable
+// metadata storage.
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"d2tree/internal/core"
+	"d2tree/internal/locksvc"
+	"d2tree/internal/namespace"
+	"d2tree/internal/wal"
+	"d2tree/internal/wire"
+)
+
+// Config parameterises a Monitor.
+type Config struct {
+	// Addr is the TCP listen address (use "127.0.0.1:0" in tests).
+	Addr string
+	// Servers is the expected MDS cluster size M; the initial partition is
+	// computed for exactly this many servers.
+	Servers int
+	// GLProportion sizes the global layer (default 0.01, the evaluation's
+	// 1%).
+	GLProportion float64
+	// HeartbeatTimeout marks a server dead after this silence (default 3s).
+	HeartbeatTimeout time.Duration
+	// Slack is the dynamic-adjustment overload tolerance (default 0.10).
+	Slack float64
+	// AdjustInterval is the minimum time between pending-pool adjustment
+	// rounds (default 2s). Heartbeat loads are deltas, so planning on every
+	// beat would thrash subtrees around transient spikes.
+	AdjustInterval time.Duration
+	// WALPath, when non-empty, journals global-layer updates and subtree
+	// ownership changes to a write-ahead log; a Monitor restarted with the
+	// same namespace and WAL recovers the cluster's logical state.
+	WALPath string
+}
+
+func (c *Config) applyDefaults() {
+	if c.GLProportion == 0 {
+		c.GLProportion = 0.01
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 3 * time.Second
+	}
+	if c.Slack == 0 {
+		c.Slack = 0.10
+	}
+	if c.AdjustInterval == 0 {
+		c.AdjustInterval = 2 * time.Second
+	}
+}
+
+// ErrClusterFull is returned when more than the configured number of
+// servers try to join.
+var ErrClusterFull = errors.New("monitor: cluster already has all expected servers")
+
+type member struct {
+	id       int
+	addr     string
+	lastSeen time.Time
+	load     float64
+	ops      int64
+	alive    bool
+}
+
+// Monitor is the cluster coordinator. Construct with New, start with
+// Start, stop with Close.
+type Monitor struct {
+	cfg   Config
+	tree  *namespace.Tree
+	d2    *core.D2Tree
+	locks *locksvc.Service
+
+	mu           sync.Mutex
+	members      []*member
+	glVersion    int64
+	glEntries    map[string]*wire.Entry
+	indexVer     int64
+	index        map[string]string // subtree root path → MDS addr
+	subtreeOwner map[string]int    // subtree root path → server id
+	transfers    map[int][]wire.TransferCommand
+	inFlight     map[string]int // subtree root → destination server id
+	journal      *wal.Log       // nil when WALPath is unset
+	lastAdjust   time.Time
+	now          func() time.Time
+
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New builds a Monitor over the authoritative namespace tree. The tree's
+// popularity annotations drive the initial split and allocation.
+func New(t *namespace.Tree, cfg Config) (*Monitor, error) {
+	if t == nil {
+		return nil, errors.New("monitor: nil namespace tree")
+	}
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("monitor: Servers = %d, need >= 1", cfg.Servers)
+	}
+	cfg.applyDefaults()
+	d2, err := core.New(t, cfg.Servers, core.Config{GLProportion: cfg.GLProportion})
+	if err != nil {
+		return nil, fmt.Errorf("monitor: initial partition: %w", err)
+	}
+	m := &Monitor{
+		cfg:          cfg,
+		tree:         t,
+		d2:           d2,
+		locks:        locksvc.New(),
+		glEntries:    make(map[string]*wire.Entry),
+		index:        make(map[string]string),
+		subtreeOwner: make(map[string]int),
+		transfers:    make(map[int][]wire.TransferCommand),
+		inFlight:     make(map[string]int),
+		now:          time.Now,
+		conns:        make(map[net.Conn]struct{}),
+		stop:         make(chan struct{}),
+	}
+	m.glVersion = 1
+	m.indexVer = 1
+	for id := range d2.Split().GL {
+		n := t.Node(id)
+		m.glEntries[t.Path(n)] = entryFor(t, n)
+	}
+	for i, st := range d2.Subtrees() {
+		owner, _ := d2.SubtreeOwner(i)
+		m.subtreeOwner[t.Path(t.Node(st.Root))] = int(owner)
+	}
+	if cfg.WALPath != "" {
+		if err := m.recoverFromWAL(cfg.WALPath); err != nil {
+			return nil, err
+		}
+		journal, err := wal.Open(cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		m.journal = journal
+	}
+	return m, nil
+}
+
+// WAL record schemas.
+type walGLUpdate struct {
+	Op        string     `json:"op"`
+	Entry     wire.Entry `json:"entry"`
+	GLVersion int64      `json:"glVersion"`
+}
+
+type walOwner struct {
+	Root   string `json:"root"`
+	Server int    `json:"server"`
+}
+
+// recoverFromWAL replays journalled state changes over the freshly computed
+// initial partition (which is deterministic given the same namespace).
+func (m *Monitor) recoverFromWAL(path string) error {
+	return wal.Replay(path, func(rec wal.Record) error {
+		switch rec.Type {
+		case "gl_update":
+			var u walGLUpdate
+			if err := json.Unmarshal(rec.Data, &u); err != nil {
+				return fmt.Errorf("monitor: wal gl_update: %w", err)
+			}
+			e := u.Entry
+			m.glEntries[e.Path] = &e
+			if u.Op == "create" {
+				if e.Kind == wire.EntryDir {
+					_, _ = m.tree.MkdirAll(e.Path)
+				} else {
+					_, _ = m.tree.AddFile(e.Path)
+				}
+			}
+			if u.GLVersion > m.glVersion {
+				m.glVersion = u.GLVersion
+			}
+		case "owner":
+			var o walOwner
+			if err := json.Unmarshal(rec.Data, &o); err != nil {
+				return fmt.Errorf("monitor: wal owner: %w", err)
+			}
+			m.subtreeOwner[o.Root] = o.Server
+			m.indexVer++
+		default:
+			// Unknown record types are skipped for forward compatibility.
+		}
+		return nil
+	})
+}
+
+// journalLocked appends a record, degrading to in-memory operation on
+// journal errors (metadata service availability beats durability for this
+// prototype). Callers hold m.mu.
+func (m *Monitor) journalLocked(recType string, payload interface{}) {
+	if m.journal == nil {
+		return
+	}
+	_, _ = m.journal.Append(recType, payload)
+}
+
+func entryFor(t *namespace.Tree, n *namespace.Node) *wire.Entry {
+	kind := wire.EntryDir
+	if !n.IsDir() {
+		kind = wire.EntryFile
+	}
+	return &wire.Entry{Path: t.Path(n), Kind: kind, Version: 1}
+}
+
+// Start begins listening and serving.
+func (m *Monitor) Start() error {
+	ln, err := net.Listen("tcp", m.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("monitor: listen %s: %w", m.cfg.Addr, err)
+	}
+	m.ln = ln
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (m *Monitor) Addr() string {
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Close stops the listener and waits for connection goroutines to finish.
+func (m *Monitor) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	conns := make([]net.Conn, 0, len(m.conns))
+	for nc := range m.conns {
+		conns = append(conns, nc)
+	}
+	m.mu.Unlock()
+	close(m.stop)
+	var err error
+	if m.ln != nil {
+		err = m.ln.Close()
+	}
+	if m.journal != nil {
+		if jerr := m.journal.Close(); err == nil {
+			err = jerr
+		}
+	}
+	// Force-close in-flight connections so per-conn goroutines unblock even
+	// when peers keep pooled connections open.
+	for _, nc := range conns {
+		_ = nc.Close()
+	}
+	m.wg.Wait()
+	return err
+}
+
+func (m *Monitor) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		nc, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		m.conns[nc] = struct{}{}
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer func() {
+				_ = nc.Close()
+				m.mu.Lock()
+				delete(m.conns, nc)
+				m.mu.Unlock()
+			}()
+			wire.Serve(nc, m.handle)
+		}()
+	}
+}
+
+func (m *Monitor) handle(env *wire.Envelope) (interface{}, error) {
+	switch env.Type {
+	case wire.TypeJoin:
+		var req wire.JoinRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return m.handleJoin(&req)
+	case wire.TypeHeartbeat:
+		var req wire.HeartbeatRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return m.handleHeartbeat(&req)
+	case wire.TypeGLUpdate:
+		var req wire.GLUpdateRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return m.handleGLUpdate(&req)
+	case wire.TypeClusterInfo:
+		return m.handleClusterInfo()
+	case wire.TypeTransferDone:
+		var req wire.TransferDoneRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return m.handleTransferDone(&req)
+	case wire.TypeLockAcquire:
+		var req wire.LockRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		ok, err := m.locks.Acquire(req.Name, req.Owner, time.Duration(req.LeaseMS)*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.LockResponse{Granted: ok}, nil
+	case wire.TypeLockRelease:
+		var req wire.LockRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		if err := m.locks.Release(req.Name, req.Owner); err != nil {
+			return nil, err
+		}
+		return &wire.LockResponse{Granted: true}, nil
+	default:
+		return nil, fmt.Errorf("monitor: unknown message type %q", env.Type)
+	}
+}
+
+func (m *Monitor) handleJoin(req *wire.JoinRequest) (*wire.JoinResponse, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Reuse a dead member slot first (replacement server), else append.
+	id := -1
+	for _, mem := range m.members {
+		if !mem.alive {
+			id = mem.id
+			break
+		}
+	}
+	if id == -1 {
+		if len(m.members) >= m.cfg.Servers {
+			return nil, ErrClusterFull
+		}
+		id = len(m.members)
+		m.members = append(m.members, &member{id: id})
+	}
+	mem := m.members[id]
+	mem.addr = req.Addr
+	mem.lastSeen = m.now()
+	mem.alive = true
+	mem.load = 0
+
+	// Refresh index addresses for subtrees owned by this slot.
+	for root, owner := range m.subtreeOwner {
+		if owner == id {
+			m.index[root] = req.Addr
+		}
+	}
+	m.indexVer++
+
+	resp := &wire.JoinResponse{
+		ServerID:  id,
+		GLVersion: m.glVersion,
+		IndexVer:  m.indexVer,
+		Index:     m.indexSnapshotLocked(),
+	}
+	for _, e := range m.glEntries {
+		resp.GlobalLayer = append(resp.GlobalLayer, *e)
+	}
+	sort.Slice(resp.GlobalLayer, func(i, j int) bool {
+		return resp.GlobalLayer[i].Path < resp.GlobalLayer[j].Path
+	})
+	for root, owner := range m.subtreeOwner {
+		if owner != id {
+			continue
+		}
+		if entries := m.subtreeEntriesLocked(root); len(entries) > 0 {
+			resp.Subtrees = append(resp.Subtrees, entries)
+		}
+	}
+	sort.Slice(resp.Subtrees, func(i, j int) bool {
+		return resp.Subtrees[i][0].Path < resp.Subtrees[j][0].Path
+	})
+	return resp, nil
+}
+
+// subtreeEntriesLocked materialises a subtree's entries from the
+// authoritative tree. Callers hold m.mu.
+func (m *Monitor) subtreeEntriesLocked(rootPath string) []wire.Entry {
+	n, err := m.tree.Lookup(rootPath)
+	if err != nil {
+		return nil
+	}
+	nodes := m.tree.SubtreeNodes(n)
+	out := make([]wire.Entry, 0, len(nodes))
+	for _, sn := range nodes {
+		out = append(out, *entryFor(m.tree, sn))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+func (m *Monitor) indexSnapshotLocked() map[string]string {
+	out := make(map[string]string, len(m.index))
+	for k, v := range m.index {
+		out[k] = v
+	}
+	return out
+}
+
+func (m *Monitor) handleHeartbeat(req *wire.HeartbeatRequest) (*wire.HeartbeatResponse, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if req.ServerID < 0 || req.ServerID >= len(m.members) {
+		return nil, fmt.Errorf("monitor: heartbeat from unknown server %d", req.ServerID)
+	}
+	mem := m.members[req.ServerID]
+	mem.lastSeen = m.now()
+	mem.load = req.Load
+	mem.ops = req.Ops
+	mem.alive = true
+	if req.Addr != "" {
+		mem.addr = req.Addr
+	}
+	// Fold the reported access counters into the authoritative popularity
+	// view; global-layer re-evaluation reads it (Sec. IV-B: "send these
+	// information to Monitor to help adjust global layer").
+	for path, count := range req.HotPaths {
+		if n, err := m.tree.Lookup(path); err == nil {
+			m.tree.Touch(n, count)
+		}
+	}
+
+	m.checkFailuresLocked()
+	m.planAdjustmentLocked()
+
+	resp := &wire.HeartbeatResponse{GLVersion: m.glVersion, IndexVer: m.indexVer}
+	if req.GLVersion < m.glVersion {
+		for _, e := range m.glEntries {
+			resp.GlobalLayer = append(resp.GlobalLayer, *e)
+		}
+		sort.Slice(resp.GlobalLayer, func(i, j int) bool {
+			return resp.GlobalLayer[i].Path < resp.GlobalLayer[j].Path
+		})
+	}
+	if req.IndexVer < m.indexVer {
+		resp.Index = m.indexSnapshotLocked()
+	}
+	if cmds := m.transfers[req.ServerID]; len(cmds) > 0 {
+		resp.Transfers = cmds
+		delete(m.transfers, req.ServerID)
+	}
+	return resp, nil
+}
+
+// checkFailuresLocked reassigns subtrees of servers that stopped
+// heartbeating. Callers hold m.mu.
+func (m *Monitor) checkFailuresLocked() {
+	now := m.now()
+	var live []*member
+	for _, mem := range m.members {
+		if mem.alive && now.Sub(mem.lastSeen) > m.cfg.HeartbeatTimeout {
+			mem.alive = false
+		}
+		if mem.alive {
+			live = append(live, mem)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	for root, owner := range m.subtreeOwner {
+		if m.members[owner].alive {
+			continue
+		}
+		if _, moving := m.inFlight[root]; moving {
+			continue // recovery already underway
+		}
+		// Reassign to the least-loaded live server. The entries are pushed
+		// from the authoritative copy first; ownership and the index commit
+		// only after the install succeeds, so clients are never routed to a
+		// server that does not hold the data yet. A failed push clears the
+		// in-flight marker and is retried on a later heartbeat.
+		best := live[0]
+		for _, mem := range live[1:] {
+			if mem.load < best.load {
+				best = mem
+			}
+		}
+		m.inFlight[root] = best.id
+		m.recoverSubtreeLocked(root, best.id, best.addr)
+	}
+}
+
+// recoverSubtreeLocked pushes a subtree to its recovery destination and, on
+// success, commits ownership and publishes the new index. Callers hold m.mu.
+func (m *Monitor) recoverSubtreeLocked(rootPath string, destID int, destAddr string) {
+	entries := m.subtreeEntriesLocked(rootPath)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		err := installEntries(destAddr, rootPath, entries)
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.inFlight[rootPath] != destID {
+			return // superseded by a newer plan
+		}
+		delete(m.inFlight, rootPath)
+		if err != nil {
+			return // retried on a later heartbeat
+		}
+		m.subtreeOwner[rootPath] = destID
+		m.index[rootPath] = destAddr
+		m.journalLocked("owner", &walOwner{Root: rootPath, Server: destID})
+		m.indexVer++
+	}()
+}
+
+// pushSubtreeLocked installs a subtree's entries onto the destination MDS
+// directly from the monitor's authoritative copy. Callers hold m.mu.
+func (m *Monitor) pushSubtreeLocked(rootPath, destAddr string) {
+	entries := m.subtreeEntriesLocked(rootPath)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		_ = installEntries(destAddr, rootPath, entries)
+	}()
+}
+
+// installEntries ships one subtree to an MDS.
+func installEntries(destAddr, rootPath string, entries []wire.Entry) error {
+	conn, err := wire.Dial(destAddr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+	return conn.Call(wire.TypeInstall, &wire.InstallRequest{
+		RootPath: rootPath, Entries: entries,
+	}, nil)
+}
+
+// planAdjustmentLocked runs one pending-pool round over the freshest
+// heartbeat loads: overloaded servers are told to ship their smallest
+// subtrees to the lightest servers. Callers hold m.mu.
+func (m *Monitor) planAdjustmentLocked() {
+	now := m.now()
+	if now.Sub(m.lastAdjust) < m.cfg.AdjustInterval {
+		return
+	}
+	var live []*member
+	var total float64
+	for _, mem := range m.members {
+		if mem.alive {
+			live = append(live, mem)
+			total += mem.load
+		}
+	}
+	// Require a meaningful recent load before migrating anything: deltas of
+	// a few ops per heartbeat are noise, not imbalance.
+	if len(live) < 2 || total < float64(16*len(live)) {
+		return
+	}
+	m.lastAdjust = now
+	mean := total / float64(len(live))
+	limit := (1 + m.cfg.Slack) * mean
+
+	// Subtrees per live owner, smallest first (by authoritative popularity).
+	type cand struct {
+		root string
+		pop  int64
+	}
+	byOwner := make(map[int][]cand)
+	for root, owner := range m.subtreeOwner {
+		if !m.members[owner].alive {
+			continue
+		}
+		if _, moving := m.inFlight[root]; moving {
+			continue // already scheduled; commit happens at TransferDone
+		}
+		n, err := m.tree.Lookup(root)
+		if err != nil {
+			continue
+		}
+		byOwner[owner] = append(byOwner[owner], cand{root: root, pop: n.TotalPopularity()})
+	}
+	for _, cs := range byOwner {
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].pop != cs[j].pop {
+				return cs[i].pop < cs[j].pop
+			}
+			return cs[i].root < cs[j].root
+		})
+	}
+	loads := make(map[int]float64, len(live))
+	for _, mem := range live {
+		loads[mem.id] = mem.load
+	}
+	for _, src := range live {
+		if loads[src.id] <= limit {
+			continue
+		}
+		scale := 0.0
+		var ownPop int64
+		for _, c := range byOwner[src.id] {
+			ownPop += c.pop
+		}
+		if ownPop > 0 {
+			scale = loads[src.id] / float64(ownPop)
+			if scale > 1 {
+				scale = 1
+			}
+		}
+		for _, c := range byOwner[src.id] {
+			if loads[src.id] <= limit {
+				break
+			}
+			// Lightest destination.
+			dst := live[0]
+			for _, mem := range live[1:] {
+				if loads[mem.id] < loads[dst.id] {
+					dst = mem
+				}
+			}
+			if dst.id == src.id {
+				break
+			}
+			shed := float64(c.pop) * scale
+			if loads[dst.id]+shed > limit {
+				continue
+			}
+			m.transfers[src.id] = append(m.transfers[src.id], wire.TransferCommand{
+				RootPath: c.root, DestAddr: dst.addr,
+			})
+			// Ownership commits only on TransferDone — committing now would
+			// open a window where the destination is advertised as owner
+			// before the entries arrive.
+			m.inFlight[c.root] = dst.id
+			loads[src.id] -= shed
+			loads[dst.id] += shed
+		}
+		byOwner[src.id] = nil
+	}
+}
+
+func (m *Monitor) handleGLUpdate(req *wire.GLUpdateRequest) (*wire.GLUpdateResponse, error) {
+	owner := "mds-" + strconv.Itoa(req.ServerID)
+	var resp *wire.GLUpdateResponse
+	err := m.locks.WithLock(req.Entry.Path, owner, time.Second, func() error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		switch req.Op {
+		case "create":
+			if _, exists := m.glEntries[req.Entry.Path]; exists {
+				return fmt.Errorf("monitor: %s already exists in GL", req.Entry.Path)
+			}
+			e := req.Entry
+			e.Version = 1
+			m.glEntries[e.Path] = &e
+			// Mirror into the authoritative tree so future joins see it.
+			if e.Kind == wire.EntryDir {
+				_, _ = m.tree.MkdirAll(e.Path)
+			} else {
+				_, _ = m.tree.AddFile(e.Path)
+			}
+		case "setattr":
+			e, ok := m.glEntries[req.Entry.Path]
+			if !ok {
+				return fmt.Errorf("monitor: %s not in GL", req.Entry.Path)
+			}
+			e.Size = req.Entry.Size
+			e.Mode = req.Entry.Mode
+			e.Version++
+		default:
+			return fmt.Errorf("monitor: unknown GL op %q", req.Op)
+		}
+		m.glVersion++
+		e := *m.glEntries[req.Entry.Path]
+		m.journalLocked("gl_update", &walGLUpdate{
+			Op: req.Op, Entry: e, GLVersion: m.glVersion,
+		})
+		resp = &wire.GLUpdateResponse{Entry: e, GLVersion: m.glVersion}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (m *Monitor) handleClusterInfo() (*wire.ClusterInfoResponse, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	resp := &wire.ClusterInfoResponse{
+		Index:    m.indexSnapshotLocked(),
+		IndexVer: m.indexVer,
+	}
+	for _, mem := range m.members {
+		if mem.alive {
+			resp.Servers = append(resp.Servers, mem.addr)
+		}
+	}
+	return resp, nil
+}
+
+func (m *Monitor) handleTransferDone(req *wire.TransferDoneRequest) (*wire.LockResponse, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// The destination now has the entries: commit ownership and publish it.
+	if dst, ok := m.inFlight[req.RootPath]; ok {
+		m.subtreeOwner[req.RootPath] = dst
+		delete(m.inFlight, req.RootPath)
+		m.journalLocked("owner", &walOwner{Root: req.RootPath, Server: dst})
+	}
+	m.index[req.RootPath] = req.DestAddr
+	m.indexVer++
+	return &wire.LockResponse{Granted: true}, nil
+}
+
+// ReevaluateGlobalLayer re-runs Tree-Splitting and Subtree-Allocation
+// against the popularity accumulated from heartbeat access counters — the
+// infrequent global-layer adjustment of Sec. IV-B ("typically once a day").
+// The new global layer and index are published with bumped versions; every
+// local-layer subtree is pushed to its (possibly new) owner, and servers
+// drop subtrees the fresh index maps elsewhere.
+func (m *Monitor) ReevaluateGlobalLayer() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.d2.Resplit(); err != nil {
+		return fmt.Errorf("monitor: resplit: %w", err)
+	}
+	// Rebuild the global layer, preserving committed entry versions.
+	old := m.glEntries
+	m.glEntries = make(map[string]*wire.Entry, len(m.d2.Split().GL))
+	for id := range m.d2.Split().GL {
+		n := m.tree.Node(id)
+		if n == nil {
+			continue
+		}
+		path := m.tree.Path(n)
+		if e, ok := old[path]; ok {
+			m.glEntries[path] = e
+			continue
+		}
+		m.glEntries[path] = entryFor(m.tree, n)
+	}
+	// Rebuild subtree ownership from the fresh allocation; superseded
+	// transfers are dropped.
+	m.subtreeOwner = make(map[string]int)
+	m.index = make(map[string]string)
+	m.transfers = make(map[int][]wire.TransferCommand)
+	m.inFlight = make(map[string]int)
+	var live []*member
+	for _, mem := range m.members {
+		if mem.alive {
+			live = append(live, mem)
+		}
+	}
+	for i, st := range m.d2.Subtrees() {
+		owner, _ := m.d2.SubtreeOwner(i)
+		id := int(owner)
+		root := m.tree.Path(m.tree.Node(st.Root))
+		if id < len(m.members) && !m.members[id].alive && len(live) > 0 {
+			id = live[i%len(live)].id
+		}
+		m.subtreeOwner[root] = id
+		m.journalLocked("owner", &walOwner{Root: root, Server: id})
+		if id < len(m.members) && m.members[id].alive {
+			m.index[root] = m.members[id].addr
+			m.pushSubtreeLocked(root, m.members[id].addr)
+		}
+	}
+	m.glVersion++
+	m.indexVer++
+	return nil
+}
+
+// Members returns (id, addr, alive) tuples for tests and tools.
+func (m *Monitor) Members() []struct {
+	ID    int
+	Addr  string
+	Alive bool
+} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]struct {
+		ID    int
+		Addr  string
+		Alive bool
+	}, len(m.members))
+	for i, mem := range m.members {
+		out[i].ID = mem.id
+		out[i].Addr = mem.addr
+		out[i].Alive = mem.alive
+	}
+	return out
+}
+
+// GLVersion returns the current global-layer version.
+func (m *Monitor) GLVersion() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.glVersion
+}
+
+// SetClock overrides the time source (tests).
+func (m *Monitor) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = now
+}

@@ -1,0 +1,388 @@
+package monitor
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"d2tree/internal/trace"
+	"d2tree/internal/wire"
+)
+
+func testTree(t *testing.T) *trace.Workload {
+	t.Helper()
+	w, err := trace.BuildWorkload(trace.DTR().Scale(800), 4000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewValidation(t *testing.T) {
+	w := testTree(t)
+	if _, err := New(nil, Config{Servers: 2}); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if _, err := New(w.Tree, Config{Servers: 0}); err == nil {
+		t.Error("zero servers accepted")
+	}
+}
+
+func TestNewPartitionsGlobalLayer(t *testing.T) {
+	w := testTree(t)
+	m, err := New(w.Tree, Config{Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGL := int(0.01 * float64(w.Tree.Len()))
+	if got := len(m.glEntries); got != wantGL {
+		t.Errorf("GL entries = %d, want %d", got, wantGL)
+	}
+	if _, ok := m.glEntries["/"]; !ok {
+		t.Error("root missing from GL")
+	}
+	if len(m.subtreeOwner) == 0 {
+		t.Error("no subtrees allocated")
+	}
+	for root, owner := range m.subtreeOwner {
+		if owner < 0 || owner >= 3 {
+			t.Errorf("subtree %s owned by invalid server %d", root, owner)
+		}
+	}
+}
+
+func TestJoinAssignsSequentialIDs(t *testing.T) {
+	w := testTree(t)
+	m, err := New(w.Tree, Config{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := m.handleJoin(&wire.JoinRequest{Addr: "a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := m.handleJoin(&wire.JoinRequest{Addr: "b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.ServerID != 0 || r1.ServerID != 1 {
+		t.Errorf("IDs = %d, %d", r0.ServerID, r1.ServerID)
+	}
+	if _, err := m.handleJoin(&wire.JoinRequest{Addr: "c:3"}); !errors.Is(err, ErrClusterFull) {
+		t.Errorf("want ErrClusterFull, got %v", err)
+	}
+	// Every subtree appears in exactly one join response.
+	total := len(r0.Subtrees) + len(r1.Subtrees)
+	if total != len(m.subtreeOwner) {
+		t.Errorf("subtrees delivered %d, want %d", total, len(m.subtreeOwner))
+	}
+	if len(r0.GlobalLayer) != len(m.glEntries) || len(r1.GlobalLayer) != len(m.glEntries) {
+		t.Error("GL replica incomplete on join")
+	}
+}
+
+func TestGLUpdateSerialisesAndVersions(t *testing.T) {
+	w := testTree(t)
+	m, err := New(w.Tree, Config{Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := m.GLVersion()
+	resp, err := m.handleGLUpdate(&wire.GLUpdateRequest{
+		ServerID: 0, Op: "setattr",
+		Entry: wire.Entry{Path: "/", Size: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.GLVersion != v0+1 || resp.Entry.Version != 2 || resp.Entry.Size != 7 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if _, err := m.handleGLUpdate(&wire.GLUpdateRequest{
+		ServerID: 0, Op: "setattr", Entry: wire.Entry{Path: "/nope"},
+	}); err == nil {
+		t.Error("setattr of non-GL path accepted")
+	}
+	if _, err := m.handleGLUpdate(&wire.GLUpdateRequest{
+		ServerID: 0, Op: "create", Entry: wire.Entry{Path: "/", Kind: wire.EntryDir},
+	}); err == nil {
+		t.Error("duplicate GL create accepted")
+	}
+	if _, err := m.handleGLUpdate(&wire.GLUpdateRequest{
+		ServerID: 0, Op: "chmod", Entry: wire.Entry{Path: "/"},
+	}); err == nil {
+		t.Error("unknown GL op accepted")
+	}
+}
+
+func TestHeartbeatDetectsFailure(t *testing.T) {
+	w := testTree(t)
+	m, err := New(w.Tree, Config{Servers: 2, HeartbeatTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(100, 0)
+	m.SetClock(func() time.Time { return now })
+	if _, err := m.handleJoin(&wire.JoinRequest{Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.handleJoin(&wire.JoinRequest{Addr: "b:2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Server 0 goes silent; server 1 heartbeats past the timeout.
+	now = now.Add(2 * time.Second)
+	if _, err := m.handleHeartbeat(&wire.HeartbeatRequest{ServerID: 1, Addr: "b:2", Load: 5}); err != nil {
+		t.Fatal(err)
+	}
+	mem := m.Members()
+	if mem[0].Alive {
+		t.Error("silent server still alive")
+	}
+	if !mem[1].Alive {
+		t.Error("heartbeating server marked dead")
+	}
+	// Every subtree of the dead server must have recovery in flight toward
+	// server 1 (ownership commits only after the entries are installed —
+	// the fake address here never completes, so owners stay unchanged).
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for root, owner := range m.subtreeOwner {
+		if owner != 0 {
+			continue
+		}
+		if dst, moving := m.inFlight[root]; !moving || dst != 1 {
+			t.Errorf("subtree %s of dead server not in recovery: dst=%d moving=%v",
+				root, dst, moving)
+		}
+	}
+}
+
+func TestHeartbeatStaleVersionsGetRefresh(t *testing.T) {
+	w := testTree(t)
+	m, err := New(w.Tree, Config{Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.handleJoin(&wire.JoinRequest{Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.handleHeartbeat(&wire.HeartbeatRequest{
+		ServerID: 0, GLVersion: 0, IndexVer: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.GlobalLayer) == 0 {
+		t.Error("stale GL version got no refresh")
+	}
+	if resp.Index == nil {
+		t.Error("stale index version got no refresh")
+	}
+	// Fresh versions get deltas only.
+	resp2, err := m.handleHeartbeat(&wire.HeartbeatRequest{
+		ServerID: 0, GLVersion: resp.GLVersion, IndexVer: resp.IndexVer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.GlobalLayer) != 0 || resp2.Index != nil {
+		t.Error("fresh server got unnecessary refresh")
+	}
+}
+
+func TestHeartbeatUnknownServer(t *testing.T) {
+	w := testTree(t)
+	m, err := New(w.Tree, Config{Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.handleHeartbeat(&wire.HeartbeatRequest{ServerID: 5}); err == nil {
+		t.Error("unknown server heartbeat accepted")
+	}
+}
+
+func TestPlanAdjustmentCreatesTransfers(t *testing.T) {
+	w := testTree(t)
+	m, err := New(w.Tree, Config{Servers: 2, Slack: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.handleJoin(&wire.JoinRequest{Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.handleJoin(&wire.JoinRequest{Addr: "b:2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Prime both servers' load reports, then heartbeat the overloaded one:
+	// planning and delivery happen within that same heartbeat exchange.
+	if _, err := m.handleHeartbeat(&wire.HeartbeatRequest{ServerID: 1, Addr: "b:2", Load: 1}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.handleHeartbeat(&wire.HeartbeatRequest{ServerID: 0, Addr: "a:1", Load: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Transfers) == 0 {
+		t.Fatal("no transfers planned/delivered for overloaded server")
+	}
+	for _, cmd := range resp.Transfers {
+		if cmd.DestAddr != "b:2" {
+			t.Errorf("transfer dest = %q, want b:2", cmd.DestAddr)
+		}
+		// Ownership stays with the source until TransferDone; the move is
+		// tracked in-flight so it is not re-planned.
+		m.mu.Lock()
+		owner := m.subtreeOwner[cmd.RootPath]
+		dst, moving := m.inFlight[cmd.RootPath]
+		m.mu.Unlock()
+		if owner != 0 {
+			t.Errorf("subtree %s owner = %d before TransferDone, want 0", cmd.RootPath, owner)
+		}
+		if !moving || dst != 1 {
+			t.Errorf("subtree %s in-flight = %d,%v, want 1,true", cmd.RootPath, dst, moving)
+		}
+		// Completing the transfer commits ownership.
+		if _, err := m.handleTransferDone(&wire.TransferDoneRequest{
+			ServerID: 0, RootPath: cmd.RootPath, DestAddr: cmd.DestAddr,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		m.mu.Lock()
+		owner = m.subtreeOwner[cmd.RootPath]
+		_, moving = m.inFlight[cmd.RootPath]
+		addr := m.index[cmd.RootPath]
+		m.mu.Unlock()
+		if owner != 1 || moving || addr != "b:2" {
+			t.Errorf("post-done state: owner=%d moving=%v addr=%q", owner, moving, addr)
+		}
+	}
+	// Delivered commands are cleared from the pending queue.
+	m.mu.Lock()
+	left := len(m.transfers[0])
+	m.mu.Unlock()
+	if left != 0 {
+		t.Error("transfers not cleared after delivery")
+	}
+}
+
+func TestClusterInfo(t *testing.T) {
+	w := testTree(t)
+	m, err := New(w.Tree, Config{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.handleJoin(&wire.JoinRequest{Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.handleClusterInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Servers) != 1 || info.Servers[0] != "a:1" {
+		t.Errorf("servers = %v", info.Servers)
+	}
+	if len(info.Index) == 0 {
+		t.Error("empty index")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	w := testTree(t)
+	m, err := New(w.Tree, Config{Addr: "127.0.0.1:0", Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	w := testTree(t)
+	walPath := t.TempDir() + "/monitor.wal"
+
+	m1, err := New(w.Tree, Config{Servers: 2, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.handleJoin(&wire.JoinRequest{Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Journal a GL update and an ownership change.
+	if _, err := m1.handleGLUpdate(&wire.GLUpdateRequest{
+		ServerID: 0, Op: "setattr", Entry: wire.Entry{Path: "/", Size: 42},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.handleGLUpdate(&wire.GLUpdateRequest{
+		ServerID: 0, Op: "create", Entry: wire.Entry{Path: "/wal-dir", Kind: wire.EntryDir},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var someRoot string
+	m1.mu.Lock()
+	for root := range m1.subtreeOwner {
+		someRoot = root
+		break
+	}
+	m1.mu.Unlock()
+	m1.mu.Lock()
+	m1.inFlight[someRoot] = 1
+	m1.mu.Unlock()
+	if _, err := m1.handleTransferDone(&wire.TransferDoneRequest{
+		ServerID: 0, RootPath: someRoot, DestAddr: "b:2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	glv := m1.GLVersion()
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart against the same (re-generated) namespace and WAL.
+	w2 := testTree(t) // same seed ⇒ identical tree
+	m2, err := New(w2.Tree, Config{Servers: 2, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m2.Close() }()
+	if m2.GLVersion() != glv {
+		t.Errorf("recovered GL version = %d, want %d", m2.GLVersion(), glv)
+	}
+	m2.mu.Lock()
+	root := m2.glEntries["/"]
+	created := m2.glEntries["/wal-dir"]
+	owner := m2.subtreeOwner[someRoot]
+	m2.mu.Unlock()
+	if root == nil || root.Size != 42 || root.Version != 2 {
+		t.Errorf("recovered root = %+v", root)
+	}
+	if created == nil || created.Kind != wire.EntryDir {
+		t.Errorf("recovered created dir = %+v", created)
+	}
+	if owner != 1 {
+		t.Errorf("recovered owner = %d, want 1", owner)
+	}
+	// The created dir must also exist in the recovered namespace tree.
+	if _, err := w2.Tree.Lookup("/wal-dir"); err != nil {
+		t.Errorf("recovered tree missing /wal-dir: %v", err)
+	}
+	// And the recovered monitor keeps journalling.
+	if _, err := m2.handleJoin(&wire.JoinRequest{Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.handleGLUpdate(&wire.GLUpdateRequest{
+		ServerID: 0, Op: "setattr", Entry: wire.Entry{Path: "/", Size: 43},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m2.GLVersion() != glv+1 {
+		t.Errorf("version after recovered update = %d", m2.GLVersion())
+	}
+}

@@ -1,0 +1,161 @@
+package namespace
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// BuildConfig controls random namespace generation. Generated trees imitate
+// the hierarchical shape of the paper's trace namespaces: a configurable
+// directory depth, per-directory fanout, and file population.
+type BuildConfig struct {
+	// Nodes is the approximate total node budget (files + directories).
+	Nodes int
+	// MaxDepth bounds directory nesting (Table I reports 49/9/13 for the
+	// three traces).
+	MaxDepth int
+	// DirFanout is the mean number of subdirectories per directory.
+	DirFanout float64
+	// RootFanout, when > 0, forces the root to have exactly this many
+	// subdirectories regardless of DirFanout. Real namespaces have a wide
+	// top level even when the rest of the tree is narrow and deep.
+	RootFanout int
+	// FilesPerDir is the mean number of files per directory.
+	FilesPerDir float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports whether the configuration is usable.
+func (c BuildConfig) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("namespace: BuildConfig.Nodes = %d, need >= 1", c.Nodes)
+	case c.MaxDepth < 1:
+		return fmt.Errorf("namespace: BuildConfig.MaxDepth = %d, need >= 1", c.MaxDepth)
+	case c.DirFanout < 0 || c.FilesPerDir < 0:
+		return fmt.Errorf("namespace: negative fanout in BuildConfig")
+	case c.DirFanout == 0 && c.FilesPerDir == 0:
+		return fmt.Errorf("namespace: BuildConfig needs DirFanout or FilesPerDir > 0")
+	}
+	return nil
+}
+
+// Build generates a random namespace tree. The generator grows the tree
+// breadth-first: each directory receives a Poisson-ish number of
+// subdirectories and files until the node budget is exhausted. Deep, skinny
+// chains (as in the depth-49 DTR namespace) arise when DirFanout is near 1.
+func Build(cfg BuildConfig) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := NewTree()
+	frontier := []*Node{t.Root()}
+	dirSeq, fileSeq := 0, 0
+	// Reserve part of the budget for the deep chains appended after the
+	// breadth-first growth, so the tree actually reaches MaxDepth.
+	reserve := 3 * cfg.MaxDepth
+	if reserve > cfg.Nodes/10 {
+		reserve = cfg.Nodes / 10
+	}
+	bfsBudget := cfg.Nodes - reserve
+	for len(frontier) > 0 && t.Len() < bfsBudget {
+		dir := frontier[0]
+		frontier = frontier[1:]
+
+		nFiles := sampleCount(rng, cfg.FilesPerDir)
+		for i := 0; i < nFiles && t.Len() < bfsBudget; i++ {
+			fileSeq++
+			name := "f" + strconv.Itoa(fileSeq)
+			if _, err := t.AddChild(dir, name, KindFile); err != nil {
+				return nil, err
+			}
+		}
+		if dir.Depth()+1 >= cfg.MaxDepth {
+			continue
+		}
+		nDirs := sampleCount(rng, cfg.DirFanout)
+		if dir == t.Root() && cfg.RootFanout > 0 {
+			nDirs = cfg.RootFanout
+		}
+		for i := 0; i < nDirs && t.Len() < bfsBudget; i++ {
+			dirSeq++
+			name := "d" + strconv.Itoa(dirSeq)
+			child, err := t.AddChild(dir, name, KindDir)
+			if err != nil {
+				return nil, err
+			}
+			frontier = append(frontier, child)
+		}
+	}
+	// Real namespaces contain a few very deep chains (Table I reports max
+	// depths up to 49) even when the bulk of the tree is shallow: extend
+	// chains from the deepest directories until MaxDepth is reached, budget
+	// permitting.
+	if t.Len() < cfg.Nodes {
+		deepest := t.Root()
+		for _, n := range t.nodes {
+			if n.IsDir() && n.Depth() > deepest.Depth() {
+				deepest = n
+			}
+		}
+		for c := 0; c < 3 && t.Len() < cfg.Nodes; c++ {
+			cur := deepest
+			for cur.Depth() < cfg.MaxDepth-1 && t.Len() < cfg.Nodes {
+				child, err := t.AddChild(cur, "deep"+strconv.Itoa(c)+"_"+strconv.Itoa(cur.Depth()), KindDir)
+				if err != nil {
+					return nil, err
+				}
+				cur = child
+			}
+			if cur != deepest && t.Len() < cfg.Nodes {
+				fileSeq++
+				if _, err := t.AddChild(cur, "f"+strconv.Itoa(fileSeq), KindFile); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Guarantee the budget is met even if the frontier drained early (all
+	// directories hit MaxDepth): pad files under the deepest directory.
+	for t.Len() < cfg.Nodes {
+		deepest := t.Root()
+		for _, n := range t.nodes {
+			if n.IsDir() && n.Depth() > deepest.Depth() {
+				deepest = n
+			}
+		}
+		fileSeq++
+		if _, err := t.AddChild(deepest, "pad"+strconv.Itoa(fileSeq), KindFile); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// sampleCount draws a non-negative integer with the given mean using a
+// geometric-like sampler: floor(mean) plus a Bernoulli for the fraction,
+// then ±1 jitter. Cheap, deterministic per seed, and close enough to Poisson
+// for shaping namespaces.
+func sampleCount(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	base := int(mean)
+	frac := mean - float64(base)
+	n := base
+	if rng.Float64() < frac {
+		n++
+	}
+	switch rng.Intn(4) {
+	case 0:
+		if n > 0 {
+			n--
+		}
+	case 1:
+		n++
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+package namespace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  BuildConfig
+		ok   bool
+	}{
+		{"valid", BuildConfig{Nodes: 10, MaxDepth: 3, DirFanout: 2, FilesPerDir: 3}, true},
+		{"zero nodes", BuildConfig{Nodes: 0, MaxDepth: 3, DirFanout: 2}, false},
+		{"zero depth", BuildConfig{Nodes: 10, MaxDepth: 0, DirFanout: 2}, false},
+		{"negative fanout", BuildConfig{Nodes: 10, MaxDepth: 3, DirFanout: -1}, false},
+		{"all-zero fanout", BuildConfig{Nodes: 10, MaxDepth: 3}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() = %v, ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestBuildMeetsBudgetAndDepth(t *testing.T) {
+	cfg := BuildConfig{Nodes: 500, MaxDepth: 6, DirFanout: 2.5, FilesPerDir: 4, Seed: 42}
+	tr, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != cfg.Nodes {
+		t.Errorf("Len = %d, want %d", tr.Len(), cfg.Nodes)
+	}
+	if d := tr.MaxDepth(); d >= cfg.MaxDepth+1 {
+		t.Errorf("MaxDepth = %d, want < %d", d, cfg.MaxDepth+1)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	cfg := BuildConfig{Nodes: 300, MaxDepth: 8, DirFanout: 2, FilesPerDir: 3, Seed: 7}
+	a, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteSnapshot(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteSnapshot(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("same seed produced different trees")
+	}
+}
+
+func TestBuildDifferentSeedsDiffer(t *testing.T) {
+	base := BuildConfig{Nodes: 300, MaxDepth: 8, DirFanout: 2, FilesPerDir: 3}
+	cfgA, cfgB := base, base
+	cfgA.Seed, cfgB.Seed = 1, 2
+	a, _ := Build(cfgA)
+	b, _ := Build(cfgB)
+	var bufA, bufB bytes.Buffer
+	_ = a.WriteSnapshot(&bufA)
+	_ = b.WriteSnapshot(&bufB)
+	if bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("different seeds produced identical trees")
+	}
+}
+
+// TestBuildStructuralInvariants is a property test: for any sane config, the
+// built tree satisfies parent/child, depth, and popularity invariants.
+func TestBuildStructuralInvariants(t *testing.T) {
+	prop := func(seed int64, nodes uint16, depth, fan, files uint8) bool {
+		cfg := BuildConfig{
+			Nodes:       int(nodes%2000) + 1,
+			MaxDepth:    int(depth%20) + 1,
+			DirFanout:   float64(fan%5) + 0.5,
+			FilesPerDir: float64(files % 6),
+			Seed:        seed,
+		}
+		tr, err := Build(cfg)
+		if err != nil {
+			t.Logf("Build(%+v): %v", cfg, err)
+			return false
+		}
+		if tr.Len() != cfg.Nodes {
+			return false
+		}
+		for _, n := range tr.Nodes() {
+			if n.Parent() != nil && n.Depth() != n.Parent().Depth()+1 {
+				return false
+			}
+			if n.Parent() != nil && n.Parent().Child(n.Name()) != n {
+				return false
+			}
+			if !n.IsDir() && n.NumChildren() != 0 {
+				return false
+			}
+		}
+		return tr.CheckPopularity() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTouchAggregateProperty: random touches keep Def. 2 consistent and the
+// root total equals the sum of all self popularities.
+func TestTouchAggregateProperty(t *testing.T) {
+	prop := func(seed int64, touches uint8) bool {
+		tr, err := Build(BuildConfig{
+			Nodes: 200, MaxDepth: 6, DirFanout: 2, FilesPerDir: 3, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		nodes := tr.Nodes()
+		var sum int64
+		for i := 0; i < int(touches)+1; i++ {
+			n := nodes[rng.Intn(len(nodes))]
+			d := int64(rng.Intn(100))
+			tr.Touch(n, d)
+			sum += d
+		}
+		return tr.TotalPopularity() == sum && tr.CheckPopularity() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tr, err := Build(BuildConfig{Nodes: 400, MaxDepth: 7, DirFanout: 2, FilesPerDir: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range tr.Nodes() {
+		tr.Touch(n, int64(rng.Intn(50)))
+		tr.SetUpdateCost(n, int64(rng.Intn(10)))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), tr.Len())
+	}
+	for _, n := range tr.Nodes() {
+		m := got.Node(n.ID())
+		if m == nil {
+			t.Fatalf("missing node %d", n.ID())
+		}
+		if m.Name() != n.Name() || m.Kind() != n.Kind() || m.Depth() != n.Depth() ||
+			m.SelfPopularity() != n.SelfPopularity() ||
+			m.TotalPopularity() != n.TotalPopularity() ||
+			m.UpdateCost() != n.UpdateCost() {
+			t.Errorf("node %d mismatch after round trip", n.ID())
+		}
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewBufferString("not json")); err == nil {
+		t.Error("want error for garbage input")
+	}
+	if _, err := ReadSnapshot(bytes.NewBufferString(`{"format":"wrong","nodes":1}` + "\n")); err == nil {
+		t.Error("want error for wrong format")
+	}
+}

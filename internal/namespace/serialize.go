@@ -1,0 +1,108 @@
+package namespace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// snapshotNode is the wire form of one node in a tree snapshot. Parents
+// always precede children in the stream, so decoding is a single pass.
+type snapshotNode struct {
+	ID         NodeID `json:"id"`
+	Parent     NodeID `json:"parent"`
+	Name       string `json:"name"`
+	Kind       Kind   `json:"kind"`
+	SelfPop    int64  `json:"selfPop,omitempty"`
+	UpdateCost int64  `json:"updateCost,omitempty"`
+}
+
+// snapshotHeader leads a snapshot stream and allows format evolution.
+type snapshotHeader struct {
+	Format         string `json:"format"`
+	Nodes          int    `json:"nodes"`
+	RootSelfPop    int64  `json:"rootSelfPop,omitempty"`
+	RootUpdateCost int64  `json:"rootUpdateCost,omitempty"`
+}
+
+const snapshotFormat = "d2tree/namespace/v1"
+
+// WriteSnapshot serialises the tree as newline-delimited JSON: one header
+// line followed by one line per non-root node in creation order.
+func (t *Tree) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := snapshotHeader{
+		Format:         snapshotFormat,
+		Nodes:          t.Len(),
+		RootSelfPop:    t.root.selfPop,
+		RootUpdateCost: t.root.updateCost,
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("namespace: encode header: %w", err)
+	}
+	for _, n := range t.nodes {
+		if n == nil || n.parent == nil {
+			continue
+		}
+		rec := snapshotNode{
+			ID:         n.id,
+			Parent:     n.parent.id,
+			Name:       n.name,
+			Kind:       n.kind,
+			SelfPop:    n.selfPop,
+			UpdateCost: n.updateCost,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("namespace: encode node %d: %w", n.id, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot reconstructs a tree written by WriteSnapshot, including
+// popularity aggregates.
+func ReadSnapshot(r io.Reader) (*Tree, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("namespace: decode header: %w", err)
+	}
+	if hdr.Format != snapshotFormat {
+		return nil, fmt.Errorf("namespace: unknown snapshot format %q", hdr.Format)
+	}
+	t := NewTree()
+	t.root.selfPop = hdr.RootSelfPop
+	t.root.updateCost = hdr.RootUpdateCost
+	// Snapshots of trees with deleted nodes have ID gaps, so IDs are
+	// remapped on load (parents always precede children in the stream).
+	byOldID := map[NodeID]*Node{0: t.root}
+	for {
+		var rec snapshotNode
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("namespace: decode node: %w", err)
+		}
+		parent, ok := byOldID[rec.Parent]
+		if !ok {
+			return nil, fmt.Errorf("namespace: node %d references missing parent %d",
+				rec.ID, rec.Parent)
+		}
+		n, err := t.AddChild(parent, rec.Name, rec.Kind)
+		if err != nil {
+			return nil, err
+		}
+		byOldID[rec.ID] = n
+		n.selfPop = rec.SelfPop
+		n.updateCost = rec.UpdateCost
+	}
+	if t.Len() != hdr.Nodes {
+		return nil, fmt.Errorf("namespace: snapshot has %d nodes, header says %d",
+			t.Len(), hdr.Nodes)
+	}
+	t.RecomputePopularity()
+	return t, nil
+}

@@ -1,0 +1,313 @@
+package namespace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustAdd(t *testing.T, tr *Tree, parent *Node, name string, kind Kind) *Node {
+	t.Helper()
+	n, err := tr.AddChild(parent, name, kind)
+	if err != nil {
+		t.Fatalf("AddChild(%q): %v", name, err)
+	}
+	return n
+}
+
+// buildPaperTree reproduces the Fig. 2 namespace from the paper:
+// /home/{a,b}, /var/{d,e}, /usr/f with a few files.
+func buildPaperTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := NewTree()
+	for _, p := range []string{"/home/a", "/home/b", "/var/d", "/var/e", "/usr/f"} {
+		if _, err := tr.MkdirAll(p); err != nil {
+			t.Fatalf("MkdirAll(%q): %v", p, err)
+		}
+	}
+	for _, p := range []string{
+		"/home/a/c.txt", "/home/b/g.pdf", "/home/b/h.jpg",
+		"/var/e/j.doc", "/usr/f/k.jpg",
+	} {
+		if _, err := tr.AddFile(p); err != nil {
+			t.Fatalf("AddFile(%q): %v", p, err)
+		}
+	}
+	return tr
+}
+
+func TestNewTreeHasRoot(t *testing.T) {
+	tr := NewTree()
+	if tr.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", tr.Len())
+	}
+	r := tr.Root()
+	if !r.IsDir() || r.Name() != "/" || r.Depth() != 0 || r.Parent() != nil {
+		t.Errorf("unexpected root: %+v", r)
+	}
+	if got := tr.Path(r); got != "/" {
+		t.Errorf("Path(root) = %q, want /", got)
+	}
+}
+
+func TestAddChildErrors(t *testing.T) {
+	tr := NewTree()
+	f := mustAdd(t, tr, tr.Root(), "file", KindFile)
+	tests := []struct {
+		name    string
+		parent  *Node
+		child   string
+		wantErr error
+	}{
+		{"nil parent", nil, "x", ErrNotFound},
+		{"file parent", f, "x", ErrNotDir},
+		{"empty name", tr.Root(), "", ErrEmptyName},
+		{"slash in name", tr.Root(), "a/b", ErrSlashName},
+		{"duplicate", tr.Root(), "file", ErrExists},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tr.AddChild(tt.parent, tt.child, KindFile)
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("AddChild(%q) err = %v, want %v", tt.child, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLookupAndPathRoundTrip(t *testing.T) {
+	tr := buildPaperTree(t)
+	paths := []string{"/", "/home", "/home/b", "/home/b/h.jpg", "/usr/f/k.jpg"}
+	for _, p := range paths {
+		n, err := tr.Lookup(p)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", p, err)
+		}
+		if got := tr.Path(n); got != p {
+			t.Errorf("Path(Lookup(%q)) = %q", p, got)
+		}
+	}
+}
+
+func TestLookupNotFound(t *testing.T) {
+	tr := buildPaperTree(t)
+	if _, err := tr.Lookup("/nope/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []string
+		wantErr bool
+	}{
+		{"/", nil, false},
+		{"/a", []string{"a"}, false},
+		{"/a/b/c", []string{"a", "b", "c"}, false},
+		{"/a/b/", []string{"a", "b"}, false},
+		{"", nil, true},
+		{"a/b", nil, true},
+		{"//a", nil, true},
+		{"/a//b", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := SplitPath(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("SplitPath(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if strings.Join(got, ",") != strings.Join(tt.want, ",") {
+			t.Errorf("SplitPath(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestJoinPath(t *testing.T) {
+	if got := JoinPath(); got != "/" {
+		t.Errorf("JoinPath() = %q", got)
+	}
+	if got := JoinPath("a", "b"); got != "/a/b" {
+		t.Errorf("JoinPath(a,b) = %q", got)
+	}
+}
+
+func TestMkdirAllIdempotent(t *testing.T) {
+	tr := NewTree()
+	a, err := tr.MkdirAll("/x/y/z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.MkdirAll("/x/y/z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("MkdirAll not idempotent")
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len() = %d, want 4", tr.Len())
+	}
+}
+
+func TestAddFileOverDirFails(t *testing.T) {
+	tr := NewTree()
+	if _, err := tr.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.AddFile("/d"); !errors.Is(err, ErrExists) {
+		t.Errorf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestTouchPropagatesPopularity(t *testing.T) {
+	tr := buildPaperTree(t)
+	h, err := tr.Lookup("/home/b/h.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Touch(h, 5)
+	home, _ := tr.Lookup("/home")
+	b, _ := tr.Lookup("/home/b")
+	for _, tc := range []struct {
+		n    *Node
+		want int64
+	}{
+		{h, 5}, {b, 5}, {home, 5}, {tr.Root(), 5},
+	} {
+		if got := tc.n.TotalPopularity(); got != tc.want {
+			t.Errorf("TotalPopularity(%s) = %d, want %d", tr.Path(tc.n), got, tc.want)
+		}
+	}
+	if h.SelfPopularity() != 5 || b.SelfPopularity() != 0 {
+		t.Error("self popularity wrong after Touch")
+	}
+	if err := tr.CheckPopularity(); err != nil {
+		t.Errorf("CheckPopularity: %v", err)
+	}
+}
+
+func TestRecomputePopularityMatchesIncremental(t *testing.T) {
+	tr := buildPaperTree(t)
+	i := int64(1)
+	for _, n := range tr.Nodes() {
+		tr.Touch(n, i)
+		i++
+	}
+	want := make(map[NodeID]int64)
+	for _, n := range tr.Nodes() {
+		want[n.ID()] = n.TotalPopularity()
+	}
+	tr.RecomputePopularity()
+	for _, n := range tr.Nodes() {
+		if n.TotalPopularity() != want[n.ID()] {
+			t.Errorf("node %d total = %d, want %d", n.ID(), n.TotalPopularity(), want[n.ID()])
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	tr := buildPaperTree(t)
+	h, _ := tr.Lookup("/home/b/h.jpg")
+	chain := h.Ancestors()
+	wantPaths := []string{"/", "/home", "/home/b", "/home/b/h.jpg"}
+	if len(chain) != len(wantPaths) {
+		t.Fatalf("len(chain) = %d, want %d", len(chain), len(wantPaths))
+	}
+	for i, n := range chain {
+		if tr.Path(n) != wantPaths[i] {
+			t.Errorf("chain[%d] = %q, want %q", i, tr.Path(n), wantPaths[i])
+		}
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	tr := buildPaperTree(t)
+	home, _ := tr.Lookup("/home")
+	h, _ := tr.Lookup("/home/b/h.jpg")
+	usr, _ := tr.Lookup("/usr")
+	if !home.IsAncestorOf(h) {
+		t.Error("home should be ancestor of h.jpg")
+	}
+	if !h.IsAncestorOf(h) {
+		t.Error("node should be its own ancestor (reflexive)")
+	}
+	if usr.IsAncestorOf(h) {
+		t.Error("usr must not be ancestor of /home/b/h.jpg")
+	}
+}
+
+func TestWalkPreOrderAndPrune(t *testing.T) {
+	tr := buildPaperTree(t)
+	var visited []string
+	tr.Walk(func(n *Node) bool {
+		visited = append(visited, tr.Path(n))
+		return tr.Path(n) != "/home" // prune /home subtree
+	})
+	for _, p := range visited {
+		if strings.HasPrefix(p, "/home/") {
+			t.Errorf("visited pruned node %q", p)
+		}
+	}
+	if visited[0] != "/" {
+		t.Errorf("walk did not start at root: %v", visited[0])
+	}
+}
+
+func TestSubtreeNodesAndSize(t *testing.T) {
+	tr := buildPaperTree(t)
+	b, _ := tr.Lookup("/home/b")
+	nodes := tr.SubtreeNodes(b)
+	if len(nodes) != 3 { // b, g.pdf, h.jpg
+		t.Errorf("len(SubtreeNodes) = %d, want 3", len(nodes))
+	}
+	if tr.SubtreeSize(b) != 3 {
+		t.Errorf("SubtreeSize = %d, want 3", tr.SubtreeSize(b))
+	}
+	if tr.SubtreeSize(tr.Root()) != tr.Len() {
+		t.Errorf("SubtreeSize(root) = %d, want %d", tr.SubtreeSize(tr.Root()), tr.Len())
+	}
+}
+
+func TestChildrenReturnsCopy(t *testing.T) {
+	tr := buildPaperTree(t)
+	kids := tr.Root().Children()
+	if len(kids) == 0 {
+		t.Fatal("root has no children")
+	}
+	kids[0] = nil
+	if tr.Root().Children()[0] == nil {
+		t.Error("Children() exposed internal slice")
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	tr := buildPaperTree(t)
+	if got := tr.MaxDepth(); got != 3 {
+		t.Errorf("MaxDepth = %d, want 3", got)
+	}
+}
+
+func TestNodeByID(t *testing.T) {
+	tr := buildPaperTree(t)
+	for _, n := range tr.Nodes() {
+		if tr.Node(n.ID()) != n {
+			t.Errorf("Node(%d) mismatch", n.ID())
+		}
+	}
+	if tr.Node(-1) != nil || tr.Node(NodeID(tr.Len())) != nil {
+		t.Error("out-of-range Node() should be nil")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindDir.String() != "dir" || KindFile.String() != "file" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unexpected: %s", Kind(99))
+	}
+}

@@ -1,0 +1,424 @@
+// Package partition defines the common framework all five metadata
+// partition schemes (D2-Tree and the four baselines) plug into: a placement
+// Assignment, the jump model of Def. 1, per-server load accounting, and the
+// Scheme/Rebalancer interfaces used by the replay simulator and the
+// experiment harness.
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"d2tree/internal/namespace"
+)
+
+// ServerID identifies one metadata server in a cluster of M servers,
+// numbered 0..M-1.
+type ServerID int
+
+// NoServer marks an unplaced node.
+const NoServer ServerID = -1
+
+// Errors reported by assignment operations.
+var (
+	ErrBadServer    = errors.New("partition: server id out of range")
+	ErrUnplaced     = errors.New("partition: node has no placement")
+	ErrDoublePlaced = errors.New("partition: node both replicated and owned")
+	ErrBadM         = errors.New("partition: need at least one server")
+)
+
+// Assignment records where every metadata node lives: replicated to all M
+// servers (the global layer in D2-Tree), replicated to a bounded subset
+// (the paper's future-work extension of thresholding GL replication), or
+// owned by exactly one server.
+type Assignment struct {
+	m          int
+	owner      map[namespace.NodeID]ServerID
+	replicated map[namespace.NodeID]struct{}
+	partial    map[namespace.NodeID][]ServerID
+}
+
+// NewAssignment creates an empty assignment over m servers.
+func NewAssignment(m int) (*Assignment, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%w: m = %d", ErrBadM, m)
+	}
+	return &Assignment{
+		m:          m,
+		owner:      make(map[namespace.NodeID]ServerID),
+		replicated: make(map[namespace.NodeID]struct{}),
+		partial:    make(map[namespace.NodeID][]ServerID),
+	}, nil
+}
+
+// M returns the number of servers.
+func (a *Assignment) M() int { return a.m }
+
+// SetOwner places a node on exactly one server, clearing any replication.
+func (a *Assignment) SetOwner(id namespace.NodeID, s ServerID) error {
+	if s < 0 || int(s) >= a.m {
+		return fmt.Errorf("%w: %d (m=%d)", ErrBadServer, s, a.m)
+	}
+	delete(a.replicated, id)
+	delete(a.partial, id)
+	a.owner[id] = s
+	return nil
+}
+
+// SetReplicated marks a node as replicated to every server.
+func (a *Assignment) SetReplicated(id namespace.NodeID) {
+	delete(a.owner, id)
+	delete(a.partial, id)
+	a.replicated[id] = struct{}{}
+}
+
+// SetReplicas replicates a node to a bounded server subset — the paper's
+// future-work knob "setting a threshold to control the number of
+// replications of global layer". Replicating to every server is normalised
+// to SetReplicated.
+func (a *Assignment) SetReplicas(id namespace.NodeID, servers []ServerID) error {
+	if len(servers) == 0 {
+		return fmt.Errorf("%w: empty replica set", ErrBadServer)
+	}
+	seen := make(map[ServerID]struct{}, len(servers))
+	cp := make([]ServerID, 0, len(servers))
+	for _, s := range servers {
+		if s < 0 || int(s) >= a.m {
+			return fmt.Errorf("%w: %d (m=%d)", ErrBadServer, s, a.m)
+		}
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		cp = append(cp, s)
+	}
+	if len(cp) == a.m {
+		a.SetReplicated(id)
+		return nil
+	}
+	if len(cp) == 1 {
+		return a.SetOwner(id, cp[0])
+	}
+	delete(a.owner, id)
+	delete(a.replicated, id)
+	a.partial[id] = cp
+	return nil
+}
+
+// Replicas returns the bounded replica set of a partially replicated node.
+func (a *Assignment) Replicas(id namespace.NodeID) ([]ServerID, bool) {
+	rs, ok := a.partial[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]ServerID, len(rs))
+	copy(out, rs)
+	return out, true
+}
+
+// Owner returns the owning server for a non-replicated node.
+// ok is false for replicated or unplaced nodes.
+func (a *Assignment) Owner(id namespace.NodeID) (ServerID, bool) {
+	s, ok := a.owner[id]
+	return s, ok
+}
+
+// IsReplicated reports whether the node is replicated to all servers.
+func (a *Assignment) IsReplicated(id namespace.NodeID) bool {
+	_, ok := a.replicated[id]
+	return ok
+}
+
+// Placed reports whether the node has any placement.
+func (a *Assignment) Placed(id namespace.NodeID) bool {
+	if _, ok := a.owner[id]; ok {
+		return true
+	}
+	if _, ok := a.partial[id]; ok {
+		return true
+	}
+	return a.IsReplicated(id)
+}
+
+// Holds reports whether server s can serve node id locally.
+func (a *Assignment) Holds(id namespace.NodeID, s ServerID) bool {
+	if a.IsReplicated(id) {
+		return true
+	}
+	if rs, ok := a.partial[id]; ok {
+		for _, r := range rs {
+			if r == s {
+				return true
+			}
+		}
+		return false
+	}
+	o, ok := a.owner[id]
+	return ok && o == s
+}
+
+// NumReplicated returns the number of replicated (global-layer) nodes.
+func (a *Assignment) NumReplicated() int { return len(a.replicated) }
+
+// NumOwned returns the number of singly-placed nodes.
+func (a *Assignment) NumOwned() int { return len(a.owner) }
+
+// ReplicatedIDs returns the replicated node IDs (unordered copy).
+func (a *Assignment) ReplicatedIDs() []namespace.NodeID {
+	out := make([]namespace.NodeID, 0, len(a.replicated))
+	for id := range a.replicated {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Validate checks that every node of the tree is placed exactly once
+// (Eq. 4 of the optimization problem).
+func (a *Assignment) Validate(t *namespace.Tree) error {
+	for _, n := range t.Nodes() {
+		id := n.ID()
+		placements := 0
+		if _, ok := a.owner[id]; ok {
+			placements++
+		}
+		if a.IsReplicated(id) {
+			placements++
+		}
+		if _, ok := a.partial[id]; ok {
+			placements++
+		}
+		if placements > 1 {
+			return fmt.Errorf("%w: node %d", ErrDoublePlaced, id)
+		}
+		if placements == 0 {
+			return fmt.Errorf("%w: node %d (%s)", ErrUnplaced, id, t.Path(n))
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the assignment.
+func (a *Assignment) Clone() *Assignment {
+	c := &Assignment{
+		m:          a.m,
+		owner:      make(map[namespace.NodeID]ServerID, len(a.owner)),
+		replicated: make(map[namespace.NodeID]struct{}, len(a.replicated)),
+		partial:    make(map[namespace.NodeID][]ServerID, len(a.partial)),
+	}
+	for k, v := range a.owner {
+		c.owner[k] = v
+	}
+	for k := range a.replicated {
+		c.replicated[k] = struct{}{}
+	}
+	for k, v := range a.partial {
+		cp := make([]ServerID, len(v))
+		copy(cp, v)
+		c.partial[k] = cp
+	}
+	return c
+}
+
+// Jumps computes jp_j for one node under Def. 1, extended with the paper's
+// treatment of replication: consecutive ancestors served by the same MDS
+// cost nothing; a transition between two different concrete owners costs 1;
+// a transition from a replicated prefix (served by a randomly chosen MDS)
+// into a concretely owned subtree costs (M−1)/M in expectation — which the
+// paper rounds to the "at most one hop" of Sec. IV-A1 and to jp_j = 1 in
+// Eq. 7. A concrete→replicated step is free because the replica also lives
+// on the current server.
+func (a *Assignment) Jumps(n *namespace.Node) float64 {
+	var (
+		jumps    float64
+		curWild  = false
+		cur      []ServerID
+		first    = true
+		scratch1 = [1]ServerID{}
+	)
+	chain := n.Ancestors() // root-first: the wildcard charge is directional
+	for _, node := range chain {
+		wild, set := a.locSet(node.ID(), scratch1[:0])
+		switch {
+		case first:
+			curWild, cur = wild, append(cur[:0], set...)
+			first = false
+		case wild:
+			// A replica is available on whichever server is serving now.
+		case curWild:
+			// Serving server uniform over all m; jump unless it happens to
+			// be one of the next node's |set| holders.
+			jumps += float64(a.m-len(set)) / float64(a.m)
+			curWild, cur = false, append(cur[:0], set...)
+		default:
+			inter := intersectCount(cur, set)
+			jumps += 1 - float64(inter)/float64(len(cur))
+			if inter > 0 {
+				cur = intersect(cur, set)
+			} else {
+				cur = append(cur[:0], set...)
+			}
+		}
+	}
+	return jumps
+}
+
+// locSet resolves a node's holder set. wild means "every server". Unplaced
+// nodes map to the sentinel NoServer so they count as a distinct location.
+func (a *Assignment) locSet(id namespace.NodeID, buf []ServerID) (bool, []ServerID) {
+	if a.IsReplicated(id) {
+		return true, nil
+	}
+	if rs, ok := a.partial[id]; ok {
+		return false, rs
+	}
+	if o, ok := a.owner[id]; ok {
+		return false, append(buf, o)
+	}
+	return false, append(buf, NoServer)
+}
+
+func intersectCount(a, b []ServerID) int {
+	n := 0
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func intersect(a, b []ServerID) []ServerID {
+	out := a[:0]
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// WeightedJumpSum returns Σ_j jp_j·p_j over every node of the tree — the
+// denominator of Eq. 1. Pair with metrics.Locality.
+func (a *Assignment) WeightedJumpSum(t *namespace.Tree) float64 {
+	var sum float64
+	for _, n := range t.Nodes() {
+		if jp := a.Jumps(n); jp > 0 {
+			sum += jp * float64(n.TotalPopularity())
+		}
+	}
+	return sum
+}
+
+// Loads returns the static per-server load L_k = Σ p_j over owned nodes,
+// with each replicated node contributing p_j/M to every server (global-layer
+// queries are served by a uniformly random MDS).
+func (a *Assignment) Loads(t *namespace.Tree) []float64 {
+	loads := make([]float64, a.m)
+	for _, n := range t.Nodes() {
+		p := float64(n.TotalPopularity())
+		if a.IsReplicated(n.ID()) {
+			share := p / float64(a.m)
+			for i := range loads {
+				loads[i] += share
+			}
+			continue
+		}
+		if rs, ok := a.partial[n.ID()]; ok {
+			share := p / float64(len(rs))
+			for _, s := range rs {
+				loads[s] += share
+			}
+			continue
+		}
+		if o, ok := a.owner[n.ID()]; ok {
+			loads[o] += p
+		}
+	}
+	return loads
+}
+
+// SelfLoads is like Loads but weights nodes by their individual popularity
+// p'_j instead of the aggregate p_j. This counts each access exactly once
+// and is what the replay simulator compares against.
+func (a *Assignment) SelfLoads(t *namespace.Tree) []float64 {
+	loads := make([]float64, a.m)
+	for _, n := range t.Nodes() {
+		p := float64(n.SelfPopularity())
+		if p == 0 {
+			continue
+		}
+		if a.IsReplicated(n.ID()) {
+			share := p / float64(a.m)
+			for i := range loads {
+				loads[i] += share
+			}
+			continue
+		}
+		if rs, ok := a.partial[n.ID()]; ok {
+			share := p / float64(len(rs))
+			for _, s := range rs {
+				loads[s] += share
+			}
+			continue
+		}
+		if o, ok := a.owner[n.ID()]; ok {
+			loads[o] += p
+		}
+	}
+	return loads
+}
+
+// Scheme is a metadata partition algorithm: given a namespace tree with
+// popularity annotations and a cluster size, produce a placement.
+type Scheme interface {
+	// Name returns the scheme's display name as used in the paper's legends.
+	Name() string
+	// Partition computes a full placement of the tree across m servers.
+	Partition(t *namespace.Tree, m int) (*Assignment, error)
+}
+
+// Router is implemented by schemes whose clients route requests with
+// scheme-specific knowledge. Forwards returns the expected number of
+// inter-MDS forwarding hops one operation on node n incurs at runtime —
+// distinct from Def. 1 jumps (Assignment.Jumps), which measure placement
+// locality: a static mount table routes directly (0 forwards) even though
+// the placement still has jumps in the Eq. 1 sense.
+type Router interface {
+	// Forwards estimates runtime forwarding hops for one op on n.
+	Forwards(t *namespace.Tree, asg *Assignment, n *namespace.Node) float64
+}
+
+// RenameCoster is implemented by schemes that can quantify the cost of
+// renaming a directory: the number of metadata records that must relocate
+// between servers. Pathname-hash schemes rehash the whole subtree (the
+// "considerable overhead of rehashing metadata when renaming an upper
+// directory" of Sec. II); subtree-based schemes update a mapping entry and
+// move nothing.
+type RenameCoster interface {
+	// RenameRelocations returns how many records renaming n would relocate.
+	RenameRelocations(t *namespace.Tree, asg *Assignment, n *namespace.Node) int
+}
+
+// Rebalancer is implemented by schemes that support dynamic load adjustment
+// (dynamic subtree partitioning, DROP's HDLB, D2-Tree's pending pool).
+type Rebalancer interface {
+	// Rebalance migrates load between servers given fresh per-server loads.
+	// It mutates asg in place and returns the number of nodes moved.
+	Rebalance(t *namespace.Tree, asg *Assignment, loads []float64) (int, error)
+}
+
+// Capacities returns a uniform capacity vector of the given size — the
+// homogeneous-cluster default used throughout the evaluation.
+func Capacities(m int, c float64) []float64 {
+	caps := make([]float64, m)
+	for i := range caps {
+		caps[i] = c
+	}
+	return caps
+}

@@ -1,0 +1,326 @@
+package partition
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"d2tree/internal/namespace"
+)
+
+// buildChainTree makes /a/b/c/d with unit popularity on every node.
+func buildChainTree(t *testing.T) (*namespace.Tree, []*namespace.Node) {
+	t.Helper()
+	tr := namespace.NewTree()
+	d, err := tr.MkdirAll("/a/b/c/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := d.Ancestors()
+	for _, n := range chain {
+		tr.Touch(n, 1)
+	}
+	return tr, chain
+}
+
+func TestNewAssignmentErrors(t *testing.T) {
+	if _, err := NewAssignment(0); !errors.Is(err, ErrBadM) {
+		t.Errorf("want ErrBadM, got %v", err)
+	}
+}
+
+func TestSetOwnerValidation(t *testing.T) {
+	a, err := NewAssignment(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetOwner(1, 3); !errors.Is(err, ErrBadServer) {
+		t.Errorf("want ErrBadServer, got %v", err)
+	}
+	if err := a.SetOwner(1, -1); !errors.Is(err, ErrBadServer) {
+		t.Errorf("want ErrBadServer, got %v", err)
+	}
+	if err := a.SetOwner(1, 2); err != nil {
+		t.Errorf("SetOwner: %v", err)
+	}
+	if s, ok := a.Owner(1); !ok || s != 2 {
+		t.Errorf("Owner = %v,%v", s, ok)
+	}
+}
+
+func TestReplicationOverridesOwnership(t *testing.T) {
+	a, _ := NewAssignment(2)
+	if err := a.SetOwner(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.SetReplicated(5)
+	if _, ok := a.Owner(5); ok {
+		t.Error("owner should be cleared after SetReplicated")
+	}
+	if !a.IsReplicated(5) || !a.Holds(5, 0) || !a.Holds(5, 1) {
+		t.Error("replicated node should be held everywhere")
+	}
+	if err := a.SetOwner(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.IsReplicated(5) {
+		t.Error("replication should be cleared after SetOwner")
+	}
+}
+
+func TestHoldsAndPlaced(t *testing.T) {
+	a, _ := NewAssignment(2)
+	_ = a.SetOwner(1, 0)
+	if !a.Holds(1, 0) || a.Holds(1, 1) {
+		t.Error("Holds wrong for owned node")
+	}
+	if a.Placed(99) || a.Holds(99, 0) {
+		t.Error("unplaced node should not be held")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr, chain := buildChainTree(t)
+	a, _ := NewAssignment(2)
+	if err := a.Validate(tr); !errors.Is(err, ErrUnplaced) {
+		t.Errorf("want ErrUnplaced, got %v", err)
+	}
+	for _, n := range chain {
+		_ = a.SetOwner(n.ID(), 0)
+	}
+	if err := a.Validate(tr); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestJumpsSingleOwnerIsZero(t *testing.T) {
+	tr, chain := buildChainTree(t)
+	a, _ := NewAssignment(3)
+	for _, n := range tr.Nodes() {
+		_ = a.SetOwner(n.ID(), 1)
+	}
+	leaf := chain[len(chain)-1]
+	if jp := a.Jumps(leaf); jp != 0 {
+		t.Errorf("Jumps = %v, want 0", jp)
+	}
+}
+
+func TestJumpsAlternatingOwners(t *testing.T) {
+	tr, chain := buildChainTree(t) // /, a, b, c, d
+	a, _ := NewAssignment(2)
+	for i, n := range chain {
+		_ = a.SetOwner(n.ID(), ServerID(i%2))
+	}
+	_ = tr
+	leaf := chain[len(chain)-1]
+	// 4 transitions, each between different servers.
+	if jp := a.Jumps(leaf); jp != 4 {
+		t.Errorf("Jumps = %v, want 4", jp)
+	}
+}
+
+func TestJumpsReplicatedPrefix(t *testing.T) {
+	_, chain := buildChainTree(t) // /, a, b, c, d
+	m := 4
+	a, _ := NewAssignment(m)
+	// Global layer: /, a, b. Local: c, d owned by server 2.
+	for _, n := range chain[:3] {
+		a.SetReplicated(n.ID())
+	}
+	_ = a.SetOwner(chain[3].ID(), 2)
+	_ = a.SetOwner(chain[4].ID(), 2)
+
+	wantBoundary := float64(m-1) / float64(m)
+	if jp := a.Jumps(chain[2]); jp != 0 {
+		t.Errorf("GL node jumps = %v, want 0", jp)
+	}
+	if jp := a.Jumps(chain[3]); jp != wantBoundary {
+		t.Errorf("subtree root jumps = %v, want %v", jp, wantBoundary)
+	}
+	if jp := a.Jumps(chain[4]); jp != wantBoundary {
+		t.Errorf("deep LL node jumps = %v, want %v (still one boundary)", jp, wantBoundary)
+	}
+}
+
+func TestJumpsConcreteToReplicatedIsFree(t *testing.T) {
+	_, chain := buildChainTree(t)
+	a, _ := NewAssignment(2)
+	// Odd layout: owned root, replicated middle, owned-elsewhere leaf.
+	_ = a.SetOwner(chain[0].ID(), 0)
+	a.SetReplicated(chain[1].ID())
+	a.SetReplicated(chain[2].ID())
+	_ = a.SetOwner(chain[3].ID(), 0) // same server as root: no jump
+	_ = a.SetOwner(chain[4].ID(), 1) // different server: 1 jump
+	if jp := a.Jumps(chain[3]); jp != 0 {
+		t.Errorf("jumps = %v, want 0 (replica served on current server)", jp)
+	}
+	if jp := a.Jumps(chain[4]); jp != 1 {
+		t.Errorf("jumps = %v, want 1", jp)
+	}
+}
+
+func TestWeightedJumpSumMatchesEq7ForD2Layout(t *testing.T) {
+	// Build a two-subtree namespace, replicate the top, and check that the
+	// weighted jump sum ≈ Σ_{LL} p_j scaled by (M−1)/M — Eq. 7's statement.
+	tr := namespace.NewTree()
+	for _, p := range []string{"/home/a/x.txt", "/home/b/y.txt", "/var/log/z.txt"} {
+		if _, err := tr.AddFile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range tr.Nodes() {
+		tr.Touch(n, 10)
+	}
+	m := 5
+	a, _ := NewAssignment(m)
+	gl := map[string]bool{"/": true, "/home": true, "/var": true}
+	var llPopSum float64
+	for _, n := range tr.Nodes() {
+		path := tr.Path(n)
+		if gl[path] {
+			a.SetReplicated(n.ID())
+			continue
+		}
+		llPopSum += float64(n.TotalPopularity())
+	}
+	// Assign each LL subtree (rooted at /home/a, /home/b, /var/log) intact.
+	sub := map[string]ServerID{"/home/a": 0, "/home/b": 1, "/var/log": 2}
+	for _, n := range tr.Nodes() {
+		path := tr.Path(n)
+		for prefix, srv := range sub {
+			if path == prefix || (len(path) > len(prefix) && path[:len(prefix)+1] == prefix+"/") {
+				_ = a.SetOwner(n.ID(), srv)
+			}
+		}
+	}
+	if err := a.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	got := a.WeightedJumpSum(tr)
+	want := llPopSum * float64(m-1) / float64(m)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("WeightedJumpSum = %v, want %v (Eq. 7 shape)", got, want)
+	}
+}
+
+func TestLoadsSplitReplicasEvenly(t *testing.T) {
+	tr, chain := buildChainTree(t)
+	a, _ := NewAssignment(2)
+	a.SetReplicated(chain[0].ID())
+	for _, n := range chain[1:] {
+		_ = a.SetOwner(n.ID(), 1)
+	}
+	loads := a.Loads(tr)
+	rootP := float64(chain[0].TotalPopularity())
+	if loads[0] != rootP/2 {
+		t.Errorf("loads[0] = %v, want %v", loads[0], rootP/2)
+	}
+	var totalOwn float64
+	for _, n := range chain[1:] {
+		totalOwn += float64(n.TotalPopularity())
+	}
+	if loads[1] != rootP/2+totalOwn {
+		t.Errorf("loads[1] = %v, want %v", loads[1], rootP/2+totalOwn)
+	}
+}
+
+func TestSelfLoadsSumToTotalPopularity(t *testing.T) {
+	tr, chain := buildChainTree(t)
+	a, _ := NewAssignment(3)
+	a.SetReplicated(chain[0].ID())
+	_ = a.SetOwner(chain[1].ID(), 0)
+	_ = a.SetOwner(chain[2].ID(), 1)
+	_ = a.SetOwner(chain[3].ID(), 2)
+	_ = a.SetOwner(chain[4].ID(), 2)
+	loads := a.SelfLoads(tr)
+	var sum float64
+	for _, l := range loads {
+		sum += l
+	}
+	if math.Abs(sum-float64(tr.TotalPopularity())) > 1e-9 {
+		t.Errorf("self loads sum %v, want %v", sum, tr.TotalPopularity())
+	}
+}
+
+func TestClone(t *testing.T) {
+	a, _ := NewAssignment(2)
+	_ = a.SetOwner(1, 0)
+	a.SetReplicated(2)
+	c := a.Clone()
+	_ = c.SetOwner(1, 1)
+	c.SetReplicated(3)
+	if s, _ := a.Owner(1); s != 0 {
+		t.Error("Clone aliased owner map")
+	}
+	if a.IsReplicated(3) {
+		t.Error("Clone aliased replicated set")
+	}
+	if c.M() != a.M() {
+		t.Error("Clone lost M")
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	caps := Capacities(3, 2.5)
+	if len(caps) != 3 || caps[0] != 2.5 || caps[2] != 2.5 {
+		t.Errorf("Capacities = %v", caps)
+	}
+}
+
+// Property: for any random single-owner placement, jumps of a node is at
+// most its depth, and WeightedJumpSum is non-negative.
+func TestJumpsBoundedByDepth(t *testing.T) {
+	prop := func(seed int64) bool {
+		tr, err := namespace.Build(namespace.BuildConfig{
+			Nodes: 150, MaxDepth: 8, DirFanout: 2, FilesPerDir: 2, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		a, err := NewAssignment(4)
+		if err != nil {
+			return false
+		}
+		for _, n := range tr.Nodes() {
+			if err := a.SetOwner(n.ID(), ServerID(int(n.ID())%4)); err != nil {
+				return false
+			}
+			tr.Touch(n, 1)
+		}
+		for _, n := range tr.Nodes() {
+			if jp := a.Jumps(n); jp < 0 || jp > float64(n.Depth()) {
+				return false
+			}
+		}
+		return a.WeightedJumpSum(tr) >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: replicating every node drives all jumps to zero regardless of
+// the tree shape (the single-server-equivalent of Eq. 1).
+func TestFullReplicationZeroJumps(t *testing.T) {
+	prop := func(seed int64) bool {
+		tr, err := namespace.Build(namespace.BuildConfig{
+			Nodes: 100, MaxDepth: 6, DirFanout: 2, FilesPerDir: 2, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		a, err := NewAssignment(3)
+		if err != nil {
+			return false
+		}
+		for _, n := range tr.Nodes() {
+			a.SetReplicated(n.ID())
+			tr.Touch(n, 1)
+		}
+		return a.WeightedJumpSum(tr) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,593 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"d2tree/internal/client"
+	"d2tree/internal/monitor"
+	"d2tree/internal/namespace"
+	"d2tree/internal/server"
+	"d2tree/internal/trace"
+	"d2tree/internal/wire"
+)
+
+// startCluster boots a Monitor plus n MDSs over a workload tree and returns
+// them with a cleanup function.
+func startCluster(t *testing.T, n int, treeNodes int) (*monitor.Monitor, []*server.Server, *namespace.Tree) {
+	t.Helper()
+	w, err := trace.BuildWorkload(trace.LMBE().Scale(treeNodes), treeNodes*4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(w.Tree, monitor.Config{
+		Addr:             "127.0.0.1:0",
+		Servers:          n,
+		HeartbeatTimeout: 600 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mon.Close() })
+
+	servers := make([]*server.Server, 0, n)
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Config{
+			Addr:              "127.0.0.1:0",
+			MonitorAddr:       mon.Addr(),
+			HeartbeatInterval: 50 * time.Millisecond,
+		})
+		if err := srv.Start(); err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		servers = append(servers, srv)
+	}
+	return mon, servers, w.Tree
+}
+
+func connect(t *testing.T, mon *monitor.Monitor) *client.Client {
+	t.Helper()
+	c, err := client.Connect(client.Config{MonitorAddr: mon.Addr(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// eventually polls cond until it returns nil or the deadline passes.
+func eventually(t *testing.T, d time.Duration, cond func() error) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	var last error
+	for time.Now().Before(deadline) {
+		if last = cond(); last == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("condition not met within %v: %v", d, last)
+}
+
+func TestClusterLookupEverywhere(t *testing.T) {
+	mon, _, tree := startCluster(t, 3, 600)
+	c := connect(t, mon)
+	// Every namespace path must be resolvable through the client.
+	checked := 0
+	for _, n := range tree.Nodes() {
+		if checked >= 200 {
+			break
+		}
+		p := tree.Path(n)
+		e, err := c.Lookup(p)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", p, err)
+		}
+		if e == nil || e.Path != p {
+			t.Fatalf("Lookup(%q) returned %+v", p, e)
+		}
+		wantKind := wire.EntryDir
+		if !n.IsDir() {
+			wantKind = wire.EntryFile
+		}
+		if e.Kind != wantKind {
+			t.Fatalf("Lookup(%q) kind = %v, want %v", p, e.Kind, wantKind)
+		}
+		checked++
+	}
+	if _, err := c.Lookup("/definitely/not/there"); err == nil {
+		t.Error("lookup of missing path succeeded")
+	}
+}
+
+func TestClusterReaddirRoot(t *testing.T) {
+	mon, _, tree := startCluster(t, 2, 300)
+	c := connect(t, mon)
+	names, err := c.Readdir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, child := range tree.Root().Children() {
+		want[child.Name()] = true
+	}
+	// The serving MDS lists at least its locally hosted children; the root
+	// is GL so all GL children must appear.
+	if len(names) == 0 {
+		t.Fatal("empty root listing")
+	}
+	for _, name := range names {
+		if !want[name] {
+			t.Errorf("unexpected child %q", name)
+		}
+	}
+}
+
+func TestClusterCreateLocalLayer(t *testing.T) {
+	mon, _, tree := startCluster(t, 3, 600)
+	c := connect(t, mon)
+	// Find a local-layer directory to create under: any deep dir.
+	var deepDir string
+	for _, n := range tree.Nodes() {
+		if n.IsDir() && n.Depth() >= 3 {
+			deepDir = tree.Path(n)
+			break
+		}
+	}
+	if deepDir == "" {
+		t.Skip("no deep directory in workload")
+	}
+	p := deepDir + "/newfile.bin"
+	e, err := c.Create(p, wire.EntryFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Path != p || e.Version != 1 {
+		t.Fatalf("created entry = %+v", e)
+	}
+	// When the chosen directory happens to sit in the global layer, the
+	// create commits at the Monitor and reaches replicas via heartbeats, so
+	// poll rather than assert immediately.
+	eventually(t, 2*time.Second, func() error {
+		got, err := c.Lookup(p)
+		if err != nil {
+			return err
+		}
+		if got.Path != p {
+			return fmt.Errorf("lookup returned %+v", got)
+		}
+		return nil
+	})
+	if _, err := c.Create(p, wire.EntryFile); err == nil {
+		t.Error("duplicate create succeeded")
+	}
+}
+
+func TestClusterCreateGlobalLayerPropagates(t *testing.T) {
+	mon, servers, _ := startCluster(t, 3, 600)
+	c := connect(t, mon)
+	before := mon.GLVersion()
+	p := "/gl-new-dir"
+	if _, err := c.Create(p, wire.EntryDir); err != nil {
+		t.Fatal(err)
+	}
+	if mon.GLVersion() <= before {
+		t.Error("GL version did not advance")
+	}
+	// Every server must observe the new GL entry after heartbeats.
+	eventually(t, 2*time.Second, func() error {
+		for i, srv := range servers {
+			cc, err := wire.Dial(srv.Addr(), time.Second)
+			if err != nil {
+				return err
+			}
+			var resp wire.LookupResponse
+			err = cc.Call(wire.TypeLookup, &wire.LookupRequest{Path: p}, &resp)
+			_ = cc.Close()
+			if err != nil {
+				return fmt.Errorf("server %d: %w", i, err)
+			}
+			if resp.Entry == nil || resp.Entry.Path != p {
+				return fmt.Errorf("server %d missing %s", i, p)
+			}
+		}
+		return nil
+	})
+}
+
+func TestClusterSetAttrGLIsSerialised(t *testing.T) {
+	mon, _, tree := startCluster(t, 3, 600)
+	// Target the root (always GL).
+	_ = tree
+	const clients, updates = 4, 10
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			cl, err := client.Connect(client.Config{MonitorAddr: mon.Addr(), Seed: seed})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer func() { _ = cl.Close() }()
+			for j := 0; j < updates; j++ {
+				if _, err := cl.SetAttr("/", int64(j), 0o755); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	c := connect(t, mon)
+	eventually(t, 2*time.Second, func() error {
+		e, err := c.Lookup("/")
+		if err != nil {
+			return err
+		}
+		// Initial version 1 + clients×updates serialised increments.
+		if want := int64(1 + clients*updates); e.Version != want {
+			return fmt.Errorf("version = %d, want %d (lost updates?)", e.Version, want)
+		}
+		return nil
+	})
+}
+
+func TestClusterSetAttrLocalLayer(t *testing.T) {
+	mon, _, tree := startCluster(t, 3, 600)
+	c := connect(t, mon)
+	var leaf string
+	for _, n := range tree.Nodes() {
+		if !n.IsDir() && n.Depth() >= 3 {
+			leaf = tree.Path(n)
+			break
+		}
+	}
+	if leaf == "" {
+		t.Skip("no deep file")
+	}
+	e, err := c.SetAttr(leaf, 4096, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size != 4096 || e.Version != 2 {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestClusterStats(t *testing.T) {
+	mon, servers, _ := startCluster(t, 2, 300)
+	c := connect(t, mon)
+	if _, err := c.Lookup("/"); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, srv := range servers {
+		st, err := c.Stats(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Ops
+		if st.Entries == 0 {
+			t.Errorf("server %s has no entries", st.Server)
+		}
+	}
+	if total == 0 {
+		t.Error("no ops recorded across cluster")
+	}
+}
+
+func TestClusterServerFailureRecovery(t *testing.T) {
+	mon, servers, tree := startCluster(t, 3, 800)
+	c := connect(t, mon)
+
+	// Find a local-layer path owned by the server we're about to kill.
+	victim := servers[1]
+	var lostPath string
+	for _, n := range tree.Nodes() {
+		if n.Depth() < 3 || n.IsDir() {
+			continue
+		}
+		p := tree.Path(n)
+		e, err := c.Lookup(p)
+		if err != nil || e == nil {
+			continue
+		}
+		st, err := c.Stats(victim.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = st
+		lostPath = p
+		break
+	}
+	if lostPath == "" {
+		t.Skip("no suitable path")
+	}
+
+	_ = victim.Close()
+
+	// After the heartbeat timeout, the monitor reassigns the dead server's
+	// subtrees to the survivors and lookups keep working.
+	eventually(t, 5*time.Second, func() error {
+		if err := c.Refresh(); err != nil {
+			return err
+		}
+		for _, n := range tree.Nodes()[:100] {
+			p := tree.Path(n)
+			if _, err := c.Lookup(p); err != nil {
+				return fmt.Errorf("lookup %s: %w", p, err)
+			}
+		}
+		return nil
+	})
+
+	alive := 0
+	for _, mem := range mon.Members() {
+		if mem.Alive {
+			alive++
+		}
+	}
+	if alive != 2 {
+		t.Errorf("alive members = %d, want 2", alive)
+	}
+}
+
+func TestClusterRejectsExtraServer(t *testing.T) {
+	mon, _, _ := startCluster(t, 2, 300)
+	extra := server.New(server.Config{
+		Addr:        "127.0.0.1:0",
+		MonitorAddr: mon.Addr(),
+	})
+	err := extra.Start()
+	if err == nil {
+		_ = extra.Close()
+		t.Fatal("extra server joined a full cluster")
+	}
+	if !strings.Contains(err.Error(), "cluster already has all expected servers") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestClusterReplacementServerJoins(t *testing.T) {
+	mon, servers, _ := startCluster(t, 2, 300)
+	_ = servers[0].Close()
+	// Wait for the monitor to notice the death.
+	eventually(t, 3*time.Second, func() error {
+		for _, mem := range mon.Members() {
+			if !mem.Alive {
+				return nil
+			}
+		}
+		return errors.New("no dead member yet")
+	})
+	replacement := server.New(server.Config{
+		Addr:              "127.0.0.1:0",
+		MonitorAddr:       mon.Addr(),
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err := replacement.Start(); err != nil {
+		t.Fatalf("replacement join: %v", err)
+	}
+	t.Cleanup(func() { _ = replacement.Close() })
+	if replacement.ID() != 0 {
+		t.Errorf("replacement got ID %d, want reused slot 0", replacement.ID())
+	}
+}
+
+func TestClusterReaddirSpansCutLine(t *testing.T) {
+	mon, _, tree := startCluster(t, 3, 800)
+	c := connect(t, mon)
+	// The root's children span the GL/LL boundary; the listing must still
+	// be complete.
+	names, err := c.Readdir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, child := range tree.Root().Children() {
+		if !got[child.Name()] {
+			t.Errorf("root listing missing %q", child.Name())
+		}
+	}
+}
+
+func TestClusterGlobalLayerReevaluation(t *testing.T) {
+	mon, servers, tree := startCluster(t, 3, 800)
+	c := connect(t, mon)
+
+	// Hammer one deep path so its ancestors become the hottest nodes; the
+	// access counters flow to the monitor through heartbeats.
+	var deep string
+	for _, n := range tree.Nodes() {
+		if !n.IsDir() && n.Depth() >= 4 {
+			deep = tree.Path(n)
+			break
+		}
+	}
+	if deep == "" {
+		t.Skip("no deep file")
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := c.Lookup(deep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give heartbeats a moment to deliver the counters, then re-evaluate.
+	time.Sleep(200 * time.Millisecond)
+	if err := mon.ReevaluateGlobalLayer(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cluster must remain fully functional afterwards: every sampled
+	// path resolves, and the new GL version propagates to all servers.
+	eventually(t, 5*time.Second, func() error {
+		if err := c.Refresh(); err != nil {
+			return err
+		}
+		for i, n := range tree.Nodes() {
+			if i >= 150 {
+				break
+			}
+			if _, err := c.Lookup(tree.Path(n)); err != nil {
+				return fmt.Errorf("lookup %s: %w", tree.Path(n), err)
+			}
+		}
+		for _, srv := range servers {
+			st, err := c.Stats(srv.Addr())
+			if err != nil {
+				return err
+			}
+			if st.GLVersion < 2 {
+				return fmt.Errorf("server %s GL version %d not refreshed", st.Server, st.GLVersion)
+			}
+		}
+		return nil
+	})
+}
+
+func TestClusterChaosRestartUnderLoad(t *testing.T) {
+	mon, servers, tree := startCluster(t, 3, 800)
+
+	// Background load from 4 clients while one server dies and a
+	// replacement joins. Errors during the disruption window are expected;
+	// the cluster must converge to serving everything again.
+	stopLoad := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		cl, err := client.Connect(client.Config{MonitorAddr: mon.Addr(), Seed: 99})
+		if err != nil {
+			return
+		}
+		defer func() { _ = cl.Close() }()
+		nodes := tree.Nodes()
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			_, _ = cl.Lookup(tree.Path(nodes[i%len(nodes)]))
+		}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	_ = servers[2].Close()
+
+	// Wait for the monitor to mark it dead, then start a replacement.
+	eventually(t, 5*time.Second, func() error {
+		for _, mem := range mon.Members() {
+			if !mem.Alive {
+				return nil
+			}
+		}
+		return errors.New("victim still alive")
+	})
+	replacement := server.New(server.Config{
+		Addr:              "127.0.0.1:0",
+		MonitorAddr:       mon.Addr(),
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err := replacement.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = replacement.Close() })
+
+	close(stopLoad)
+	<-loadDone
+
+	// Convergence: a fresh client resolves every path.
+	c := connect(t, mon)
+	eventually(t, 5*time.Second, func() error {
+		if err := c.Refresh(); err != nil {
+			return err
+		}
+		for i, n := range tree.Nodes() {
+			if i >= 200 {
+				break
+			}
+			if _, err := c.Lookup(tree.Path(n)); err != nil {
+				return fmt.Errorf("lookup %s: %w", tree.Path(n), err)
+			}
+		}
+		return nil
+	})
+}
+
+func TestClusterRenameLocalLayer(t *testing.T) {
+	mon, _, tree := startCluster(t, 3, 800)
+	c := connect(t, mon)
+	// Pick a local-layer directory with children that is NOT a subtree root
+	// (depth ≥ 4 keeps us safely below the cut-line and its roots).
+	var dir *namespace.Node
+	for _, n := range tree.Nodes() {
+		if n.IsDir() && n.Depth() >= 4 && n.NumChildren() > 0 {
+			dir = n
+			break
+		}
+	}
+	if dir == nil {
+		t.Skip("no deep directory with children")
+	}
+	oldPath := tree.Path(dir)
+	childName := dir.Children()[0].Name()
+
+	e, err := c.Rename(oldPath, "renamed-dir")
+	if err != nil {
+		// A deep directory can still be a subtree root; those renames are
+		// maintenance operations by design.
+		if strings.Contains(err.Error(), "subtree root") {
+			t.Skip("picked a subtree root")
+		}
+		t.Fatal(err)
+	}
+	slash := strings.LastIndexByte(oldPath, '/')
+	newPath := oldPath[:slash+1] + "renamed-dir"
+	if e.Path != newPath {
+		t.Fatalf("renamed entry = %+v, want path %s", e, newPath)
+	}
+	// Old path is gone; new path and its children resolve.
+	if _, err := c.Lookup(oldPath); err == nil {
+		t.Error("old path still resolves")
+	}
+	got, err := c.Lookup(newPath + "/" + childName)
+	if err != nil {
+		t.Fatalf("child lookup after rename: %v", err)
+	}
+	if got.Path != newPath+"/"+childName {
+		t.Errorf("child = %+v", got)
+	}
+}
+
+func TestClusterRenameGlobalLayerRejected(t *testing.T) {
+	mon, _, tree := startCluster(t, 2, 400)
+	c := connect(t, mon)
+	// A top-level directory is (almost certainly) in the GL or a subtree
+	// root — either way rename must be refused as a maintenance op.
+	top := tree.Root().Children()[0]
+	_, err := c.Rename(tree.Path(top), "nope")
+	if err == nil {
+		t.Fatal("partition-affecting rename accepted")
+	}
+	if !strings.Contains(err.Error(), "re-evaluation") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"d2tree/internal/wire"
+)
+
+func (s *Server) handle(env *wire.Envelope) (interface{}, error) {
+	s.ops.Add(1)
+	switch env.Type {
+	case wire.TypeLookup:
+		var req wire.LookupRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return s.handleLookup(&req)
+	case wire.TypeCreate:
+		var req wire.CreateRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return s.handleCreate(&req)
+	case wire.TypeSetAttr:
+		var req wire.SetAttrRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return s.handleSetAttr(&req)
+	case wire.TypeReaddir:
+		var req wire.ReaddirRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return s.handleReaddir(&req)
+	case wire.TypeRename:
+		var req wire.RenameRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return s.handleRename(&req)
+	case wire.TypeInstall:
+		var req wire.InstallRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return s.handleInstall(&req)
+	case wire.TypeStats:
+		return s.handleStats()
+	default:
+		return nil, fmt.Errorf("server: unknown message type %q", env.Type)
+	}
+}
+
+// owner resolves the MDS address responsible for path via the local index:
+// the longest indexed subtree-root prefix wins; no prefix means the path is
+// (or would be) in the global layer. Callers hold s.mu.
+func (s *Server) ownerLocked(path string) (addr string, global bool) {
+	cur := path
+	for {
+		if a, ok := s.index[cur]; ok {
+			return a, false
+		}
+		i := strings.LastIndexByte(cur, '/')
+		if i <= 0 {
+			return "", true
+		}
+		cur = cur[:i]
+	}
+}
+
+func (s *Server) handleLookup(req *wire.LookupRequest) (*wire.LookupResponse, error) {
+	s.lookups.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pathOps[req.Path]++
+	if e, ok := s.store[req.Path]; ok {
+		cp := *e
+		return &wire.LookupResponse{Entry: &cp}, nil
+	}
+	addr, global := s.ownerLocked(req.Path)
+	if !global && addr != s.Addr() {
+		s.redirects.Add(1)
+		return &wire.LookupResponse{Redirect: addr}, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
+}
+
+func (s *Server) handleCreate(req *wire.CreateRequest) (*wire.CreateResponse, error) {
+	s.creates.Add(1)
+	if req.Path == "" || req.Path[0] != '/' || req.Path == "/" {
+		return nil, fmt.Errorf("server: invalid path %q", req.Path)
+	}
+	s.mu.Lock()
+	s.pathOps[req.Path]++
+	if _, exists := s.store[req.Path]; exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrExists, req.Path)
+	}
+	addr, global := s.ownerLocked(req.Path)
+	if !global {
+		if addr != s.Addr() {
+			s.mu.Unlock()
+			s.redirects.Add(1)
+			return &wire.CreateResponse{Redirect: addr}, nil
+		}
+		// Local-layer create: no cluster coordination needed.
+		e := &wire.Entry{Path: req.Path, Kind: req.Kind, Version: 1}
+		s.store[req.Path] = e
+		cp := *e
+		s.mu.Unlock()
+		return &wire.CreateResponse{Entry: &cp}, nil
+	}
+	mon := s.monConn
+	id := s.id
+	s.mu.Unlock()
+
+	// Global-layer create: serialised through the Monitor's lock service.
+	var resp wire.GLUpdateResponse
+	err := mon.Call(wire.TypeGLUpdate, &wire.GLUpdateRequest{
+		ServerID: id,
+		Op:       "create",
+		Entry:    wire.Entry{Path: req.Path, Kind: req.Kind},
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	e := resp.Entry
+	s.store[e.Path] = &e
+	s.glPaths[e.Path] = true
+	if resp.GLVersion > s.glVersion {
+		s.glVersion = resp.GLVersion
+	}
+	s.mu.Unlock()
+	cp := e
+	return &wire.CreateResponse{Entry: &cp}, nil
+}
+
+func (s *Server) handleSetAttr(req *wire.SetAttrRequest) (*wire.SetAttrResponse, error) {
+	s.setattrs.Add(1)
+	s.mu.Lock()
+	s.pathOps[req.Path]++
+	e, ok := s.store[req.Path]
+	if !ok {
+		addr, global := s.ownerLocked(req.Path)
+		s.mu.Unlock()
+		if !global && addr != s.Addr() {
+			s.redirects.Add(1)
+			return &wire.SetAttrResponse{Redirect: addr}, nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
+	}
+	if !s.glPaths[req.Path] {
+		// Local-layer update.
+		e.Size = req.Size
+		e.Mode = req.Mode
+		e.Version++
+		cp := *e
+		s.mu.Unlock()
+		return &wire.SetAttrResponse{Entry: &cp}, nil
+	}
+	mon := s.monConn
+	id := s.id
+	s.mu.Unlock()
+
+	var resp wire.GLUpdateResponse
+	err := mon.Call(wire.TypeGLUpdate, &wire.GLUpdateRequest{
+		ServerID: id,
+		Op:       "setattr",
+		Entry:    wire.Entry{Path: req.Path, Size: req.Size, Mode: req.Mode},
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	ne := resp.Entry
+	s.store[ne.Path] = &ne
+	if resp.GLVersion > s.glVersion {
+		s.glVersion = resp.GLVersion
+	}
+	s.mu.Unlock()
+	cp := ne
+	return &wire.SetAttrResponse{Entry: &cp}, nil
+}
+
+func (s *Server) handleReaddir(req *wire.ReaddirRequest) (*wire.ReaddirResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir, ok := s.store[req.Path]
+	if !ok {
+		addr, global := s.ownerLocked(req.Path)
+		if !global && addr != s.Addr() {
+			s.redirects.Add(1)
+			return &wire.ReaddirResponse{Redirect: addr}, nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
+	}
+	if dir.Kind != wire.EntryDir {
+		return nil, fmt.Errorf("server: %s is not a directory", req.Path)
+	}
+	prefix := req.Path + "/"
+	if req.Path == "/" {
+		prefix = "/"
+	}
+	seen := make(map[string]bool)
+	for p := range s.store {
+		if !strings.HasPrefix(p, prefix) || p == req.Path {
+			continue
+		}
+		rest := p[len(prefix):]
+		if rest == "" || strings.ContainsRune(rest, '/') {
+			continue
+		}
+		seen[rest] = true
+	}
+	// A directory's children can span the GL/LL cut: subtree roots hosted
+	// on other servers are visible through the local index, so the listing
+	// is complete without contacting them.
+	for root := range s.index {
+		if !strings.HasPrefix(root, prefix) || root == req.Path {
+			continue
+		}
+		rest := root[len(prefix):]
+		if rest == "" || strings.ContainsRune(rest, '/') {
+			continue
+		}
+		seen[rest] = true
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return &wire.ReaddirResponse{Names: names}, nil
+}
+
+// handleRename renames a local-layer node and its whole subtree in place —
+// a purely local operation, which is exactly the rename advantage of
+// subtree-keyed partitioning: no metadata relocates between servers.
+// Renaming a global-layer path or a subtree root changes the partition
+// itself and is deferred to maintenance (Monitor re-evaluation).
+func (s *Server) handleRename(req *wire.RenameRequest) (*wire.RenameResponse, error) {
+	if req.Path == "" || req.Path[0] != '/' || req.Path == "/" {
+		return nil, fmt.Errorf("server: invalid path %q", req.Path)
+	}
+	if req.NewName == "" || strings.ContainsRune(req.NewName, '/') {
+		return nil, fmt.Errorf("server: invalid new name %q", req.NewName)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pathOps[req.Path]++
+	if s.glPaths[req.Path] {
+		return nil, fmt.Errorf("server: %s is in the global layer; rename requires re-evaluation", req.Path)
+	}
+	if s.subtrees[req.Path] {
+		return nil, fmt.Errorf("server: %s is a subtree root; rename requires re-evaluation", req.Path)
+	}
+	e, ok := s.store[req.Path]
+	if !ok {
+		addr, global := s.ownerLocked(req.Path)
+		if !global && addr != s.Addr() {
+			s.redirects.Add(1)
+			return &wire.RenameResponse{Redirect: addr}, nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
+	}
+	slash := strings.LastIndexByte(req.Path, '/')
+	newPath := req.Path[:slash+1] + req.NewName
+	if newPath == req.Path {
+		cp := *e
+		return &wire.RenameResponse{Entry: &cp}, nil
+	}
+	if _, exists := s.store[newPath]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrExists, newPath)
+	}
+	// Rewrite the node and every descendant key.
+	oldPrefix := req.Path + "/"
+	newPrefix := newPath + "/"
+	moved := []string{req.Path}
+	for p := range s.store {
+		if strings.HasPrefix(p, oldPrefix) {
+			moved = append(moved, p)
+		}
+	}
+	for _, p := range moved {
+		entry := s.store[p]
+		delete(s.store, p)
+		if p == req.Path {
+			entry.Path = newPath
+		} else {
+			entry.Path = newPrefix + p[len(oldPrefix):]
+		}
+		entry.Version++
+		s.store[entry.Path] = entry
+	}
+	cp := *s.store[newPath]
+	return &wire.RenameResponse{Entry: &cp}, nil
+}
+
+func (s *Server) handleInstall(req *wire.InstallRequest) (*wire.LockResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subtrees[req.RootPath] = true
+	for _, e := range req.Entries {
+		e := e
+		s.store[e.Path] = &e
+		// An installed path belongs to the local layer from now on; clear
+		// any global-layer marking left from before a re-evaluation demoted
+		// it, or the next GL refresh would wrongly delete it.
+		delete(s.glPaths, e.Path)
+	}
+	s.index[req.RootPath] = s.Addr()
+	// Pin our claim until the Monitor's index confirms it, so a stale
+	// refresh between the install and its commit cannot make us drop the
+	// data we just received.
+	s.overrides[req.RootPath] = &indexOverride{addr: s.Addr(), ttl: 50}
+	return &wire.LockResponse{Granted: true}, nil
+}
+
+func (s *Server) handleStats() (*wire.StatsResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &wire.StatsResponse{
+		Server:     "mds-" + strconv.Itoa(s.id) + "@" + s.Addr(),
+		Ops:        s.ops.Load(),
+		Lookups:    s.lookups.Load(),
+		Creates:    s.creates.Load(),
+		SetAttrs:   s.setattrs.Load(),
+		Redirects:  s.redirects.Load(),
+		Entries:    len(s.store),
+		GLVersion:  s.glVersion,
+		IndexSize:  len(s.index),
+		SubtreeCnt: len(s.subtrees),
+	}, nil
+}

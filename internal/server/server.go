@@ -1,0 +1,415 @@
+// Package server implements a D2-Tree metadata server (MDS): it joins the
+// cluster through the Monitor, hosts a replica of the global layer plus its
+// assigned local-layer subtrees, serves Lookup/Create/SetAttr/Readdir,
+// redirects queries it cannot serve using the local index (Sec. IV-A2),
+// heartbeats its load to the Monitor, and executes subtree transfers during
+// dynamic adjustment.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"d2tree/internal/wire"
+)
+
+// Config parameterises an MDS.
+type Config struct {
+	// Addr is the TCP listen address (use "127.0.0.1:0" in tests).
+	Addr string
+	// MonitorAddr is the Monitor's address.
+	MonitorAddr string
+	// HeartbeatInterval defaults to 500ms.
+	HeartbeatInterval time.Duration
+	// DialTimeout defaults to 2s.
+	DialTimeout time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+}
+
+// Errors returned to clients.
+var (
+	ErrNotFound = errors.New("server: path not found")
+	ErrExists   = errors.New("server: path already exists")
+)
+
+// Server is one MDS process. Construct with New, then Start, then Close.
+type Server struct {
+	cfg Config
+
+	mu        sync.Mutex
+	id        int
+	store     map[string]*wire.Entry
+	glPaths   map[string]bool
+	subtrees  map[string]bool   // owned subtree root paths
+	index     map[string]string // subtree root path → MDS addr
+	indexVer  int64
+	glVersion int64
+	// overrides pins index entries the server knows better than a possibly
+	// stale full-index refresh: subtrees it just shipped away (pin → the
+	// destination) and subtrees it just received (pin → itself), both
+	// windows between the data movement and the Monitor's commit. An entry
+	// clears when a refresh confirms it, or after ttl refreshes as a
+	// safety valve.
+	overrides map[string]*indexOverride
+
+	ops              atomic.Int64
+	lastHeartbeatOps int64            // guarded by mu; for recent-load reporting
+	pathOps          map[string]int64 // guarded by mu; recent per-path access counts
+	lookups          atomic.Int64
+	creates          atomic.Int64
+	setattrs         atomic.Int64
+	redirects        atomic.Int64
+
+	ln      net.Listener
+	monConn *wire.Conn // heartbeat/GL-update channel to the Monitor
+	conns   map[net.Conn]struct{}
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// indexOverride pins one index entry against stale refreshes.
+type indexOverride struct {
+	addr string
+	ttl  int
+}
+
+// New builds an MDS.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	return &Server{
+		cfg:       cfg,
+		store:     make(map[string]*wire.Entry),
+		glPaths:   make(map[string]bool),
+		subtrees:  make(map[string]bool),
+		index:     make(map[string]string),
+		overrides: make(map[string]*indexOverride),
+		pathOps:   make(map[string]int64),
+		conns:     make(map[net.Conn]struct{}),
+		stop:      make(chan struct{}),
+	}
+}
+
+// Start listens, joins the cluster, installs the initial state, and begins
+// heartbeating.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+
+	conn, err := wire.Dial(s.cfg.MonitorAddr, s.cfg.DialTimeout)
+	if err != nil {
+		_ = ln.Close()
+		return fmt.Errorf("server: monitor unreachable: %w", err)
+	}
+	var join wire.JoinResponse
+	if err := conn.Call(wire.TypeJoin, &wire.JoinRequest{Addr: s.Addr()}, &join); err != nil {
+		_ = conn.Close()
+		_ = ln.Close()
+		return fmt.Errorf("server: join: %w", err)
+	}
+	s.mu.Lock()
+	s.monConn = conn
+	s.id = join.ServerID
+	s.glVersion = join.GLVersion
+	s.indexVer = join.IndexVer
+	for _, e := range join.GlobalLayer {
+		e := e
+		s.store[e.Path] = &e
+		s.glPaths[e.Path] = true
+	}
+	for _, st := range join.Subtrees {
+		if len(st) == 0 {
+			continue
+		}
+		s.subtrees[st[0].Path] = true
+		for _, e := range st {
+			e := e
+			s.store[e.Path] = &e
+		}
+	}
+	for k, v := range join.Index {
+		s.index[k] = v
+	}
+	s.mu.Unlock()
+
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.heartbeatLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// ID returns the server's cluster identity (valid after Start).
+func (s *Server) ID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.id
+}
+
+// Close stops serving and waits for background goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	mon := s.monConn
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+	close(s.stop)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	if mon != nil {
+		_ = mon.Close()
+	}
+	// Force-close in-flight connections so per-conn goroutines unblock even
+	// when peers keep pooled connections open.
+	for _, nc := range conns {
+		_ = nc.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				_ = nc.Close()
+				s.mu.Lock()
+				delete(s.conns, nc)
+				s.mu.Unlock()
+			}()
+			wire.Serve(nc, s.handle)
+		}()
+	}
+}
+
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.heartbeatOnce()
+		}
+	}
+}
+
+func (s *Server) heartbeatOnce() {
+	s.mu.Lock()
+	ops := s.ops.Load()
+	// Report recent load (ops since the previous heartbeat) rather than the
+	// lifetime counter, so the Monitor's pending-pool adjustment reacts to
+	// the current hotspot, not history — the decaying-counter behaviour of
+	// Sec. IV-B.
+	recent := ops - s.lastHeartbeatOps
+	s.lastHeartbeatOps = ops
+	// Ship the access counters and reset them — the Monitor accumulates.
+	hot := s.pathOps
+	s.pathOps = make(map[string]int64)
+	req := &wire.HeartbeatRequest{
+		ServerID:  s.id,
+		Addr:      s.Addr(),
+		Load:      float64(recent),
+		Ops:       ops,
+		Entries:   len(s.store),
+		GLVersion: s.glVersion,
+		IndexVer:  s.indexVer,
+		HotPaths:  topPaths(hot, 128),
+	}
+	mon := s.monConn
+	s.mu.Unlock()
+	if mon == nil {
+		return
+	}
+	var resp wire.HeartbeatResponse
+	if err := mon.Call(wire.TypeHeartbeat, req, &resp); err != nil {
+		return // monitor temporarily unreachable; retry next tick
+	}
+	s.applyHeartbeat(&resp)
+}
+
+func (s *Server) applyHeartbeat(resp *wire.HeartbeatResponse) {
+	s.mu.Lock()
+	if len(resp.GlobalLayer) > 0 {
+		// Full GL refresh: drop stale GL entries, install the new set.
+		for p := range s.glPaths {
+			delete(s.store, p)
+			delete(s.glPaths, p)
+		}
+		for _, e := range resp.GlobalLayer {
+			e := e
+			s.store[e.Path] = &e
+			s.glPaths[e.Path] = true
+		}
+	}
+	s.glVersion = resp.GLVersion
+	if resp.Index != nil {
+		s.index = make(map[string]string, len(resp.Index))
+		for k, v := range resp.Index {
+			s.index[k] = v
+		}
+		// Re-apply overrides the refresh hasn't caught up with; once the
+		// refresh agrees (or the TTL runs out), the override is done.
+		for root, ov := range s.overrides {
+			if s.index[root] == ov.addr {
+				delete(s.overrides, root)
+				continue
+			}
+			ov.ttl--
+			if ov.ttl <= 0 {
+				delete(s.overrides, root)
+				continue
+			}
+			s.index[root] = ov.addr
+		}
+		// Reconcile ownership with the fresh index: subtrees the Monitor
+		// reassigned elsewhere (e.g. after a global-layer re-evaluation)
+		// are dropped; their new owners receive Installs from the Monitor.
+		self := s.Addr()
+		for root := range s.subtrees {
+			if owner, ok := s.index[root]; ok && owner != self {
+				delete(s.subtrees, root)
+				for _, e := range s.collectSubtreeLocked(root) {
+					if !s.glPaths[e.Path] {
+						delete(s.store, e.Path)
+					}
+				}
+			}
+		}
+	}
+	s.indexVer = resp.IndexVer
+	transfers := resp.Transfers
+	s.mu.Unlock()
+
+	for _, cmd := range transfers {
+		s.executeTransfer(cmd)
+	}
+}
+
+// executeTransfer ships one owned subtree to the destination MDS and
+// confirms completion to the Monitor.
+func (s *Server) executeTransfer(cmd wire.TransferCommand) {
+	s.mu.Lock()
+	if !s.subtrees[cmd.RootPath] {
+		s.mu.Unlock()
+		return
+	}
+	entries := s.collectSubtreeLocked(cmd.RootPath)
+	s.mu.Unlock()
+
+	dest, err := wire.Dial(cmd.DestAddr, s.cfg.DialTimeout)
+	if err != nil {
+		return
+	}
+	defer func() { _ = dest.Close() }()
+	req := &wire.InstallRequest{RootPath: cmd.RootPath, Entries: entries}
+	if err := dest.Call(wire.TypeInstall, req, nil); err != nil {
+		return
+	}
+	// Remove locally only after the destination has the data. The local
+	// index (plus an override against stale refreshes) keeps this server
+	// redirecting instead of claiming the data it just shipped away.
+	s.mu.Lock()
+	delete(s.subtrees, cmd.RootPath)
+	for _, e := range entries {
+		delete(s.store, e.Path)
+	}
+	s.index[cmd.RootPath] = cmd.DestAddr
+	s.overrides[cmd.RootPath] = &indexOverride{addr: cmd.DestAddr, ttl: 50}
+	mon := s.monConn
+	id := s.id
+	s.mu.Unlock()
+	if mon != nil {
+		_ = mon.Call(wire.TypeTransferDone, &wire.TransferDoneRequest{
+			ServerID: id, RootPath: cmd.RootPath, DestAddr: cmd.DestAddr,
+		}, nil)
+	}
+}
+
+// topPaths returns the k highest-count entries of the access counters.
+func topPaths(counts map[string]int64, k int) map[string]int64 {
+	if len(counts) <= k {
+		return counts
+	}
+	type kv struct {
+		path  string
+		count int64
+	}
+	all := make([]kv, 0, len(counts))
+	for p, c := range counts {
+		all = append(all, kv{p, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].path < all[j].path
+	})
+	out := make(map[string]int64, k)
+	for _, e := range all[:k] {
+		out[e.path] = e.count
+	}
+	return out
+}
+
+func (s *Server) collectSubtreeLocked(rootPath string) []wire.Entry {
+	prefix := rootPath + "/"
+	var out []wire.Entry
+	for p, e := range s.store {
+		if p == rootPath || strings.HasPrefix(p, prefix) {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"testing"
+
+	"d2tree/internal/wire"
+)
+
+func newBareServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{Addr: "127.0.0.1:0", MonitorAddr: "unused"})
+	return s
+}
+
+func TestOwnerLockedLongestPrefixWins(t *testing.T) {
+	s := newBareServer(t)
+	s.index["/a"] = "srvA"
+	s.index["/a/b/c"] = "srvC"
+	tests := []struct {
+		path   string
+		addr   string
+		global bool
+	}{
+		{"/a/b/c/d/file", "srvC", false},
+		{"/a/b/c", "srvC", false},
+		{"/a/b", "srvA", false},
+		{"/a", "srvA", false},
+		{"/other/path", "", true},
+		{"/", "", true},
+	}
+	for _, tt := range tests {
+		addr, global := s.ownerLocked(tt.path)
+		if addr != tt.addr || global != tt.global {
+			t.Errorf("ownerLocked(%q) = %q,%v want %q,%v",
+				tt.path, addr, global, tt.addr, tt.global)
+		}
+	}
+}
+
+func TestCollectSubtreeLocked(t *testing.T) {
+	s := newBareServer(t)
+	for _, p := range []string{"/x", "/x/y", "/x/y/z", "/xx", "/x2/file"} {
+		s.store[p] = &wire.Entry{Path: p, Kind: wire.EntryDir, Version: 1}
+	}
+	got := s.collectSubtreeLocked("/x")
+	want := []string{"/x", "/x/y", "/x/y/z"}
+	if len(got) != len(want) {
+		t.Fatalf("collected %d entries, want %d: %+v", len(got), len(want), got)
+	}
+	for i, e := range got {
+		if e.Path != want[i] {
+			t.Errorf("entry %d = %q, want %q", i, e.Path, want[i])
+		}
+	}
+}
+
+func TestHandleLookupLocalStore(t *testing.T) {
+	s := newBareServer(t)
+	s.store["/g"] = &wire.Entry{Path: "/g", Kind: wire.EntryDir, Version: 3}
+	resp, err := s.handleLookup(&wire.LookupRequest{Path: "/g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Entry == nil || resp.Entry.Version != 3 {
+		t.Errorf("resp = %+v", resp)
+	}
+	// Returned entry is a copy: mutating it must not touch the store.
+	resp.Entry.Version = 99
+	if s.store["/g"].Version != 3 {
+		t.Error("lookup leaked interior pointer")
+	}
+}
+
+func TestHandleLookupRedirect(t *testing.T) {
+	s := newBareServer(t)
+	s.index["/far"] = "other:1"
+	resp, err := s.handleLookup(&wire.LookupRequest{Path: "/far/away"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Redirect != "other:1" {
+		t.Errorf("redirect = %q", resp.Redirect)
+	}
+	if s.redirects.Load() != 1 {
+		t.Errorf("redirects counter = %d", s.redirects.Load())
+	}
+}
+
+func TestHandleLookupNotFound(t *testing.T) {
+	s := newBareServer(t)
+	if _, err := s.handleLookup(&wire.LookupRequest{Path: "/nope"}); err == nil {
+		t.Error("missing GL path did not error")
+	}
+}
+
+func TestHandleCreateValidation(t *testing.T) {
+	s := newBareServer(t)
+	for _, bad := range []string{"", "relative", "/"} {
+		if _, err := s.handleCreate(&wire.CreateRequest{Path: bad, Kind: wire.EntryFile}); err == nil {
+			t.Errorf("create(%q) accepted", bad)
+		}
+	}
+	s.store["/dup"] = &wire.Entry{Path: "/dup", Kind: wire.EntryFile}
+	if _, err := s.handleCreate(&wire.CreateRequest{Path: "/dup", Kind: wire.EntryFile}); err == nil {
+		t.Error("duplicate create accepted")
+	}
+}
+
+func TestHandleInstallAddsSubtree(t *testing.T) {
+	s := newBareServer(t)
+	req := &wire.InstallRequest{
+		RootPath: "/moved",
+		Entries: []wire.Entry{
+			{Path: "/moved", Kind: wire.EntryDir, Version: 1},
+			{Path: "/moved/f", Kind: wire.EntryFile, Version: 2},
+		},
+	}
+	if _, err := s.handleInstall(req); err != nil {
+		t.Fatal(err)
+	}
+	if !s.subtrees["/moved"] {
+		t.Error("subtree not registered")
+	}
+	if s.store["/moved/f"] == nil || s.store["/moved/f"].Version != 2 {
+		t.Error("entries not installed")
+	}
+}
+
+func TestHandleReaddirListsDirectChildrenOnly(t *testing.T) {
+	s := newBareServer(t)
+	for _, p := range []string{"/d", "/d/a", "/d/b", "/d/b/deep"} {
+		kind := wire.EntryDir
+		s.store[p] = &wire.Entry{Path: p, Kind: kind, Version: 1}
+	}
+	resp, err := s.handleReaddir(&wire.ReaddirRequest{Path: "/d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Names) != 2 || resp.Names[0] != "a" || resp.Names[1] != "b" {
+		t.Errorf("names = %v", resp.Names)
+	}
+	// Readdir of a file fails.
+	s.store["/f"] = &wire.Entry{Path: "/f", Kind: wire.EntryFile, Version: 1}
+	if _, err := s.handleReaddir(&wire.ReaddirRequest{Path: "/f"}); err == nil {
+		t.Error("readdir of file accepted")
+	}
+}
+
+func TestHandleUnknownType(t *testing.T) {
+	s := newBareServer(t)
+	env := &wire.Envelope{ID: 1, Type: "bogus"}
+	if _, err := s.handle(env); err == nil {
+		t.Error("unknown message type accepted")
+	}
+}
+
+func TestApplyHeartbeatRefreshesGL(t *testing.T) {
+	s := newBareServer(t)
+	s.store["/old"] = &wire.Entry{Path: "/old", Kind: wire.EntryDir, Version: 1}
+	s.glPaths["/old"] = true
+	s.store["/mine"] = &wire.Entry{Path: "/mine", Kind: wire.EntryDir, Version: 1}
+	s.applyHeartbeat(&wire.HeartbeatResponse{
+		GLVersion: 5,
+		GlobalLayer: []wire.Entry{
+			{Path: "/new", Kind: wire.EntryDir, Version: 5},
+		},
+		IndexVer: 2,
+		Index:    map[string]string{"/mine": "me"},
+	})
+	if s.store["/old"] != nil {
+		t.Error("stale GL entry survived refresh")
+	}
+	if s.store["/new"] == nil || !s.glPaths["/new"] {
+		t.Error("new GL entry not installed")
+	}
+	if s.store["/mine"] == nil {
+		t.Error("local-layer entry dropped by GL refresh")
+	}
+	if s.glVersion != 5 || s.indexVer != 2 || s.index["/mine"] != "me" {
+		t.Error("versions/index not applied")
+	}
+}

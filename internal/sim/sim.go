@@ -1,0 +1,273 @@
+// Package sim replays metadata-operation traces against a partitioned
+// namespace and reports the three quantities the paper's evaluation plots:
+// throughput (Fig. 5), locality per Eq. 1 (Fig. 6) and load-balance degree
+// per Eq. 2 (Fig. 7).
+//
+// The simulator substitutes for the paper's 33-instance EC2 testbed with a
+// deterministic cost model. Throughput is bounded by three resources:
+//
+//   - per-server busy time — each operation charges service time to the
+//     server that finally holds the target (plus forwarding work on every
+//     inter-MDS jump), so imbalance caps throughput via the busiest server;
+//   - the global-layer write lock — updates to replicated nodes serialise
+//     through the Zookeeper-style lock (Sec. IV-A3) and charge every
+//     replica, so update-heavy workloads stop scaling (the RA behaviour);
+//   - the closed-loop client population — each jump adds network latency,
+//     so fine-grained/hashed partitions with long forwarding chains waste
+//     client think-time (the reason dynamic/DROP/AngleCut trail in Fig. 5).
+//
+// Absolute ops/s are not comparable to the paper's testbed and are not
+// claimed; the shape of the curves is.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"d2tree/internal/metrics"
+	"d2tree/internal/namespace"
+	"d2tree/internal/partition"
+	"d2tree/internal/trace"
+)
+
+// CostModel holds the per-operation costs in microseconds.
+type CostModel struct {
+	// ServiceUS is the CPU cost of serving one metadata operation.
+	ServiceUS float64
+	// HopUS is the network latency of one inter-MDS forwarding hop.
+	HopUS float64
+	// ForwardUS is the CPU cost an intermediate server pays to forward a
+	// request along a hop.
+	ForwardUS float64
+	// LockCritUS is the serialised critical-section time of one
+	// global-layer update (version bump under the cluster lock): the
+	// cluster-wide resource that caps update-heavy workloads.
+	LockCritUS float64
+	// LockLatencyUS is the latency a global-layer update pays to talk to
+	// the lock service (a network round trip). Replica synchronisation is
+	// lazy (version/timeout/lease, Sec. IV-A2), so it adds no per-op cost.
+	LockLatencyUS float64
+	// Clients is the closed-loop client population (the paper fixes 200).
+	Clients int
+}
+
+// DefaultCostModel mirrors the evaluation platform's proportions: LAN hops
+// dominate CPU service, and GL updates pay locking.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ServiceUS:     20,
+		HopUS:         400,
+		ForwardUS:     5,
+		LockCritUS:    10,
+		LockLatencyUS: 150,
+		Clients:       200,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (c CostModel) Validate() error {
+	if c.ServiceUS <= 0 || c.HopUS < 0 || c.ForwardUS < 0 ||
+		c.LockCritUS < 0 || c.LockLatencyUS < 0 || c.Clients < 1 {
+		return fmt.Errorf("sim: invalid cost model %+v", c)
+	}
+	return nil
+}
+
+// Result is the outcome of one replay.
+type Result struct {
+	Scheme string
+	Trace  string
+	M      int
+	Ops    int
+
+	// ThroughputOps is ops/second under the three-resource bound.
+	ThroughputOps float64
+	// Locality is Eq. 1 computed over the tree and placement.
+	Locality float64
+	// Balance is Eq. 2 over the replayed per-server loads; BalanceVariance
+	// is its reciprocal (finite when balance is perfect).
+	Balance         float64
+	BalanceVariance float64
+
+	// Loads are replayed per-server operation counts (GL queries spread by
+	// actual routing).
+	Loads []float64
+	// AvgJumps is the mean runtime forwarding hops per operation.
+	AvgJumps float64
+	// AvgLatencyUS is the mean modelled per-op latency in microseconds.
+	AvgLatencyUS float64
+	// GLQueryFrac is the fraction of operations whose target was replicated.
+	GLQueryFrac float64
+	// Moved counts subtree/node migrations performed by rebalancing rounds.
+	Moved int
+}
+
+// Errors reported by the simulator.
+var (
+	ErrNoEvents = errors.New("sim: empty event stream")
+	ErrNilAsg   = errors.New("sim: nil assignment")
+)
+
+// Replay runs the event stream once against a fixed placement. router
+// supplies scheme-specific runtime routing (nil falls back to the
+// placement's Def. 1 jumps — correct for range/hash schemes without client
+// mount knowledge).
+func Replay(t *namespace.Tree, events []trace.Event, asg *partition.Assignment,
+	router partition.Router, cm CostModel, seed int64) (*Result, error) {
+	if t == nil {
+		return nil, errors.New("sim: nil tree")
+	}
+	if asg == nil {
+		return nil, ErrNilAsg
+	}
+	if len(events) == 0 {
+		return nil, ErrNoEvents
+	}
+	if err := cm.Validate(); err != nil {
+		return nil, err
+	}
+	m := asg.M()
+	rng := rand.New(rand.NewSource(seed))
+
+	busy := make([]float64, m)  // per-server CPU busy time, µs
+	loads := make([]float64, m) // per-server op counts
+	var lockBusy float64        // serialised GL-lock time, µs
+	var latencySum float64      // Σ per-op latency, µs
+	var jumpSum float64
+	var glOps int
+
+	for i := range events {
+		ev := &events[i]
+		node := t.Node(ev.Node)
+		if node == nil {
+			return nil, fmt.Errorf("sim: event %d references unknown node %d", i, ev.Node)
+		}
+		forwards := asg.Jumps(node)
+		if router != nil {
+			forwards = router.Forwards(t, asg, node)
+		}
+		jumpSum += forwards
+		latency := cm.ServiceUS + forwards*cm.HopUS
+
+		replicated := asg.IsReplicated(node.ID())
+		var server partition.ServerID
+		if replicated {
+			glOps++
+			server = partition.ServerID(rng.Intn(m))
+		} else if rs, ok := asg.Replicas(node.ID()); ok {
+			// Bounded-replication global layer: served by a random replica.
+			glOps++
+			replicated = true
+			server = rs[rng.Intn(len(rs))]
+		} else if o, ok := asg.Owner(node.ID()); ok {
+			server = o
+		} else {
+			return nil, fmt.Errorf("sim: node %d unplaced", node.ID())
+		}
+		busy[server] += cm.ServiceUS + forwards*cm.ForwardUS
+		loads[server]++
+
+		if ev.Op == trace.OpUpdate && replicated {
+			// Global-layer update: serialised through the lock service
+			// (Sec. IV-A3); replicas sync lazily via version/lease.
+			lockBusy += cm.LockCritUS
+			latency += cm.LockLatencyUS
+		}
+		latencySum += latency
+	}
+
+	n := float64(len(events))
+	maxBusy := lockBusy
+	for _, b := range busy {
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	clientBound := latencySum / float64(cm.Clients)
+	makespan := maxBusy
+	if clientBound > makespan {
+		makespan = clientBound
+	}
+	throughput := 0.0
+	if makespan > 0 {
+		throughput = n / makespan * 1e6 // ops/sec from µs
+	}
+
+	caps := partition.Capacities(m, 1)
+	bal, err := metrics.Balance(loads, caps)
+	if err != nil {
+		return nil, err
+	}
+	bv, err := metrics.BalanceVariance(loads, caps)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		M:               m,
+		Ops:             len(events),
+		ThroughputOps:   throughput,
+		Locality:        metrics.Locality(asg.WeightedJumpSum(t)),
+		Balance:         bal,
+		BalanceVariance: bv,
+		Loads:           loads,
+		AvgJumps:        jumpSum / n,
+		AvgLatencyUS:    latencySum / n,
+		GLQueryFrac:     float64(glOps) / n,
+	}, nil
+}
+
+// ReplayRounds replays the event stream `rounds` times (the paper replays
+// subtraces 20×), invoking the scheme's Rebalancer (when implemented) with
+// the realised loads between rounds, and returns the final-round result.
+// This is how Fig. 7's "relatively balanced status" is reached.
+func ReplayRounds(t *namespace.Tree, events []trace.Event, scheme partition.Scheme,
+	asg *partition.Assignment, cm CostModel, rounds int, seed int64) (*Result, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("sim: rounds = %d, need >= 1", rounds)
+	}
+	router, _ := scheme.(partition.Router)
+	var (
+		res   *Result
+		err   error
+		moved int
+	)
+	for r := 0; r < rounds; r++ {
+		res, err = Replay(t, events, asg, router, cm, seed+int64(r))
+		if err != nil {
+			return nil, err
+		}
+		if r == rounds-1 {
+			break
+		}
+		if rb, ok := scheme.(partition.Rebalancer); ok {
+			n, err := rb.Rebalance(t, asg, res.Loads)
+			if err != nil {
+				return nil, fmt.Errorf("sim: rebalance round %d: %w", r, err)
+			}
+			moved += n
+		}
+	}
+	res.Scheme = scheme.Name()
+	res.Moved = moved
+	return res, nil
+}
+
+// Run partitions the workload's tree with the scheme and replays with
+// rebalancing rounds — the full pipeline one experiment data point needs.
+func Run(w *trace.Workload, scheme partition.Scheme, m, rounds int,
+	cm CostModel, seed int64) (*Result, error) {
+	asg, err := scheme.Partition(w.Tree, m)
+	if err != nil {
+		return nil, fmt.Errorf("sim: partition %s: %w", scheme.Name(), err)
+	}
+	if err := asg.Validate(w.Tree); err != nil {
+		return nil, fmt.Errorf("sim: %s produced invalid assignment: %w", scheme.Name(), err)
+	}
+	res, err := ReplayRounds(w.Tree, w.Events, scheme, asg, cm, rounds, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Trace = w.Profile.Name
+	return res, nil
+}

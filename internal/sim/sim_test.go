@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"d2tree/internal/baseline"
+	"d2tree/internal/core"
+	"d2tree/internal/partition"
+	"d2tree/internal/trace"
+)
+
+func workload(t testing.TB, p trace.Profile, nodes, events int, seed int64) *trace.Workload {
+	t.Helper()
+	w, err := trace.BuildWorkload(p.Scale(nodes), events, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+	bad := DefaultCostModel()
+	bad.ServiceUS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero service accepted")
+	}
+	bad = DefaultCostModel()
+	bad.Clients = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero clients accepted")
+	}
+}
+
+func TestReplayArgErrors(t *testing.T) {
+	w := workload(t, trace.DTR(), 500, 500, 1)
+	asg, _ := partition.NewAssignment(2)
+	if _, err := Replay(nil, w.Events, asg, nil, DefaultCostModel(), 1); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if _, err := Replay(w.Tree, w.Events, nil, nil, DefaultCostModel(), 1); !errors.Is(err, ErrNilAsg) {
+		t.Errorf("want ErrNilAsg, got %v", err)
+	}
+	if _, err := Replay(w.Tree, nil, asg, nil, DefaultCostModel(), 1); !errors.Is(err, ErrNoEvents) {
+		t.Errorf("want ErrNoEvents, got %v", err)
+	}
+	// Unplaced nodes must be detected.
+	if _, err := Replay(w.Tree, w.Events, asg, nil, DefaultCostModel(), 1); err == nil {
+		t.Error("unplaced assignment accepted")
+	}
+}
+
+func TestReplaySingleServerBaseline(t *testing.T) {
+	w := workload(t, trace.DTR(), 500, 2000, 2)
+	asg, _ := partition.NewAssignment(1)
+	for _, n := range w.Tree.Nodes() {
+		if err := asg.SetOwner(n.ID(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Replay(w.Tree, w.Events, asg, nil, DefaultCostModel(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgJumps != 0 {
+		t.Errorf("AvgJumps = %v, want 0 on one server", res.AvgJumps)
+	}
+	if !math.IsInf(res.Locality, 1) {
+		t.Errorf("Locality = %v, want +Inf on one server", res.Locality)
+	}
+	if res.Loads[0] != float64(len(w.Events)) {
+		t.Errorf("Loads = %v", res.Loads)
+	}
+	if res.ThroughputOps <= 0 {
+		t.Error("throughput must be positive")
+	}
+}
+
+func TestReplayDeterministicGivenSeed(t *testing.T) {
+	w := workload(t, trace.LMBE(), 800, 4000, 4)
+	s := &core.Scheme{}
+	asg, err := s.Partition(w.Tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Replay(w.Tree, w.Events, asg, s, DefaultCostModel(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(w.Tree, w.Events, asg, s, DefaultCostModel(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ThroughputOps != b.ThroughputOps || a.Balance != b.Balance {
+		t.Error("replay not deterministic")
+	}
+}
+
+func TestReplayGLQueryFracMatchesCalibration(t *testing.T) {
+	// With a 1% GL and the DTR profile, the fraction of queries served by
+	// the global layer must come out near the paper's measured 83.06%.
+	w := workload(t, trace.DTR(), 5000, 30000, 5)
+	s := &core.Scheme{}
+	asg, err := s.Partition(w.Tree, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(w.Tree, w.Events, asg, s, DefaultCostModel(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.GLQueryFrac-0.8306) > 0.05 {
+		t.Errorf("GLQueryFrac = %v, want ≈ 0.83", res.GLQueryFrac)
+	}
+}
+
+func TestReplayMoreServersMoreThroughputForD2OnDTR(t *testing.T) {
+	w := workload(t, trace.DTR(), 4000, 30000, 8)
+	var prev float64
+	for _, m := range []int{5, 10, 20} {
+		s := &core.Scheme{}
+		res, err := Run(w, s, m, 1, DefaultCostModel(), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ThroughputOps <= prev {
+			t.Errorf("m=%d: throughput %v did not improve on %v", m, res.ThroughputOps, prev)
+		}
+		prev = res.ThroughputOps
+	}
+}
+
+func TestReplayUpdatesCostMore(t *testing.T) {
+	// RA (16% updates) must yield lower D2 throughput than DTR (6%) at a
+	// scale where the GL update lock binds (small clusters are busy-bound
+	// for both traces; the lock is a fixed serialised resource).
+	m := 30
+	dtr, err := Run(workload(t, trace.DTR(), 4000, 30000, 10), &core.Scheme{}, m, 1, DefaultCostModel(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Run(workload(t, trace.RA(), 4000, 30000, 10), &core.Scheme{}, m, 1, DefaultCostModel(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.ThroughputOps >= dtr.ThroughputOps {
+		t.Errorf("RA %v should be slower than DTR %v", ra.ThroughputOps, dtr.ThroughputOps)
+	}
+}
+
+func TestReplayRoundsRebalanceImprovesBalance(t *testing.T) {
+	w := workload(t, trace.LMBE(), 4000, 30000, 12)
+	m := 8
+	s := &core.Scheme{}
+	asg, err := s.Partition(w.Tree, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Replay(w.Tree, w.Events, asg, s, DefaultCostModel(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := ReplayRounds(w.Tree, w.Events, s, asg, DefaultCostModel(), 10, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.BalanceVariance > one.BalanceVariance*1.01 {
+		t.Errorf("variance after rounds %v should not exceed single-round %v",
+			multi.BalanceVariance, one.BalanceVariance)
+	}
+	if multi.Scheme != "D2-Tree" {
+		t.Errorf("Scheme = %q", multi.Scheme)
+	}
+}
+
+func TestReplayRoundsValidation(t *testing.T) {
+	w := workload(t, trace.DTR(), 300, 300, 14)
+	s := &core.Scheme{}
+	asg, err := s.Partition(w.Tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayRounds(w.Tree, w.Events, s, asg, DefaultCostModel(), 0, 1); err == nil {
+		t.Error("rounds=0 accepted")
+	}
+}
+
+func TestRunAllSchemesAllTraces(t *testing.T) {
+	cm := DefaultCostModel()
+	schemes := []partition.Scheme{
+		&core.Scheme{}, &baseline.StaticSubtree{}, &baseline.DynamicSubtree{},
+		&baseline.DROP{}, &baseline.AngleCut{},
+	}
+	for _, p := range trace.Profiles() {
+		w := workload(t, p, 2000, 10000, 15)
+		for _, s := range schemes {
+			res, err := Run(w, s, 6, 3, cm, 16)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, s.Name(), err)
+			}
+			if res.ThroughputOps <= 0 || res.Ops != len(w.Events) {
+				t.Errorf("%s/%s: bad result %+v", p.Name, s.Name(), res)
+			}
+			if res.Trace != p.Name || res.M != 6 {
+				t.Errorf("%s/%s: metadata wrong", p.Name, s.Name())
+			}
+		}
+	}
+}
+
+func TestShapeLocalityOrdering(t *testing.T) {
+	// Fig. 6 shape on DTR: D2-Tree has the best locality; DROP and AngleCut
+	// are far worse than both subtree schemes.
+	w := workload(t, trace.DTR(), 4000, 30000, 17)
+	m := 10
+	get := func(s partition.Scheme) float64 {
+		t.Helper()
+		res, err := Run(w, s, m, 1, DefaultCostModel(), 18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Locality
+	}
+	d2 := get(&core.Scheme{})
+	st := get(&baseline.StaticSubtree{})
+	drop := get(&baseline.DROP{})
+	ac := get(&baseline.AngleCut{})
+	if !(d2 > st) {
+		t.Errorf("D2 locality %v should beat static %v on DTR", d2, st)
+	}
+	if !(st > drop && st > ac) {
+		t.Errorf("static %v should beat DROP %v and AngleCut %v", st, drop, ac)
+	}
+}
+
+func TestShapeBalanceOrdering(t *testing.T) {
+	// Fig. 7 shape: hashing (DROP/AngleCut) balances best; static is worst.
+	w := workload(t, trace.LMBE(), 4000, 30000, 19)
+	m := 8
+	get := func(s partition.Scheme) float64 {
+		t.Helper()
+		res, err := Run(w, s, m, 5, DefaultCostModel(), 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BalanceVariance
+	}
+	d2 := get(&core.Scheme{})
+	st := get(&baseline.StaticSubtree{})
+	drop := get(&baseline.DROP{})
+	ac := get(&baseline.AngleCut{})
+	// Hash schemes and D2 all balance tightly; static subtree is far worse.
+	for name, v := range map[string]float64{"D2": d2, "DROP": drop, "AngleCut": ac} {
+		if v*20 > st {
+			t.Errorf("%s variance %v not far below static %v", name, v, st)
+		}
+	}
+	if !(st > d2) {
+		t.Errorf("static variance %v should exceed D2 %v", st, d2)
+	}
+}
+
+func TestReplayLatencyReported(t *testing.T) {
+	w := workload(t, trace.DTR(), 1000, 5000, 30)
+	s := &core.Scheme{}
+	asg, err := s.Partition(w.Tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := DefaultCostModel()
+	res, err := Replay(w.Tree, w.Events, asg, s, cm, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency is at least the service time and includes hop/lock terms.
+	if res.AvgLatencyUS < cm.ServiceUS {
+		t.Errorf("AvgLatencyUS = %v < service %v", res.AvgLatencyUS, cm.ServiceUS)
+	}
+	want := cm.ServiceUS + res.AvgJumps*cm.HopUS
+	if res.AvgLatencyUS < want-1e-9 {
+		t.Errorf("AvgLatencyUS = %v, want >= %v", res.AvgLatencyUS, want)
+	}
+}

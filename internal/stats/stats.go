@@ -1,0 +1,225 @@
+// Package stats provides the streaming statistics the load generator and
+// experiment harness report: counters, mean/max trackers, and a fixed-bucket
+// log-scale latency histogram with percentile queries — allocation-free on
+// the record path and safe for concurrent use.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// histBuckets spans 1µs..~17s in 5%-wide log-scale steps.
+const (
+	histBuckets = 340
+	histGrowth  = 1.05
+	histMinUS   = 1.0
+)
+
+// Histogram is a log-bucketed latency histogram. The zero value is ready to
+// use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [histBuckets]uint64
+	count   uint64
+	sumUS   float64
+	maxUS   float64
+	minUS   float64
+}
+
+// bucketFor maps a latency in µs to its bucket index.
+func bucketFor(us float64) int {
+	if us <= histMinUS {
+		return 0
+	}
+	i := int(math.Log(us/histMinUS) / math.Log(histGrowth))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpperUS returns the upper bound of bucket i in µs.
+func bucketUpperUS(i int) float64 {
+	return histMinUS * math.Pow(histGrowth, float64(i+1))
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketFor(us)]++
+	h.count++
+	h.sumUS += us
+	if us > h.maxUS {
+		h.maxUS = us
+	}
+	if h.count == 1 || us < h.minUS {
+		h.minUS = us
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sumUS/float64(h.count)) * time.Microsecond
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.maxUS) * time.Microsecond
+}
+
+// Min returns the smallest observation.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.minUS) * time.Microsecond
+}
+
+// Quantile returns an upper bound for the q-quantile latency (q in [0,1]).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var acc uint64
+	for i := 0; i < histBuckets; i++ {
+		acc += h.buckets[i]
+		if acc >= target {
+			return time.Duration(bucketUpperUS(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(h.maxUS) * time.Microsecond
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	var (
+		buckets      = other.buckets
+		count        = other.count
+		sumUS        = other.sumUS
+		minUS, maxUS = other.minUS, other.maxUS
+	)
+	other.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range buckets {
+		h.buckets[i] += buckets[i]
+	}
+	if count > 0 {
+		if h.count == 0 || minUS < h.minUS {
+			h.minUS = minUS
+		}
+		if maxUS > h.maxUS {
+			h.maxUS = maxUS
+		}
+	}
+	h.count += count
+	h.sumUS += sumUS
+}
+
+// Summary is a point-in-time view of a histogram.
+type Summary struct {
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean"`
+	Min   time.Duration `json:"min"`
+	Max   time.Duration `json:"max"`
+	P50   time.Duration `json:"p50"`
+	P90   time.Duration `json:"p90"`
+	P99   time.Duration `json:"p99"`
+}
+
+// Summarize captures the histogram's current summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// CounterSet is a named set of monotonically increasing counters, safe for
+// concurrent use. The zero value is ready to use.
+type CounterSet struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+}
+
+// Add increments a named counter.
+func (c *CounterSet) Add(name string, delta uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.counts == nil {
+		c.counts = make(map[string]uint64)
+	}
+	c.counts[name] += delta
+}
+
+// Get returns a counter's value.
+func (c *CounterSet) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *CounterSet) Snapshot() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Write renders the counters sorted by name.
+func (c *CounterSet) Write(w io.Writer) error {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, k := range names {
+		fmt.Fprintf(tw, "%s\t%d\n", k, snap[k])
+	}
+	return tw.Flush()
+}

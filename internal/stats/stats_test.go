@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, ms := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		h.Record(time.Duration(ms) * time.Millisecond)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if mean := h.Mean(); mean < 5*time.Millisecond || mean > 6*time.Millisecond {
+		t.Errorf("Mean = %v, want ≈ 5.5ms", mean)
+	}
+	if min := h.Min(); min > 1100*time.Microsecond {
+		t.Errorf("Min = %v", min)
+	}
+	if max := h.Max(); max < 10*time.Millisecond {
+		t.Errorf("Max = %v", max)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Against a big sample, bucketed quantiles must be within the 5% bucket
+	// growth of the exact values.
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	exact := make([]float64, 20000)
+	for i := range exact {
+		us := math100kLogUniform(rng)
+		exact[i] = us
+		h.Record(time.Duration(us) * time.Microsecond)
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := exact[int(q*float64(len(exact)))-1]
+		got := float64(h.Quantile(q)) / float64(time.Microsecond)
+		if got < want*0.9 || got > want*1.15 {
+			t.Errorf("q=%v: got %v, want ≈ %v", q, got, want)
+		}
+	}
+}
+
+// math100kLogUniform samples log-uniform between 10µs and 100ms.
+func math100kLogUniform(rng *rand.Rand) float64 {
+	lo, hi := 10.0, 100000.0
+	return lo * math.Pow(hi/lo, rng.Float64())
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	if h.Quantile(-1) == 0 || h.Quantile(2) == 0 {
+		t.Error("clamped quantiles should return the only observation's bucket")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(1 * time.Millisecond)
+	b.Record(100 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if a.Max() < 100*time.Millisecond {
+		t.Errorf("Max = %v", a.Max())
+	}
+	if a.Min() > 2*time.Millisecond {
+		t.Errorf("Min = %v", a.Min())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summarize()
+	if s.Count != 100 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Errorf("percentiles not ordered: %+v", s)
+	}
+	if s.P50 < 45*time.Millisecond || s.P50 > 60*time.Millisecond {
+		t.Errorf("P50 = %v", s.P50)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		var h Histogram
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(n)+1; i++ {
+			h.Record(time.Duration(rng.Intn(1e6)+1) * time.Microsecond)
+		}
+		prev := time.Duration(0)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	var c CounterSet
+	c.Add("ops", 3)
+	c.Add("ops", 2)
+	c.Add("errors", 1)
+	if c.Get("ops") != 5 || c.Get("errors") != 1 || c.Get("missing") != 0 {
+		t.Error("counter values wrong")
+	}
+	snap := c.Snapshot()
+	snap["ops"] = 99
+	if c.Get("ops") != 5 {
+		t.Error("Snapshot aliases internal map")
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("WriteTo produced nothing")
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	var c CounterSet
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get("n") != 4000 {
+		t.Errorf("n = %d", c.Get("n"))
+	}
+}

@@ -1,0 +1,306 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"d2tree/internal/namespace"
+)
+
+// Generator produces a deterministic event stream over a namespace tree
+// according to a Profile. The hot set is the HotFrac fraction of nodes
+// closest to the root (ties broken by creation order), which is exactly the
+// set a popularity-greedy splitter will promote into the global layer —
+// making HotAccessFrac an effective global-layer hit-rate calibration knob.
+type Generator struct {
+	tree    *namespace.Tree
+	profile Profile
+	rng     *rand.Rand
+	seq     int64
+
+	hot       []namespace.NodeID
+	cold      []namespace.NodeID // pre-order, so regions are subtree-like
+	regionLen int
+	// regionPerm scatters the Zipf weight ranks across regions so the hot
+	// "flow-control" subtrees land anywhere in the namespace rather than
+	// always at the pre-order front (which would bias one top directory).
+	regionPerm []int
+	coldZipf   *rand.Zipf // over cold regions, not single nodes
+}
+
+// NewGenerator builds a generator for the given tree and profile.
+func NewGenerator(t *namespace.Tree, p Profile, seed int64) (*Generator, error) {
+	if t == nil {
+		return nil, ErrNoTree
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := t.Nodes()
+	nHot := int(float64(len(nodes)) * p.HotFrac)
+	if nHot < 1 {
+		nHot = 1
+	}
+	if nHot >= len(nodes) {
+		nHot = len(nodes) - 1
+	}
+	g := &Generator{
+		tree:    t,
+		profile: p,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	// Region geometry is fixed by nHot alone, so the permutation can be
+	// drawn before the hot-set fixed point and shared with it.
+	coldCount := len(nodes) - nHot
+	g.regionLen = 200
+	if g.regionLen > coldCount {
+		g.regionLen = coldCount
+	}
+	nRegions := 1
+	if g.regionLen > 0 && coldCount > 0 {
+		nRegions = (coldCount-1)/g.regionLen + 1
+	}
+	permRng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	g.regionPerm = permRng.Perm(nRegions)
+	// The hot set must coincide with what a popularity-greedy splitter will
+	// promote — the top-nHot nodes by aggregate popularity — so that
+	// HotAccessFrac calibrates the global-layer hit rate. The sampler's
+	// expected popularity depends on the hot set itself (cold regions are
+	// defined over the complement), so iterate to a fixed point: start from
+	// the shallow prefix, compute expected aggregates under the planned
+	// sampler, re-rank, repeat until stable.
+	hotSet := shallowPrefix(nodes, nHot)
+	for iter := 0; iter < 5; iter++ {
+		next := g.expectedTopK(hotSet, nHot)
+		if equalIDSets(hotSet, next) {
+			hotSet = next
+			break
+		}
+		hotSet = next
+	}
+	g.hot = make([]namespace.NodeID, 0, nHot)
+	for _, n := range nodes {
+		if hotSet[n.ID()] {
+			g.hot = append(g.hot, n.ID())
+		}
+	}
+	// Cold nodes in DFS pre-order: contiguous runs then correspond to
+	// subtrees, so region-level skew produces hot *subtrees* ("flow-control
+	// subtrees") made of many individually mild nodes.
+	g.cold = g.cold[:0]
+	t.Walk(func(n *namespace.Node) bool {
+		if !hotSet[n.ID()] {
+			g.cold = append(g.cold, n.ID())
+		}
+		return true
+	})
+	// The hot set is sampled uniformly (no single node dominates); the cold
+	// set is Zipf-skewed across permuted subtree-like regions.
+	g.coldZipf = rand.NewZipf(g.rng, p.ColdZipfS, 1, uint64(len(g.regionPerm)-1))
+	if g.coldZipf == nil {
+		return nil, fmt.Errorf("trace: zipf construction failed for %s", p.Name)
+	}
+	return g, nil
+}
+
+// shallowPrefix returns the k nodes closest to the root (ties by ID).
+func shallowPrefix(nodes []*namespace.Node, k int) map[namespace.NodeID]bool {
+	ranked := make([]*namespace.Node, len(nodes))
+	copy(ranked, nodes)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Depth() != ranked[j].Depth() {
+			return ranked[i].Depth() < ranked[j].Depth()
+		}
+		return ranked[i].ID() < ranked[j].ID()
+	})
+	out := make(map[namespace.NodeID]bool, k)
+	for i := 0; i < k; i++ {
+		out[ranked[i].ID()] = true
+	}
+	return out
+}
+
+// expectedTopK computes each node's expected aggregate popularity under the
+// sampler induced by the candidate hot set, and returns the top-k node set —
+// parent-closed because aggregates are monotone up the tree, hence exactly
+// the set a greedy splitter promotes.
+func (g *Generator) expectedTopK(hotSet map[namespace.NodeID]bool, k int) map[namespace.NodeID]bool {
+	p := g.profile
+	nodes := g.tree.Nodes()
+	self := make([]float64, len(nodes))
+	// Hot nodes share HotAccessFrac uniformly.
+	hotW := p.HotAccessFrac / float64(len(hotSet))
+	// Cold nodes, in pre-order, share (1−HotAccessFrac) across Zipf-weighted
+	// regions of regionLen nodes each.
+	var cold []namespace.NodeID
+	g.tree.Walk(func(n *namespace.Node) bool {
+		if !hotSet[n.ID()] {
+			cold = append(cold, n.ID())
+		}
+		return true
+	})
+	if g.regionLen > 0 && len(cold) > 0 {
+		nRegions := len(g.regionPerm)
+		var z float64
+		rankShare := make([]float64, nRegions)
+		for r := 0; r < nRegions; r++ {
+			rankShare[r] = math.Pow(float64(1+r), -p.ColdZipfS)
+			z += rankShare[r]
+		}
+		// shares indexed by region position after the scatter permutation.
+		shares := make([]float64, nRegions)
+		for rank, pos := range g.regionPerm {
+			shares[pos] = rankShare[rank]
+		}
+		for i, id := range cold {
+			r := i / g.regionLen
+			if r >= nRegions {
+				r = nRegions - 1
+			}
+			rlen := g.regionLen
+			if (r+1)*g.regionLen > len(cold) {
+				rlen = len(cold) - r*g.regionLen
+			}
+			self[id] = (1 - p.HotAccessFrac) * shares[r] / z / float64(rlen)
+		}
+	}
+	for id := range hotSet {
+		self[id] = hotW
+	}
+	// Aggregate bottom-up (children precede parents in reverse ID order).
+	agg := make([]float64, len(nodes))
+	copy(agg, self)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		if par := n.Parent(); par != nil {
+			agg[par.ID()] += agg[n.ID()]
+		}
+	}
+	idx := make([]int, len(nodes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if agg[idx[a]] != agg[idx[b]] {
+			return agg[idx[a]] > agg[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	out := make(map[namespace.NodeID]bool, k)
+	for i := 0; i < k; i++ {
+		out[namespace.NodeID(idx[i])] = true
+	}
+	return out
+}
+
+func equalIDSets(a, b map[namespace.NodeID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Profile returns the generator's workload profile.
+func (g *Generator) Profile() Profile { return g.profile }
+
+// HotSet returns the node IDs of the hot set (copy).
+func (g *Generator) HotSet() []namespace.NodeID {
+	out := make([]namespace.NodeID, len(g.hot))
+	copy(out, g.hot)
+	return out
+}
+
+// Next produces the next event in the stream.
+func (g *Generator) Next() Event {
+	op := g.sampleOp()
+	hotFrac := g.profile.HotAccessFrac
+	if op == OpUpdate {
+		hotFrac = g.profile.UpdateHotFrac
+	}
+	var node namespace.NodeID
+	if g.rng.Float64() < hotFrac || len(g.cold) == 0 {
+		node = g.hot[g.rng.Intn(len(g.hot))]
+	} else {
+		region := g.regionPerm[int(g.coldZipf.Uint64())]
+		start := region * g.regionLen
+		if start >= len(g.cold) {
+			start = (len(g.cold) - 1) / g.regionLen * g.regionLen
+		}
+		end := start + g.regionLen
+		if end > len(g.cold) {
+			end = len(g.cold)
+		}
+		node = g.cold[start+g.rng.Intn(end-start)]
+	}
+	g.seq++
+	return Event{Seq: g.seq, Op: op, Node: node}
+}
+
+// Generate produces n events and, when touch is true, records each access as
+// one unit of individual popularity on the target node so the tree's
+// aggregates reflect the workload (Def. 2).
+func (g *Generator) Generate(n int, touch bool) []Event {
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		e := g.Next()
+		if touch {
+			if node := g.tree.Node(e.Node); node != nil {
+				g.tree.Touch(node, 1)
+				if e.Op == OpUpdate {
+					g.tree.AddUpdateCost(node, 1)
+				}
+			}
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+func (g *Generator) sampleOp() OpType {
+	r := g.rng.Float64()
+	switch {
+	case r < g.profile.OpMix.Read:
+		return OpRead
+	case r < g.profile.OpMix.Read+g.profile.OpMix.Write:
+		return OpWrite
+	default:
+		return OpUpdate
+	}
+}
+
+// Workload bundles a namespace tree with the event stream generated over it.
+type Workload struct {
+	Profile Profile
+	Tree    *namespace.Tree
+	Events  []Event
+	HotSet  []namespace.NodeID
+}
+
+// BuildWorkload constructs the scaled namespace for the profile, generates
+// nEvents operations with popularity accounting, and returns both.
+func BuildWorkload(p Profile, nEvents int, seed int64) (*Workload, error) {
+	t, err := namespace.Build(p.TreeConfig(seed))
+	if err != nil {
+		return nil, fmt.Errorf("trace: build namespace for %s: %w", p.Name, err)
+	}
+	g, err := NewGenerator(t, p, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	// Every node carries a baseline update cost of 1: keeping a node in the
+	// replicated global layer costs consistency maintenance (version checks,
+	// lease refresh) even when its attributes never change. Observed update
+	// operations add on top of this during generation.
+	for _, n := range t.Nodes() {
+		t.SetUpdateCost(n, 1)
+	}
+	events := g.Generate(nEvents, true)
+	return &Workload{Profile: p, Tree: t, Events: events, HotSet: g.HotSet()}, nil
+}

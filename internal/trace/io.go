@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileHeader leads a trace file and records provenance.
+type fileHeader struct {
+	Format  string `json:"format"`
+	Profile string `json:"profile"`
+	Events  int    `json:"events"`
+}
+
+const fileFormat = "d2tree/trace/v1"
+
+// Write serialises events as newline-delimited JSON with a header line.
+func Write(w io.Writer, profileName string, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := fileHeader{Format: fileFormat, Profile: profileName, Events: len(events)}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("trace: encode header: %w", err)
+	}
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("trace: encode event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace file written by Write, returning the profile name and
+// the events.
+func Read(r io.Reader) (string, []Event, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr fileHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return "", nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	if hdr.Format != fileFormat {
+		return "", nil, fmt.Errorf("trace: unknown format %q", hdr.Format)
+	}
+	events := make([]Event, 0, hdr.Events)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return "", nil, fmt.Errorf("trace: decode event: %w", err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != hdr.Events {
+		return "", nil, fmt.Errorf("trace: file has %d events, header says %d",
+			len(events), hdr.Events)
+	}
+	return hdr.Profile, events, nil
+}

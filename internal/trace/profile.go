@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"fmt"
+
+	"d2tree/internal/namespace"
+)
+
+// Profile describes one of the paper's trace workloads plus the scaled-down
+// synthetic parameters used to regenerate it locally.
+type Profile struct {
+	// Name is the trace's short name as used in the paper ("DTR", …).
+	Name string
+	// Description matches Table I's "Brief Description" column.
+	Description string
+	// PaperSizeGB, PaperRecords and MaxDepth reproduce Table I.
+	PaperSizeGB  float64
+	PaperRecords int64
+	MaxDepth     int
+
+	// OpMix reproduces Table II for this trace.
+	OpMix Mix
+
+	// HotFrac is the fraction of namespace nodes forming the hot set —
+	// aligned with the 1% global-layer proportion used in the evaluation.
+	HotFrac float64
+	// HotAccessFrac is the fraction of queries aimed at the hot set,
+	// calibrated to the paper's measured global-layer hit rates.
+	HotAccessFrac float64
+	// UpdateHotFrac is the fraction of update operations aimed at the hot
+	// set (the paper reports 67% for RA).
+	UpdateHotFrac float64
+
+	// Namespace shape for the scaled synthetic tree.
+	TreeNodes   int
+	DirFanout   float64
+	FilesPerDir float64
+	// RootFanout fixes the number of top-level directories; production
+	// namespaces keep a wide first level even when deep and narrow below.
+	RootFanout int
+
+	// ColdZipfS is the skew exponent across cold subtree-like regions; a
+	// large value concentrates cold traffic into a few "flow-control"
+	// subtrees. Hot-set accesses are uniform — real traces spread
+	// hot-prefix traffic over many shallow nodes, no single one of which
+	// dominates.
+	ColdZipfS float64
+}
+
+// Validate reports whether the profile is internally consistent.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("trace: profile missing name")
+	}
+	if err := p.OpMix.Validate(); err != nil {
+		return fmt.Errorf("trace: profile %s: %w", p.Name, err)
+	}
+	if p.HotFrac <= 0 || p.HotFrac >= 1 {
+		return fmt.Errorf("trace: profile %s: HotFrac %v outside (0,1)", p.Name, p.HotFrac)
+	}
+	if p.HotAccessFrac < 0 || p.HotAccessFrac > 1 ||
+		p.UpdateHotFrac < 0 || p.UpdateHotFrac > 1 {
+		return fmt.Errorf("trace: profile %s: access fractions outside [0,1]", p.Name)
+	}
+	if p.TreeNodes < 10 || p.MaxDepth < 2 || p.ColdZipfS <= 1 {
+		return fmt.Errorf("trace: profile %s: bad shape parameters", p.Name)
+	}
+	return nil
+}
+
+// TreeConfig returns the namespace build configuration for this profile.
+func (p Profile) TreeConfig(seed int64) namespace.BuildConfig {
+	return namespace.BuildConfig{
+		Nodes:       p.TreeNodes,
+		MaxDepth:    p.MaxDepth,
+		DirFanout:   p.DirFanout,
+		RootFanout:  p.RootFanout,
+		FilesPerDir: p.FilesPerDir,
+		Seed:        seed,
+	}
+}
+
+// Scale returns a copy of the profile with the synthetic tree size set to n
+// nodes (benchmarks shrink workloads; experiments grow them).
+func (p Profile) Scale(n int) Profile {
+	p.TreeNodes = n
+	return p
+}
+
+// DTR is the Development Tools Release trace profile (Tables I & II;
+// 83.06% of queries hit the global layer per Sec. VI-A).
+func DTR() Profile {
+	return Profile{
+		Name:          "DTR",
+		Description:   "Collected for Developers Tools Release server.",
+		PaperSizeGB:   5.9,
+		PaperRecords:  34_349_109,
+		MaxDepth:      49,
+		OpMix:         Mix{Read: 0.67743, Write: 0.26137, Update: 0.06119},
+		HotFrac:       0.01,
+		HotAccessFrac: 0.8306,
+		UpdateHotFrac: 0.8306,
+		TreeNodes:     20_000,
+		DirFanout:     2.4,
+		FilesPerDir:   2.0,
+		RootFanout:    64,
+		// DTR's residual cold traffic (17%) is only mildly skewed: the
+		// trace's defining feature is its hot shallow prefix, which spreads
+		// evenly across the wide top level — the reason static subtree
+		// partitioning does so well on it (Fig. 5a).
+		ColdZipfS: 1.15,
+	}
+}
+
+// LMBE is the Live Maps Back End trace profile (58.57% of queries go to the
+// local layer, i.e. 41.43% hit the global layer).
+func LMBE() Profile {
+	return Profile{
+		Name:          "LMBE",
+		Description:   "Collected for LiveMaps back-end server.",
+		PaperSizeGB:   15.1,
+		PaperRecords:  88_160_590,
+		MaxDepth:      9,
+		OpMix:         Mix{Read: 0.78877, Write: 0.21108, Update: 0.00015},
+		HotFrac:       0.01,
+		HotAccessFrac: 0.4143,
+		UpdateHotFrac: 0.4143,
+		TreeNodes:     20_000,
+		DirFanout:     3.5,
+		FilesPerDir:   4.0,
+		RootFanout:    16,
+		ColdZipfS:     1.4,
+	}
+}
+
+// RA is the Radius Authentication trace profile (16% updates, 67% of which
+// target the global layer).
+func RA() Profile {
+	return Profile{
+		Name:          "RA",
+		Description:   "Collected for RADIUS authentication server.",
+		PaperSizeGB:   39.3,
+		PaperRecords:  259_915_851,
+		MaxDepth:      13,
+		OpMix:         Mix{Read: 0.47734, Write: 0.36174, Update: 0.16102},
+		HotFrac:       0.01,
+		HotAccessFrac: 0.62,
+		UpdateHotFrac: 0.67,
+		TreeNodes:     20_000,
+		DirFanout:     2.8,
+		FilesPerDir:   3.0,
+		RootFanout:    20,
+		ColdZipfS:     1.45,
+	}
+}
+
+// Profiles returns the three paper traces in presentation order.
+func Profiles() []Profile { return []Profile{DTR(), LMBE(), RA()} }
+
+// ProfileByName resolves a profile by its short name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown profile %q", name)
+}

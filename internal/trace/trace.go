@@ -1,0 +1,100 @@
+// Package trace provides the workload substrate: metadata-operation event
+// streams standing in for the Microsoft SNIA traces the paper replays
+// (Development Tools Release, Live Maps Back End, Radius Authentication —
+// iotta.snia.org #158, unavailable here).
+//
+// The substitution preserves every property the evaluation depends on:
+//
+//   - Table I shape — namespace max depth and (scaled) record counts;
+//   - Table II — per-trace read/write/update operation mix;
+//   - access skew — a small hot set of shallow nodes absorbs most traffic
+//     ("flow-control subtrees"), with the hot-set hit ratio calibrated to the
+//     paper's measured global-layer hit rates (83.06% for DTR, 41.43% for
+//     LMBE) and RA's 67% of updates targeting the global layer.
+//
+// Generators are fully deterministic per seed.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"d2tree/internal/namespace"
+)
+
+// OpType classifies a metadata operation, following the paper's filtering of
+// the traces down to read / write / update.
+type OpType int
+
+// Operation types.
+const (
+	OpRead OpType = iota + 1
+	OpWrite
+	OpUpdate
+)
+
+// String implements fmt.Stringer.
+func (o OpType) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("OpType(%d)", int(o))
+	}
+}
+
+// IsQuery reports whether the operation is a pure metadata query. The paper
+// notes reads and writes "only cause simply a query operation to MDS's";
+// updates additionally modify metadata and need locking when they touch the
+// replicated global layer.
+func (o OpType) IsQuery() bool { return o == OpRead || o == OpWrite }
+
+// Event is one metadata operation against a namespace node.
+type Event struct {
+	Seq  int64            `json:"seq"`
+	Op   OpType           `json:"op"`
+	Node namespace.NodeID `json:"node"`
+}
+
+// ErrNoTree is returned when constructing a generator without a namespace.
+var ErrNoTree = errors.New("trace: nil namespace tree")
+
+// Mix is an operation-type breakdown in fractions summing to 1.
+type Mix struct {
+	Read   float64 `json:"read"`
+	Write  float64 `json:"write"`
+	Update float64 `json:"update"`
+}
+
+// Validate checks the mix sums to 1 within tolerance.
+func (m Mix) Validate() error {
+	sum := m.Read + m.Write + m.Update
+	if m.Read < 0 || m.Write < 0 || m.Update < 0 || sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("trace: mix %+v does not sum to 1", m)
+	}
+	return nil
+}
+
+// CountMix tallies the operation breakdown of an event stream (Table II).
+func CountMix(events []Event) Mix {
+	if len(events) == 0 {
+		return Mix{}
+	}
+	var r, w, u float64
+	for _, e := range events {
+		switch e.Op {
+		case OpRead:
+			r++
+		case OpWrite:
+			w++
+		case OpUpdate:
+			u++
+		}
+	}
+	n := float64(len(events))
+	return Mix{Read: r / n, Write: w / n, Update: u / n}
+}

@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"d2tree/internal/namespace"
+)
+
+func TestOpTypeString(t *testing.T) {
+	tests := []struct {
+		op   OpType
+		want string
+	}{
+		{OpRead, "read"}, {OpWrite, "write"}, {OpUpdate, "update"},
+		{OpType(9), "OpType(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.op), got, tt.want)
+		}
+	}
+}
+
+func TestOpIsQuery(t *testing.T) {
+	if !OpRead.IsQuery() || !OpWrite.IsQuery() || OpUpdate.IsQuery() {
+		t.Error("IsQuery classification wrong")
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	if err := (Mix{Read: 0.5, Write: 0.3, Update: 0.2}).Validate(); err != nil {
+		t.Errorf("valid mix rejected: %v", err)
+	}
+	if err := (Mix{Read: 0.5, Write: 0.3, Update: 0.1}).Validate(); err == nil {
+		t.Error("mix summing to 0.9 accepted")
+	}
+	if err := (Mix{Read: 1.2, Write: -0.2}).Validate(); err == nil {
+		t.Error("negative component accepted")
+	}
+}
+
+func TestCountMix(t *testing.T) {
+	events := []Event{
+		{Op: OpRead}, {Op: OpRead}, {Op: OpWrite}, {Op: OpUpdate},
+	}
+	m := CountMix(events)
+	if m.Read != 0.5 || m.Write != 0.25 || m.Update != 0.25 {
+		t.Errorf("CountMix = %+v", m)
+	}
+	if z := CountMix(nil); z != (Mix{}) {
+		t.Errorf("CountMix(nil) = %+v", z)
+	}
+}
+
+func TestBuiltinProfilesValid(t *testing.T) {
+	for _, p := range Profiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			if err := p.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestProfileTableIValues(t *testing.T) {
+	// Pin the Table I numbers so a regression is caught immediately.
+	tests := []struct {
+		p       Profile
+		records int64
+		depth   int
+		sizeGB  float64
+	}{
+		{DTR(), 34_349_109, 49, 5.9},
+		{LMBE(), 88_160_590, 9, 15.1},
+		{RA(), 259_915_851, 13, 39.3},
+	}
+	for _, tt := range tests {
+		if tt.p.PaperRecords != tt.records || tt.p.MaxDepth != tt.depth ||
+			tt.p.PaperSizeGB != tt.sizeGB {
+			t.Errorf("%s Table I values drifted: %+v", tt.p.Name, tt.p)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("LMBE")
+	if err != nil || p.Name != "LMBE" {
+		t.Errorf("ProfileByName(LMBE) = %v, %v", p.Name, err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestProfileScale(t *testing.T) {
+	p := DTR().Scale(123)
+	if p.TreeNodes != 123 {
+		t.Errorf("Scale: TreeNodes = %d", p.TreeNodes)
+	}
+	if DTR().TreeNodes == 123 {
+		t.Error("Scale mutated the base profile")
+	}
+}
+
+func TestNewGeneratorErrors(t *testing.T) {
+	if _, err := NewGenerator(nil, DTR(), 1); !errors.Is(err, ErrNoTree) {
+		t.Errorf("want ErrNoTree, got %v", err)
+	}
+	tr := namespace.NewTree()
+	if _, err := tr.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	bad := DTR()
+	bad.HotFrac = 2
+	if _, err := NewGenerator(tr, bad, 1); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestGeneratorOpMixConverges(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p.Scale(2000)
+		t.Run(p.Name, func(t *testing.T) {
+			w, err := BuildWorkload(p, 40000, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := CountMix(w.Events)
+			if math.Abs(m.Read-p.OpMix.Read) > 0.02 ||
+				math.Abs(m.Write-p.OpMix.Write) > 0.02 ||
+				math.Abs(m.Update-p.OpMix.Update) > 0.02 {
+				t.Errorf("mix = %+v, want ≈ %+v", m, p.OpMix)
+			}
+		})
+	}
+}
+
+func TestGeneratorHotSetHitRate(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p.Scale(5000)
+		t.Run(p.Name, func(t *testing.T) {
+			tr, err := namespace.Build(p.TreeConfig(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := NewGenerator(tr, p, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hot := make(map[namespace.NodeID]bool, len(g.HotSet()))
+			for _, id := range g.HotSet() {
+				hot[id] = true
+			}
+			const n = 30000
+			var hits, updates, updateHits float64
+			for i := 0; i < n; i++ {
+				e := g.Next()
+				if e.Op == OpUpdate {
+					updates++
+					if hot[e.Node] {
+						updateHits++
+					}
+					continue
+				}
+				if hot[e.Node] {
+					hits++
+				}
+			}
+			queryRate := hits / (n - updates)
+			if math.Abs(queryRate-p.HotAccessFrac) > 0.03 {
+				t.Errorf("hot query rate = %v, want ≈ %v", queryRate, p.HotAccessFrac)
+			}
+			if updates > 500 {
+				updateRate := updateHits / updates
+				if math.Abs(updateRate-p.UpdateHotFrac) > 0.05 {
+					t.Errorf("hot update rate = %v, want ≈ %v", updateRate, p.UpdateHotFrac)
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p := LMBE().Scale(1500)
+	a, err := BuildWorkload(p, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWorkload(p, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+func TestGeneratorHotSetIsParentClosed(t *testing.T) {
+	// The hot set must be parent-closed (every hot node's ancestors are
+	// hot): that is what makes it exactly the set a popularity-greedy
+	// splitter promotes into the global layer.
+	p := DTR().Scale(3000)
+	tr, err := namespace.Build(p.TreeConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(tr, p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := make(map[namespace.NodeID]bool)
+	for _, id := range g.HotSet() {
+		hot[id] = true
+	}
+	if !hot[tr.Root().ID()] {
+		t.Fatal("root must be hot")
+	}
+	for id := range hot {
+		if p := tr.Node(id).Parent(); p != nil && !hot[p.ID()] {
+			t.Fatalf("hot node %d has cold parent %d", id, p.ID())
+		}
+	}
+}
+
+func TestWorkloadPopularityAccounting(t *testing.T) {
+	p := RA().Scale(1200)
+	w, err := BuildWorkload(p, 5000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Tree.TotalPopularity(); got != 5000 {
+		t.Errorf("total popularity = %d, want 5000 (one per event)", got)
+	}
+	if err := w.Tree.CheckPopularity(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	p := DTR().Scale(800)
+	w, err := BuildWorkload(p, 300, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p.Name, w.Events); err != nil {
+		t.Fatal(err)
+	}
+	name, events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "DTR" || len(events) != len(w.Events) {
+		t.Fatalf("Read = %q, %d events", name, len(events))
+	}
+	for i := range events {
+		if events[i] != w.Events[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}
+
+func TestTraceReadRejectsGarbage(t *testing.T) {
+	if _, _, err := Read(bytes.NewBufferString("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := Read(bytes.NewBufferString(`{"format":"x","events":0}` + "\n")); err == nil {
+		t.Error("wrong format accepted")
+	}
+}

@@ -1,0 +1,189 @@
+// Package wal is a minimal write-ahead log: length-prefixed, CRC-protected
+// JSON records appended to a single file. The Monitor journals global-layer
+// updates and subtree-ownership changes through it so a restarted Monitor
+// recovers the cluster's logical state. Replay stops cleanly at the first
+// torn or corrupt record, making crash-truncated tails harmless.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record is one journal entry.
+type Record struct {
+	// Seq is the record's 1-based sequence number.
+	Seq int64 `json:"seq"`
+	// Type tags the payload schema.
+	Type string `json:"type"`
+	// Data is the type-specific payload.
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// MaxRecordSize bounds one record (4 MiB).
+const MaxRecordSize = 4 << 20
+
+// Errors reported by the log.
+var (
+	ErrClosed       = errors.New("wal: log closed")
+	ErrRecordTooBig = errors.New("wal: record exceeds maximum size")
+)
+
+// Log is an append-only journal. Safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	seq    int64
+	closed bool
+}
+
+// Open opens (or creates) the log at path, replays it to find the last
+// sequence number, and positions for appending.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	// Scan to the end of the valid prefix.
+	var lastSeq int64
+	validEnd := int64(0)
+	err = replayFrom(f, func(rec Record, end int64) error {
+		lastSeq = rec.Seq
+		validEnd = end
+		return nil
+	})
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	// Truncate any torn tail and seek to the append position.
+	if err := f.Truncate(validEnd); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return &Log{f: f, seq: lastSeq}, nil
+}
+
+// Append journals one record and returns its sequence number. The record is
+// synced to stable storage before returning.
+func (l *Log) Append(recType string, payload interface{}) (int64, error) {
+	var data json.RawMessage
+	if payload != nil {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return 0, fmt.Errorf("wal: marshal %s: %w", recType, err)
+		}
+		data = raw
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.seq++
+	rec := Record{Seq: l.seq, Type: recType, Data: data}
+	body, err := json.Marshal(&rec)
+	if err != nil {
+		l.seq--
+		return 0, fmt.Errorf("wal: marshal record: %w", err)
+	}
+	if len(body) > MaxRecordSize {
+		l.seq--
+		return 0, fmt.Errorf("%w: %d bytes", ErrRecordTooBig, len(body))
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: write header: %w", err)
+	}
+	if _, err := l.f.Write(body); err != nil {
+		return 0, fmt.Errorf("wal: write body: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: sync: %w", err)
+	}
+	return rec.Seq, nil
+}
+
+// Seq returns the last appended sequence number.
+func (l *Log) Seq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		_ = l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Replay reads the valid record prefix of the log at path, invoking fn per
+// record in order. A missing file is an empty log. Torn or corrupt tails
+// are ignored; an error from fn aborts the replay.
+func Replay(path string, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	return replayFrom(f, func(rec Record, _ int64) error { return fn(rec) })
+}
+
+// replayFrom scans records from the reader, reporting each record plus the
+// stream offset just past it. It returns nil at a clean or torn end.
+func replayFrom(r io.ReadSeeker, fn func(rec Record, end int64) error) error {
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	offset := int64(0)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean EOF or torn header: stop at valid prefix
+		}
+		size := binary.BigEndian.Uint32(hdr[:4])
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if size > MaxRecordSize {
+			return nil // corrupt length: treat as torn tail
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return nil // corrupt record: stop
+		}
+		var rec Record
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return nil // corrupt JSON: stop
+		}
+		offset += int64(8 + len(body))
+		if err := fn(rec, offset); err != nil {
+			return err
+		}
+	}
+}

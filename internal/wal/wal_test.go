@@ -1,0 +1,225 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type testPayload struct {
+	Path string `json:"path"`
+	N    int    `json:"n"`
+}
+
+func tempLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.wal")
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		seq, err := l.Append("update", &testPayload{Path: "/a", N: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != int64(i) {
+			t.Errorf("seq = %d, want %d", seq, i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []testPayload
+	err = Replay(path, func(rec Record) error {
+		if rec.Type != "update" {
+			t.Errorf("type = %q", rec.Type)
+		}
+		var p testPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		got = append(got, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[4].N != 5 {
+		t.Fatalf("replayed %d records: %+v", len(got), got)
+	}
+}
+
+func TestReplayMissingFileIsEmpty(t *testing.T) {
+	calls := 0
+	err := Replay(filepath.Join(t.TempDir(), "nope.wal"), func(Record) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 0 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("b", nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l2.Close() }()
+	if l2.Seq() != 2 {
+		t.Errorf("Seq = %d, want 2", l2.Seq())
+	}
+	seq, err := l2.Append("c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Errorf("next seq = %d, want 3", seq)
+	}
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append("x", &testPayload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = l.Close()
+
+	// Simulate a crash mid-append: chop a few bytes off the tail.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	count := 0
+	if err := Replay(path, func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("replayed %d records after torn tail, want 2", count)
+	}
+
+	// Reopen: the torn tail must be discarded and appends continue from 2.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l2.Close() }()
+	if l2.Seq() != 2 {
+		t.Errorf("Seq after torn tail = %d, want 2", l2.Seq())
+	}
+	if _, err := l2.Append("y", nil); err != nil {
+		t.Fatal(err)
+	}
+	count = 0
+	_ = l2.Close()
+	if err := Replay(path, func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("records after recovery append = %d, want 3", count)
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("x", &testPayload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("x", &testPayload{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Close()
+
+	// Flip a byte inside the second record's body.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := Replay(path, func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("replayed %d records past corruption, want 1", count)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Close()
+	if _, err := l.Append("x", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	path := tempLog(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append("x", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = l.Close()
+	boom := errors.New("boom")
+	count := 0
+	err = Replay(path, func(Record) error {
+		count++
+		if count == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || count != 2 {
+		t.Errorf("err=%v count=%d", err, count)
+	}
+}

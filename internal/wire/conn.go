@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is a synchronous request/response client over one TCP connection.
+// Calls are serialised with a mutex; use one Conn per concurrent caller.
+type Conn struct {
+	mu     sync.Mutex
+	nc     net.Conn
+	nextID uint64
+}
+
+// Dial connects to addr with the given timeout.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Conn{nc: nc}, nil
+}
+
+// NewConn wraps an existing connection (tests, in-process pipes).
+func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
+
+// Call sends one request and decodes the response into out (which may be
+// nil when only success/failure matters).
+func (c *Conn) Call(msgType string, payload, out interface{}) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	env, err := NewEnvelope(c.nextID, msgType, payload)
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(c.nc, env); err != nil {
+		return err
+	}
+	resp, err := ReadFrame(c.nc)
+	if err != nil {
+		return fmt.Errorf("wire: call %s: %w", msgType, err)
+	}
+	if resp.ID != env.ID {
+		return fmt.Errorf("wire: call %s: response id %d != request id %d",
+			msgType, resp.ID, env.ID)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("wire: call %s: remote error: %s", msgType, resp.Error)
+	}
+	if out != nil {
+		return resp.Decode(out)
+	}
+	return nil
+}
+
+// SetDeadline applies a deadline to the underlying connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// Handler processes one request envelope and returns the response payload
+// or an error.
+type Handler func(env *Envelope) (interface{}, error)
+
+// Serve runs a per-connection read loop, dispatching each request to h and
+// writing the response. It returns when the peer disconnects or a transport
+// error occurs.
+func Serve(nc net.Conn, h Handler) {
+	for {
+		env, err := ReadFrame(nc)
+		if err != nil {
+			return
+		}
+		payload, herr := h(env)
+		var resp *Envelope
+		if herr != nil {
+			resp = ErrorEnvelope(env.ID, herr)
+		} else {
+			resp, err = NewEnvelope(env.ID, TypeOK, payload)
+			if err != nil {
+				resp = ErrorEnvelope(env.ID, err)
+			}
+		}
+		if err := WriteFrame(nc, resp); err != nil {
+			return
+		}
+	}
+}

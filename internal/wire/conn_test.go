@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startEcho runs a Serve loop that answers Lookup with the path echoed
+// back, and errors on anything else.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer func() { _ = nc.Close() }()
+				Serve(nc, func(env *Envelope) (interface{}, error) {
+					if env.Type != TypeLookup {
+						return nil, errors.New("boom")
+					}
+					var req LookupRequest
+					if err := env.Decode(&req); err != nil {
+						return nil, err
+					}
+					return &LookupResponse{Entry: &Entry{Path: req.Path, Version: 1}}, nil
+				})
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestConnCallRoundTrip(t *testing.T) {
+	addr := startEcho(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	var resp LookupResponse
+	if err := c.Call(TypeLookup, &LookupRequest{Path: "/x"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Entry == nil || resp.Entry.Path != "/x" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestConnCallRemoteError(t *testing.T) {
+	addr := startEcho(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	err = c.Call(TypeStats, nil, nil)
+	if err == nil {
+		t.Fatal("remote error not surfaced")
+	}
+	// Connection must still be usable after a remote error.
+	var resp LookupResponse
+	if err := c.Call(TypeLookup, &LookupRequest{Path: "/y"}, &resp); err != nil {
+		t.Fatalf("call after error: %v", err)
+	}
+}
+
+func TestConnConcurrentCallers(t *testing.T) {
+	addr := startEcho(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp LookupResponse
+			path := "/p" + string(rune('a'+i))
+			if err := c.Call(TypeLookup, &LookupRequest{Path: path}, &resp); err != nil {
+				errs <- err
+				return
+			}
+			if resp.Entry.Path != path {
+				errs <- errors.New("response crossed between callers")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+}

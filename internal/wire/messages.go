@@ -1,0 +1,192 @@
+package wire
+
+// EntryKind mirrors namespace.Kind on the wire.
+type EntryKind int
+
+// Entry kinds.
+const (
+	EntryDir EntryKind = iota + 1
+	EntryFile
+)
+
+// Entry is one metadata record as shipped between processes.
+type Entry struct {
+	Path    string    `json:"path"`
+	Kind    EntryKind `json:"kind"`
+	Size    int64     `json:"size,omitempty"`
+	Mode    uint32    `json:"mode,omitempty"`
+	Version int64     `json:"version"`
+}
+
+// LookupRequest asks an MDS to resolve one path.
+type LookupRequest struct {
+	Path string `json:"path"`
+}
+
+// LookupResponse carries the entry, or a redirect when the serving MDS does
+// not hold the path (stale client cache).
+type LookupResponse struct {
+	Entry    *Entry `json:"entry,omitempty"`
+	Redirect string `json:"redirect,omitempty"` // address of the owning MDS
+}
+
+// CreateRequest creates a file or directory.
+type CreateRequest struct {
+	Path string    `json:"path"`
+	Kind EntryKind `json:"kind"`
+}
+
+// CreateResponse returns the created entry or a redirect.
+type CreateResponse struct {
+	Entry    *Entry `json:"entry,omitempty"`
+	Redirect string `json:"redirect,omitempty"`
+}
+
+// SetAttrRequest updates metadata attributes (an "update" op in the paper's
+// classification; triggers global-layer locking when the path is replicated).
+type SetAttrRequest struct {
+	Path string `json:"path"`
+	Size int64  `json:"size"`
+	Mode uint32 `json:"mode"`
+}
+
+// SetAttrResponse returns the updated entry or a redirect.
+type SetAttrResponse struct {
+	Entry    *Entry `json:"entry,omitempty"`
+	Redirect string `json:"redirect,omitempty"`
+}
+
+// ReaddirRequest lists a directory.
+type ReaddirRequest struct {
+	Path string `json:"path"`
+}
+
+// ReaddirResponse lists child names (only those hosted on the serving MDS;
+// a directory's children may span the GL/LL boundary).
+type ReaddirResponse struct {
+	Names    []string `json:"names"`
+	Redirect string   `json:"redirect,omitempty"`
+}
+
+// RenameRequest renames a local-layer node (and its subtree) in place.
+// Renames of global-layer paths or whole subtree roots are maintenance
+// operations (they change the partition itself) and are rejected by servers.
+type RenameRequest struct {
+	Path    string `json:"path"`
+	NewName string `json:"newName"`
+}
+
+// RenameResponse returns the renamed entry or a redirect.
+type RenameResponse struct {
+	Entry    *Entry `json:"entry,omitempty"`
+	Redirect string `json:"redirect,omitempty"`
+}
+
+// StatsResponse reports per-MDS counters for tests and operators.
+type StatsResponse struct {
+	Server     string `json:"server"`
+	Ops        int64  `json:"ops"`
+	Lookups    int64  `json:"lookups"`
+	Creates    int64  `json:"creates"`
+	SetAttrs   int64  `json:"setattrs"`
+	Redirects  int64  `json:"redirects"`
+	Entries    int    `json:"entries"`
+	GLVersion  int64  `json:"glVersion"`
+	IndexSize  int    `json:"indexSize"`
+	SubtreeCnt int    `json:"subtreeCnt"`
+}
+
+// JoinRequest registers an MDS with the Monitor.
+type JoinRequest struct {
+	Addr string `json:"addr"`
+}
+
+// JoinResponse assigns the server its identity and initial state: the full
+// global-layer replica, its local-layer subtrees, and the local index.
+type JoinResponse struct {
+	ServerID    int               `json:"serverId"`
+	GLVersion   int64             `json:"glVersion"`
+	GlobalLayer []Entry           `json:"globalLayer"`
+	Subtrees    [][]Entry         `json:"subtrees"`
+	Index       map[string]string `json:"index"` // subtree root path → MDS addr
+	IndexVer    int64             `json:"indexVer"`
+}
+
+// HeartbeatRequest reports an MDS's load to the Monitor (Sec. IV-B).
+type HeartbeatRequest struct {
+	ServerID  int     `json:"serverId"`
+	Addr      string  `json:"addr"`
+	Load      float64 `json:"load"`      // current load level L_k
+	Ops       int64   `json:"ops"`       // cumulative ops served
+	Entries   int     `json:"entries"`   // resident metadata records
+	GLVersion int64   `json:"glVersion"` // for staleness detection
+	IndexVer  int64   `json:"indexVer"`
+	// HotPaths reports the server's most-accessed paths since the last
+	// heartbeat (access counters, Sec. IV-B); the Monitor folds them into
+	// its popularity view to drive global-layer re-evaluation.
+	HotPaths map[string]int64 `json:"hotPaths,omitempty"`
+}
+
+// TransferCommand tells an MDS to ship one subtree to another MDS.
+type TransferCommand struct {
+	RootPath string `json:"rootPath"`
+	DestAddr string `json:"destAddr"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat, piggybacking the current
+// versions, any global-layer refresh, and pending transfer commands.
+type HeartbeatResponse struct {
+	GLVersion   int64             `json:"glVersion"`
+	GlobalLayer []Entry           `json:"globalLayer,omitempty"` // full refresh when stale
+	IndexVer    int64             `json:"indexVer"`
+	Index       map[string]string `json:"index,omitempty"`
+	Transfers   []TransferCommand `json:"transfers,omitempty"`
+}
+
+// GLUpdateRequest asks the Monitor to apply a serialised update to a
+// global-layer entry (create or setattr).
+type GLUpdateRequest struct {
+	ServerID int    `json:"serverId"`
+	Op       string `json:"op"` // "create" or "setattr"
+	Entry    Entry  `json:"entry"`
+}
+
+// GLUpdateResponse returns the committed entry and new GL version.
+type GLUpdateResponse struct {
+	Entry     Entry `json:"entry"`
+	GLVersion int64 `json:"glVersion"`
+}
+
+// ClusterInfoResponse is what clients bootstrap from.
+type ClusterInfoResponse struct {
+	Servers  []string          `json:"servers"` // MDS addresses, index = ServerID
+	Index    map[string]string `json:"index"`
+	IndexVer int64             `json:"indexVer"`
+}
+
+// InstallRequest ships a subtree's entries to the receiving MDS during a
+// migration.
+type InstallRequest struct {
+	RootPath string  `json:"rootPath"`
+	Entries  []Entry `json:"entries"`
+}
+
+// TransferDoneRequest tells the Monitor a subtree migration completed so it
+// can commit the new ownership into the local index.
+type TransferDoneRequest struct {
+	ServerID int    `json:"serverId"`
+	RootPath string `json:"rootPath"`
+	DestAddr string `json:"destAddr"`
+}
+
+// LockRequest acquires or releases a named exclusive lock.
+type LockRequest struct {
+	Name    string `json:"name"`
+	Owner   string `json:"owner"`
+	LeaseMS int64  `json:"leaseMs"`
+}
+
+// LockResponse reports whether the lock was granted.
+type LockResponse struct {
+	Granted bool `json:"granted"`
+}

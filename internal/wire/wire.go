@@ -1,0 +1,147 @@
+// Package wire defines the framed JSON protocol spoken between clients,
+// metadata servers (MDS) and the Monitor: a 4-byte big-endian length prefix
+// followed by one JSON-encoded Envelope. Payloads are typed structs
+// marshalled into the envelope's Payload field.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame (16 MiB) to stop a corrupt or
+// malicious peer from forcing huge allocations.
+const MaxFrameSize = 16 << 20
+
+// Message types.
+const (
+	// Client → MDS.
+	TypeLookup  = "lookup"
+	TypeCreate  = "create"
+	TypeSetAttr = "setattr"
+	TypeReaddir = "readdir"
+	TypeRename  = "rename"
+	TypeStats   = "stats"
+
+	// MDS → Monitor.
+	TypeJoin      = "join"
+	TypeHeartbeat = "heartbeat"
+	TypeGLUpdate  = "gl_update"
+
+	// Client → Monitor.
+	TypeClusterInfo = "cluster_info"
+
+	// Monitor → MDS (commands carried in heartbeat responses).
+	TypeTransfer = "transfer"
+
+	// MDS → MDS.
+	TypeInstall = "install"
+
+	// MDS → Monitor after completing a transfer.
+	TypeTransferDone = "transfer_done"
+
+	// Lock service.
+	TypeLockAcquire = "lock_acquire"
+	TypeLockRelease = "lock_release"
+
+	// Generic.
+	TypeOK    = "ok"
+	TypeError = "error"
+)
+
+// Errors reported by frame handling.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrBadFrame      = errors.New("wire: malformed frame")
+)
+
+// Envelope is the outer message structure for every frame.
+type Envelope struct {
+	// ID correlates a response with its request on a shared connection.
+	ID uint64 `json:"id"`
+	// Type selects the payload schema.
+	Type string `json:"type"`
+	// Error carries a failure message on responses (empty on success).
+	Error string `json:"error,omitempty"`
+	// Payload is the type-specific body.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// NewEnvelope marshals payload into a fresh envelope.
+func NewEnvelope(id uint64, msgType string, payload interface{}) (*Envelope, error) {
+	env := &Envelope{ID: id, Type: msgType}
+	if payload != nil {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return nil, fmt.Errorf("wire: marshal %s payload: %w", msgType, err)
+		}
+		env.Payload = raw
+	}
+	return env, nil
+}
+
+// ErrorEnvelope builds an error response for a request.
+func ErrorEnvelope(id uint64, err error) *Envelope {
+	return &Envelope{ID: id, Type: TypeError, Error: err.Error()}
+}
+
+// Decode unmarshals the envelope payload into out.
+func (e *Envelope) Decode(out interface{}) error {
+	if e.Error != "" {
+		return fmt.Errorf("wire: remote error: %s", e.Error)
+	}
+	if len(e.Payload) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(e.Payload, out); err != nil {
+		return fmt.Errorf("wire: decode %s payload: %w", e.Type, err)
+	}
+	return nil
+}
+
+// WriteFrame serialises one envelope onto w.
+func WriteFrame(w io.Writer, env *Envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("wire: marshal envelope: %w", err)
+	}
+	if len(body) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one envelope from r.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return &env, nil
+}
