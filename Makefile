@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector; the cluster tests exercise the
+# concurrent heartbeat/transfer/stats paths.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

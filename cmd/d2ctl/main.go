@@ -8,7 +8,8 @@
 //	d2ctl -monitor 127.0.0.1:7070 setattr /home/a/new.txt 4096
 //	d2ctl -monitor 127.0.0.1:7070 rename /home/a/new.txt renamed.txt
 //	d2ctl -monitor 127.0.0.1:7070 readdir /home
-//	d2ctl -monitor 127.0.0.1:7070 stats
+//	d2ctl -monitor 127.0.0.1:7070 stats            # monitor + all servers
+//	d2ctl -monitor 127.0.0.1:7070 stats 127.0.0.1:7081  # one server in detail
 package main
 
 import (
@@ -38,7 +39,7 @@ func run(args []string, w io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("need a command: lookup|create|setattr|rename|readdir|stats")
+		return errors.New("need a command: lookup|create|setattr|rename|readdir|stats [addr]")
 	}
 	c, err := client.Connect(client.Config{MonitorAddr: *mon})
 	if err != nil {
@@ -103,19 +104,55 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintln(w, n)
 		}
 	case "stats":
+		// stats <addr> prints one server in detail; bare stats prints the
+		// Monitor's coordinator view plus every live server.
+		if len(rest) == 2 {
+			st, err := c.Stats(rest[1])
+			if err != nil {
+				return err
+			}
+			printServerStats(w, st)
+			return nil
+		}
+		ms, err := c.MonitorStats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "monitor heartbeats=%d transfers planned=%d done=%d failed=%d reissued=%d glv=%d indexv=%d\n",
+			ms.Heartbeats, ms.TransfersPlanned, ms.TransfersDone,
+			ms.TransfersFailed, ms.TransfersReissued, ms.GLVersion, ms.IndexVer)
+		for _, mem := range ms.Members {
+			state := "alive"
+			if !mem.Alive {
+				state = "dead"
+			}
+			fmt.Fprintf(w, "member %d %s %s load=%.0f ops=%d\n",
+				mem.ID, mem.Addr, state, mem.Load, mem.Ops)
+		}
 		for _, addr := range c.Servers() {
 			st, err := c.Stats(addr)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%s ops=%d lookups=%d creates=%d setattrs=%d redirects=%d entries=%d subtrees=%d glv=%d\n",
-				st.Server, st.Ops, st.Lookups, st.Creates, st.SetAttrs,
-				st.Redirects, st.Entries, st.SubtreeCnt, st.GLVersion)
+			printServerStats(w, st)
 		}
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
 	return nil
+}
+
+func printServerStats(w io.Writer, st *wire.StatsResponse) {
+	fmt.Fprintf(w, "%s ops=%d lookups=%d creates=%d setattrs=%d redirects=%d entries=%d subtrees=%d glv=%d\n",
+		st.Server, st.Ops, st.Lookups, st.Creates, st.SetAttrs,
+		st.Redirects, st.Entries, st.SubtreeCnt, st.GLVersion)
+	fmt.Fprintf(w, "  rpc calls=%d retries=%d timeouts=%d redials=%d failures=%d hb_misses=%d transfers ok=%d fail=%d\n",
+		st.MonRPC.Calls, st.MonRPC.Retries, st.MonRPC.Timeouts,
+		st.MonRPC.Redials, st.MonRPC.Failures, st.HeartbeatMisses,
+		st.TransferOK, st.TransferFail)
+	fmt.Fprintf(w, "  hb_rtt n=%d mean=%dµs p50=%dµs p90=%dµs p99=%dµs max=%dµs\n",
+		st.HeartbeatRTT.Count, st.HeartbeatRTT.MeanUS, st.HeartbeatRTT.P50US,
+		st.HeartbeatRTT.P90US, st.HeartbeatRTT.P99US, st.HeartbeatRTT.MaxUS)
 }
 
 func printEntry(w io.Writer, e *wire.Entry) {

@@ -31,6 +31,8 @@ func run(args []string) error {
 		addr      = fs.String("addr", "127.0.0.1:0", "listen address")
 		mon       = fs.String("monitor", "127.0.0.1:7070", "monitor address")
 		heartbeat = fs.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval")
+		dialTO    = fs.Duration("dial-timeout", 2*time.Second, "connection establishment deadline")
+		callTO    = fs.Duration("call-timeout", 2*time.Second, "per-RPC deadline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -39,6 +41,8 @@ func run(args []string) error {
 		Addr:              *addr,
 		MonitorAddr:       *mon,
 		HeartbeatInterval: *heartbeat,
+		DialTimeout:       *dialTO,
+		CallTimeout:       *callTO,
 	})
 	if err := srv.Start(); err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"d2tree/internal/monitor"
 	"d2tree/internal/namespace"
@@ -30,15 +31,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("d2monitor", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:7070", "listen address")
-		servers  = fs.Int("servers", 3, "expected MDS cluster size")
-		glProp   = fs.Float64("gl", 0.01, "global-layer proportion")
-		snapshot = fs.String("snapshot", "", "namespace snapshot file (ndjson); empty = synthesize")
-		profile  = fs.String("profile", "LMBE", "trace profile for synthesis (DTR|LMBE|RA)")
-		nodes    = fs.Int("nodes", 20000, "synthetic namespace size")
-		events   = fs.Int("events", 100000, "popularity-annotation events for synthesis")
-		seed     = fs.Int64("seed", 1, "synthesis seed")
-		walPath  = fs.String("wal", "", "write-ahead log path for crash recovery (optional)")
+		addr       = fs.String("addr", "127.0.0.1:7070", "listen address")
+		servers    = fs.Int("servers", 3, "expected MDS cluster size")
+		glProp     = fs.Float64("gl", 0.01, "global-layer proportion")
+		snapshot   = fs.String("snapshot", "", "namespace snapshot file (ndjson); empty = synthesize")
+		profile    = fs.String("profile", "LMBE", "trace profile for synthesis (DTR|LMBE|RA)")
+		nodes      = fs.Int("nodes", 20000, "synthetic namespace size")
+		events     = fs.Int("events", 100000, "popularity-annotation events for synthesis")
+		seed       = fs.Int64("seed", 1, "synthesis seed")
+		walPath    = fs.String("wal", "", "write-ahead log path for crash recovery (optional)")
+		statsEvery = fs.Duration("stats", 0, "print cluster stats at this interval (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,9 +90,37 @@ func run(args []string) error {
 	fmt.Printf("d2monitor listening on %s (namespace: %d nodes, servers: %d)\n",
 		mon.Addr(), tree.Len(), *servers)
 
+	stopStats := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*statsEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-ticker.C:
+					st := mon.Stats()
+					fmt.Printf("d2monitor: hb=%d transfers planned=%d done=%d failed=%d reissued=%d glv=%d indexv=%d members:",
+						st.Heartbeats, st.TransfersPlanned, st.TransfersDone,
+						st.TransfersFailed, st.TransfersReissued, st.GLVersion, st.IndexVer)
+					for _, mem := range st.Members {
+						state := "up"
+						if !mem.Alive {
+							state = "down"
+						}
+						fmt.Printf(" [%d %s %s load=%.0f]", mem.ID, mem.Addr, state, mem.Load)
+					}
+					fmt.Println()
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(stopStats)
 	fmt.Println("d2monitor: shutting down")
 	return mon.Close()
 }

@@ -24,6 +24,9 @@ type Config struct {
 	MonitorAddr string
 	// DialTimeout defaults to 2s.
 	DialTimeout time.Duration
+	// CallTimeout bounds each RPC attempt (default 2s); a timed-out call
+	// poisons its connection and the client redials.
+	CallTimeout time.Duration
 	// MaxRedirects bounds redirect-chasing per operation (default 4).
 	MaxRedirects int
 	// Seed drives random GL server selection (0 = time-based).
@@ -40,6 +43,9 @@ type Config struct {
 func (c *Config) applyDefaults() {
 	if c.DialTimeout == 0 {
 		c.DialTimeout = 2 * time.Second
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 2 * time.Second
 	}
 	if c.MaxRedirects == 0 {
 		c.MaxRedirects = 4
@@ -68,8 +74,8 @@ type Client struct {
 	index    map[string]string
 	indexVer int64
 	conns    map[string]*wire.Conn
-	mon      *wire.Conn
-	entries  *cache.Cache // nil when disabled
+	mon      *wire.RetryingConn // self-healing: survives Monitor restarts
+	entries  *cache.Cache       // nil when disabled
 	closed   bool
 
 	// CacheMisses counts redirects observed (stale index), for tests.
@@ -96,10 +102,11 @@ func Connect(cfg Config) (*Client, error) {
 		}
 		c.entries = entries
 	}
-	mon, err := wire.Dial(cfg.MonitorAddr, cfg.DialTimeout)
-	if err != nil {
-		return nil, err
-	}
+	mon := wire.NewRetryingConn(cfg.MonitorAddr, wire.RetryOptions{
+		DialTimeout: cfg.DialTimeout,
+		CallTimeout: cfg.CallTimeout,
+		Seed:        seed,
+	})
 	c.mon = mon
 	if err := c.refreshClusterInfo(); err != nil {
 		_ = mon.Close()
@@ -185,7 +192,7 @@ func (c *Client) conn(addr string) (*wire.Conn, error) {
 		return conn, nil
 	}
 	c.mu.Unlock()
-	conn, err := wire.Dial(addr, c.cfg.DialTimeout)
+	conn, err := wire.DialCall(addr, c.cfg.DialTimeout, c.cfg.CallTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +243,9 @@ func (c *Client) call(path, msgType string,
 		}
 		redirect, err := attempt(conn)
 		if err != nil {
-			if strings.Contains(err.Error(), "remote error") {
+			if wire.IsRemote(err) {
+				// The server processed and rejected the request; retrying
+				// against another server would not change the answer.
 				return err
 			}
 			c.dropConn(addr)
@@ -403,6 +412,24 @@ func (c *Client) Stats(addr string) (*wire.StatsResponse, error) {
 	}
 	var resp wire.StatsResponse
 	if err := conn.Call(wire.TypeStats, nil, &resp); err != nil {
+		if !wire.IsRemote(err) {
+			c.dropConn(addr)
+		}
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// MonitorStats fetches the Monitor's coordinator counters.
+func (c *Client) MonitorStats() (*wire.MonitorStatsResponse, error) {
+	c.mu.Lock()
+	mon := c.mon
+	c.mu.Unlock()
+	if mon == nil {
+		return nil, ErrNotConnected
+	}
+	var resp wire.MonitorStatsResponse
+	if err := mon.Call(wire.TypeMonitorStats, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

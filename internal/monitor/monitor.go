@@ -96,9 +96,24 @@ type Monitor struct {
 	subtreeOwner map[string]int    // subtree root path → server id
 	transfers    map[int][]wire.TransferCommand
 	inFlight     map[string]int // subtree root → destination server id
-	journal      *wal.Log       // nil when WALPath is unset
-	lastAdjust   time.Time
-	now          func() time.Time
+	// issuedAt stamps when a transfer command for a subtree was handed to
+	// its source over a heartbeat; commands unacknowledged (no TransferDone
+	// or TransferFailed) past the heartbeat timeout are abandoned and the
+	// subtree returned to the planner.
+	issuedAt map[string]time.Time
+	// lastFailedDest remembers the destination a subtree's last transfer
+	// NACKed against, so the next plan picks a different server.
+	lastFailedDest map[string]int
+	journal        *wal.Log // nil when WALPath is unset
+	lastAdjust     time.Time
+	now            func() time.Time
+
+	// Coordinator counters (guarded by mu), surfaced via TypeMonitorStats.
+	nHeartbeats        int64
+	nTransfersPlanned  int64
+	nTransfersDone     int64
+	nTransfersFailed   int64
+	nTransfersReissued int64
 
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -122,18 +137,20 @@ func New(t *namespace.Tree, cfg Config) (*Monitor, error) {
 		return nil, fmt.Errorf("monitor: initial partition: %w", err)
 	}
 	m := &Monitor{
-		cfg:          cfg,
-		tree:         t,
-		d2:           d2,
-		locks:        locksvc.New(),
-		glEntries:    make(map[string]*wire.Entry),
-		index:        make(map[string]string),
-		subtreeOwner: make(map[string]int),
-		transfers:    make(map[int][]wire.TransferCommand),
-		inFlight:     make(map[string]int),
-		now:          time.Now,
-		conns:        make(map[net.Conn]struct{}),
-		stop:         make(chan struct{}),
+		cfg:            cfg,
+		tree:           t,
+		d2:             d2,
+		locks:          locksvc.New(),
+		glEntries:      make(map[string]*wire.Entry),
+		index:          make(map[string]string),
+		subtreeOwner:   make(map[string]int),
+		transfers:      make(map[int][]wire.TransferCommand),
+		inFlight:       make(map[string]int),
+		issuedAt:       make(map[string]time.Time),
+		lastFailedDest: make(map[string]int),
+		now:            time.Now,
+		conns:          make(map[net.Conn]struct{}),
+		stop:           make(chan struct{}),
 	}
 	m.glVersion = 1
 	m.indexVer = 1
@@ -333,6 +350,14 @@ func (m *Monitor) handle(env *wire.Envelope) (interface{}, error) {
 			return nil, err
 		}
 		return m.handleTransferDone(&req)
+	case wire.TypeTransferFailed:
+		var req wire.TransferFailedRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return m.handleTransferFailed(&req)
+	case wire.TypeMonitorStats:
+		return m.handleMonitorStats()
 	case wire.TypeLockAcquire:
 		var req wire.LockRequest
 		if err := env.Decode(&req); err != nil {
@@ -442,10 +467,19 @@ func (m *Monitor) indexSnapshotLocked() map[string]string {
 func (m *Monitor) handleHeartbeat(req *wire.HeartbeatRequest) (*wire.HeartbeatResponse, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.nHeartbeats++
 	if req.ServerID < 0 || req.ServerID >= len(m.members) {
 		return nil, fmt.Errorf("monitor: heartbeat from unknown server %d", req.ServerID)
 	}
 	mem := m.members[req.ServerID]
+	// A stale ID from before a Monitor restart can collide with a slot that
+	// was since granted to a different server; adopting the beat would make
+	// two servers flap one slot's address. Reject it as unknown so the
+	// sender re-joins and is assigned its own slot.
+	if req.Addr != "" && mem.addr != "" && mem.addr != req.Addr {
+		return nil, fmt.Errorf("monitor: heartbeat from unknown server %d (%s; slot registered to %s)",
+			req.ServerID, req.Addr, mem.addr)
+	}
 	mem.lastSeen = m.now()
 	mem.load = req.Load
 	mem.ops = req.Ops
@@ -480,6 +514,12 @@ func (m *Monitor) handleHeartbeat(req *wire.HeartbeatRequest) (*wire.HeartbeatRe
 	if cmds := m.transfers[req.ServerID]; len(cmds) > 0 {
 		resp.Transfers = cmds
 		delete(m.transfers, req.ServerID)
+		// Stamp the hand-off: a command neither Done nor Failed within the
+		// heartbeat timeout is presumed lost and returned to the planner.
+		now := m.now()
+		for _, cmd := range cmds {
+			m.issuedAt[cmd.RootPath] = now
+		}
 	}
 	return resp, nil
 }
@@ -488,10 +528,19 @@ func (m *Monitor) handleHeartbeat(req *wire.HeartbeatRequest) (*wire.HeartbeatRe
 // heartbeating. Callers hold m.mu.
 func (m *Monitor) checkFailuresLocked() {
 	now := m.now()
+	m.reissueStaleLocked(now)
 	var live []*member
 	for _, mem := range m.members {
 		if mem.alive && now.Sub(mem.lastSeen) > m.cfg.HeartbeatTimeout {
 			mem.alive = false
+			// Commands queued for (or issued to) the dead server can never
+			// complete; release their subtrees back to the planner so
+			// recovery and rebalancing are not wedged behind them.
+			for _, cmd := range m.transfers[mem.id] {
+				delete(m.inFlight, cmd.RootPath)
+				delete(m.issuedAt, cmd.RootPath)
+			}
+			delete(m.transfers, mem.id)
 		}
 		if mem.alive {
 			live = append(live, mem)
@@ -501,6 +550,9 @@ func (m *Monitor) checkFailuresLocked() {
 		return
 	}
 	for root, owner := range m.subtreeOwner {
+		if owner >= len(m.members) {
+			continue // planned slot that has not joined yet; nothing to recover
+		}
 		if m.members[owner].alive {
 			continue
 		}
@@ -520,6 +572,21 @@ func (m *Monitor) checkFailuresLocked() {
 		}
 		m.inFlight[root] = best.id
 		m.recoverSubtreeLocked(root, best.id, best.addr)
+	}
+}
+
+// reissueStaleLocked abandons transfer commands that were handed to a
+// source but never acknowledged within the heartbeat timeout (source died
+// mid-transfer, NACK lost): the in-flight marker is cleared so the next
+// adjustment round can re-schedule the subtree. Callers hold m.mu.
+func (m *Monitor) reissueStaleLocked(now time.Time) {
+	for root, issued := range m.issuedAt {
+		if now.Sub(issued) <= m.cfg.HeartbeatTimeout {
+			continue
+		}
+		delete(m.issuedAt, root)
+		delete(m.inFlight, root)
+		m.nTransfersReissued++
 	}
 }
 
@@ -558,9 +625,11 @@ func (m *Monitor) pushSubtreeLocked(rootPath, destAddr string) {
 	}()
 }
 
-// installEntries ships one subtree to an MDS.
+// installEntries ships one subtree to an MDS with a per-call deadline, so a
+// hung destination cannot pin the push goroutine (and with it the subtree's
+// in-flight marker) forever.
 func installEntries(destAddr, rootPath string, entries []wire.Entry) error {
-	conn, err := wire.Dial(destAddr, 2*time.Second)
+	conn, err := wire.DialCall(destAddr, 2*time.Second, 5*time.Second)
 	if err != nil {
 		return err
 	}
@@ -602,7 +671,7 @@ func (m *Monitor) planAdjustmentLocked() {
 	}
 	byOwner := make(map[int][]cand)
 	for root, owner := range m.subtreeOwner {
-		if !m.members[owner].alive {
+		if owner >= len(m.members) || !m.members[owner].alive {
 			continue
 		}
 		if _, moving := m.inFlight[root]; moving {
@@ -645,14 +714,20 @@ func (m *Monitor) planAdjustmentLocked() {
 			if loads[src.id] <= limit {
 				break
 			}
-			// Lightest destination.
-			dst := live[0]
-			for _, mem := range live[1:] {
-				if loads[mem.id] < loads[dst.id] {
+			// Lightest destination, avoiding the server the subtree's last
+			// transfer NACKed against (likely unreachable even if its
+			// heartbeat has not timed out yet).
+			avoid, hasAvoid := m.lastFailedDest[c.root]
+			var dst *member
+			for _, mem := range live {
+				if hasAvoid && mem.id == avoid && len(live) > 2 {
+					continue
+				}
+				if dst == nil || loads[mem.id] < loads[dst.id] {
 					dst = mem
 				}
 			}
-			if dst.id == src.id {
+			if dst == nil || dst.id == src.id {
 				break
 			}
 			shed := float64(c.pop) * scale
@@ -666,6 +741,7 @@ func (m *Monitor) planAdjustmentLocked() {
 			// open a window where the destination is advertised as owner
 			// before the entries arrive.
 			m.inFlight[c.root] = dst.id
+			m.nTransfersPlanned++
 			loads[src.id] -= shed
 			loads[dst.id] += shed
 		}
@@ -742,9 +818,52 @@ func (m *Monitor) handleTransferDone(req *wire.TransferDoneRequest) (*wire.LockR
 		delete(m.inFlight, req.RootPath)
 		m.journalLocked("owner", &walOwner{Root: req.RootPath, Server: dst})
 	}
+	delete(m.issuedAt, req.RootPath)
+	delete(m.lastFailedDest, req.RootPath)
+	m.nTransfersDone++
 	m.index[req.RootPath] = req.DestAddr
 	m.indexVer++
 	return &wire.LockResponse{Granted: true}, nil
+}
+
+// handleTransferFailed releases a NACKed transfer's in-flight marker so the
+// subtree can be re-scheduled — to a different destination, which the next
+// planning round avoids picking again.
+func (m *Monitor) handleTransferFailed(req *wire.TransferFailedRequest) (*wire.LockResponse, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nTransfersFailed++
+	if dst, ok := m.inFlight[req.RootPath]; ok {
+		m.lastFailedDest[req.RootPath] = dst
+		delete(m.inFlight, req.RootPath)
+	}
+	delete(m.issuedAt, req.RootPath)
+	// Let the planner act on the failure without waiting out a full
+	// adjustment interval: the NACK is fresh evidence, not noise.
+	m.lastAdjust = time.Time{}
+	return &wire.LockResponse{Granted: true}, nil
+}
+
+// handleMonitorStats reports coordinator counters and the member table.
+func (m *Monitor) handleMonitorStats() (*wire.MonitorStatsResponse, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	resp := &wire.MonitorStatsResponse{
+		Heartbeats:        m.nHeartbeats,
+		TransfersPlanned:  m.nTransfersPlanned,
+		TransfersDone:     m.nTransfersDone,
+		TransfersFailed:   m.nTransfersFailed,
+		TransfersReissued: m.nTransfersReissued,
+		GLVersion:         m.glVersion,
+		IndexVer:          m.indexVer,
+	}
+	for _, mem := range m.members {
+		resp.Members = append(resp.Members, wire.MemberInfo{
+			ID: mem.id, Addr: mem.addr, Alive: mem.alive,
+			Load: mem.load, Ops: mem.ops,
+		})
+	}
+	return resp, nil
 }
 
 // ReevaluateGlobalLayer re-runs Tree-Splitting and Subtree-Allocation
@@ -780,6 +899,8 @@ func (m *Monitor) ReevaluateGlobalLayer() error {
 	m.index = make(map[string]string)
 	m.transfers = make(map[int][]wire.TransferCommand)
 	m.inFlight = make(map[string]int)
+	m.issuedAt = make(map[string]time.Time)
+	m.lastFailedDest = make(map[string]int)
 	var live []*member
 	for _, mem := range m.members {
 		if mem.alive {
@@ -803,6 +924,12 @@ func (m *Monitor) ReevaluateGlobalLayer() error {
 	m.glVersion++
 	m.indexVer++
 	return nil
+}
+
+// Stats returns the coordinator counters and member table (tools, tests).
+func (m *Monitor) Stats() *wire.MonitorStatsResponse {
+	resp, _ := m.handleMonitorStats()
+	return resp
 }
 
 // Members returns (id, addr, alive) tuples for tests and tools.

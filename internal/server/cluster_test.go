@@ -3,6 +3,7 @@ package server_test
 import (
 	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -590,4 +591,419 @@ func TestClusterRenameGlobalLayerRejected(t *testing.T) {
 	if !strings.Contains(err.Error(), "re-evaluation") {
 		t.Errorf("unexpected error: %v", err)
 	}
+}
+
+// directConn opens a deadline-armed connection straight to one MDS.
+func directConn(t *testing.T, addr string) *wire.Conn {
+	t.Helper()
+	conn, err := wire.DialCall(addr, time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return conn
+}
+
+// findLocalPath returns a deep local-layer file path together with the
+// address of the one server that holds it (GL paths resolve everywhere and
+// are skipped).
+func findLocalPath(t *testing.T, tree *namespace.Tree, servers []*server.Server) (string, string) {
+	t.Helper()
+	conns := make([]*wire.Conn, len(servers))
+	for i, srv := range servers {
+		conns[i] = directConn(t, srv.Addr())
+	}
+	for _, n := range tree.Nodes() {
+		if n.IsDir() || n.Depth() < 3 {
+			continue
+		}
+		p := tree.Path(n)
+		owner := ""
+		holders := 0
+		for i, conn := range conns {
+			var resp wire.LookupResponse
+			if err := conn.Call(wire.TypeLookup, &wire.LookupRequest{Path: p}, &resp); err != nil {
+				continue
+			}
+			if resp.Entry != nil {
+				holders++
+				owner = servers[i].Addr()
+			}
+		}
+		if holders == 1 {
+			return p, owner
+		}
+	}
+	t.Skip("no single-owner local-layer path found")
+	return "", ""
+}
+
+// TestClusterMonitorRestartRecovery kills the Monitor for well over two
+// heartbeat intervals and restarts it on the same address, asserting that
+// (a) servers keep serving during the outage, (b) heartbeats resume —
+// no goroutine is wedged on the dead Monitor — and (c) the hot-path
+// counters accumulated during the outage are delivered after recovery
+// rather than silently dropped.
+func TestClusterMonitorRestartRecovery(t *testing.T) {
+	w, err := trace.BuildWorkload(trace.LMBE().Scale(600), 2400, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(w.Tree, monitor.Config{
+		Addr:             "127.0.0.1:0",
+		Servers:          3,
+		HeartbeatTimeout: 600 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	monAddr := mon.Addr()
+
+	servers := make([]*server.Server, 0, 3)
+	for i := 0; i < 3; i++ {
+		srv := server.New(server.Config{
+			Addr:              "127.0.0.1:0",
+			MonitorAddr:       monAddr,
+			HeartbeatInterval: 50 * time.Millisecond,
+			DialTimeout:       500 * time.Millisecond,
+			CallTimeout:       500 * time.Millisecond,
+		})
+		if err := srv.Start(); err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		servers = append(servers, srv)
+	}
+	c := connect(t, mon)
+	hotPath, ownerAddr := findLocalPath(t, w.Tree, servers)
+	if _, err := c.Lookup(hotPath); err != nil {
+		t.Fatal(err)
+	}
+	hotNode, err := w.Tree.Lookup(hotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Monitor goes down. After Close returns nothing touches the tree, so
+	// the popularity baseline read is race-free.
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+	popBefore := hotNode.SelfPopularity()
+
+	// (a) Servers keep serving local-layer reads throughout the outage.
+	const outageLookups = 50
+	ownerConn := directConn(t, ownerAddr)
+	for i := 0; i < outageLookups; i++ {
+		var resp wire.LookupResponse
+		if err := ownerConn.Call(wire.TypeLookup, &wire.LookupRequest{Path: hotPath}, &resp); err != nil {
+			t.Fatalf("lookup %d during outage: %v", i, err)
+		}
+		if resp.Entry == nil {
+			t.Fatalf("lookup %d during outage returned no entry", i)
+		}
+	}
+	// Hold the outage well past two heartbeat intervals.
+	time.Sleep(300 * time.Millisecond)
+
+	// Restart the Monitor on the same address over the same namespace.
+	var mon2 *monitor.Monitor
+	eventually(t, 3*time.Second, func() error {
+		m2, err := monitor.New(w.Tree, monitor.Config{
+			Addr:             monAddr,
+			Servers:          3,
+			HeartbeatTimeout: 600 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		if err := m2.Start(); err != nil {
+			return err
+		}
+		mon2 = m2
+		return nil
+	})
+	t.Cleanup(func() { _ = mon2.Close() })
+
+	// (b) Every server re-joins and heartbeats flow again.
+	eventually(t, 5*time.Second, func() error {
+		st := mon2.Stats()
+		alive := 0
+		for _, mem := range st.Members {
+			if mem.Alive {
+				alive++
+			}
+		}
+		if alive != 3 {
+			return fmt.Errorf("alive members = %d, want 3", alive)
+		}
+		if st.Heartbeats < 30 {
+			return fmt.Errorf("heartbeats = %d, want >= 30", st.Heartbeats)
+		}
+		return nil
+	})
+
+	// The client survives the restart too (its Monitor channel redials).
+	eventually(t, 3*time.Second, func() error {
+		if err := c.Refresh(); err != nil {
+			return err
+		}
+		_, err := c.Lookup(hotPath)
+		return err
+	})
+
+	// Server-side evidence: misses were counted during the outage, the
+	// channel redialled, and RTT samples resumed.
+	var st wire.StatsResponse
+	if err := ownerConn.Call(wire.TypeStats, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.HeartbeatMisses == 0 {
+		t.Error("no heartbeat misses recorded across a monitor outage")
+	}
+	if st.MonRPC.Redials == 0 {
+		t.Error("monitor channel never redialled")
+	}
+	if st.HeartbeatRTT.Count == 0 {
+		t.Error("no heartbeat RTT samples recorded")
+	}
+
+	// (c) The outage window's access counters were merged back and shipped
+	// after recovery: the authoritative popularity must include them.
+	if err := mon2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	popAfter := hotNode.SelfPopularity()
+	if popAfter < popBefore+outageLookups {
+		t.Errorf("hot-path popularity = %d, want >= %d: outage-window counters lost",
+			popAfter, popBefore+outageLookups)
+	}
+}
+
+// fakeMDS joins the cluster as a member whose listener accepts and
+// immediately closes connections: alive by heartbeat, unreachable for
+// subtree installs — the shape that wedges transfers without a NACK.
+type fakeMDS struct {
+	addr string
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startFakeMDS(t *testing.T, monAddr string) *fakeMDS {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = nc.Close()
+		}
+	}()
+	conn, err := wire.DialCall(monAddr, time.Second, time.Second)
+	if err != nil {
+		_ = ln.Close()
+		t.Fatal(err)
+	}
+	var join wire.JoinResponse
+	if err := conn.Call(wire.TypeJoin, &wire.JoinRequest{Addr: ln.Addr().String()}, &join); err != nil {
+		_ = conn.Close()
+		_ = ln.Close()
+		t.Fatalf("fake join: %v", err)
+	}
+	f := &fakeMDS{addr: ln.Addr().String(), stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		defer func() { _ = conn.Close() }()
+		defer func() { _ = ln.Close() }()
+		ticker := time.NewTicker(50 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-ticker.C:
+				var resp wire.HeartbeatResponse
+				_ = conn.Call(wire.TypeHeartbeat, &wire.HeartbeatRequest{
+					ServerID: join.ServerID, Addr: f.addr,
+					GLVersion: join.GLVersion, IndexVer: join.IndexVer,
+				}, &resp)
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		close(f.stop)
+		<-f.done
+	})
+	return f
+}
+
+// TestClusterTransferNackReschedules drives one server into overload while
+// the lightest member is unreachable for installs: the failed transfer must
+// be NACKed back to the Monitor and the subtree re-scheduled to the other
+// (reachable) light server instead of staying wedged in-flight.
+func TestClusterTransferNackReschedules(t *testing.T) {
+	w, err := trace.BuildWorkload(trace.LMBE().Scale(800), 3200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(w.Tree, monitor.Config{
+		Addr:             "127.0.0.1:0",
+		Servers:          3,
+		HeartbeatTimeout: 2 * time.Second,
+		AdjustInterval:   150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mon.Close() })
+
+	real := make([]*server.Server, 0, 2)
+	for i := 0; i < 2; i++ {
+		srv := server.New(server.Config{
+			Addr:              "127.0.0.1:0",
+			MonitorAddr:       mon.Addr(),
+			HeartbeatInterval: 50 * time.Millisecond,
+			DialTimeout:       500 * time.Millisecond,
+			CallTimeout:       500 * time.Millisecond,
+		})
+		if err := srv.Start(); err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		real = append(real, srv)
+	}
+	fake := startFakeMDS(t, mon.Addr())
+
+	hotPath, ownerAddr := findLocalPath(t, w.Tree, real)
+	lightAddr := real[0].Addr()
+	if ownerAddr == lightAddr {
+		lightAddr = real[1].Addr()
+	}
+
+	// Roots the overloaded server owns before rebalancing.
+	monConn := directConn(t, mon.Addr())
+	var before wire.ClusterInfoResponse
+	if err := monConn.Call(wire.TypeClusterInfo, nil, &before); err != nil {
+		t.Fatal(err)
+	}
+	srcRoots := make(map[string]bool)
+	for root, addr := range before.Index {
+		if addr == ownerAddr {
+			srcRoots[root] = true
+		}
+	}
+	if len(srcRoots) == 0 {
+		t.Skip("overloaded server owns no subtrees")
+	}
+
+	// Hammer the owner hard and the light real server gently, so the fake
+	// member (load 0) is the planner's first destination choice.
+	stopLoad := make(chan struct{})
+	var loadWG sync.WaitGroup
+	hammer := func(addr, path string, pause time.Duration) {
+		defer loadWG.Done()
+		conn, err := wire.DialCall(addr, time.Second, time.Second)
+		if err != nil {
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		for {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			var resp wire.LookupResponse
+			_ = conn.Call(wire.TypeLookup, &wire.LookupRequest{Path: path}, &resp)
+			if pause > 0 {
+				time.Sleep(pause)
+			}
+		}
+	}
+	loadWG.Add(2)
+	go hammer(ownerAddr, hotPath, 0)
+	go hammer(lightAddr, "/", 5*time.Millisecond)
+	t.Cleanup(func() {
+		close(stopLoad)
+		loadWG.Wait()
+	})
+
+	// The unreachable destination must be NACKed and the subtree placed on
+	// the reachable light server.
+	eventually(t, 15*time.Second, func() error {
+		st := mon.Stats()
+		if st.TransfersFailed == 0 {
+			return fmt.Errorf("no transfer NACKed yet (planned=%d done=%d)",
+				st.TransfersPlanned, st.TransfersDone)
+		}
+		if st.TransfersDone == 0 {
+			return fmt.Errorf("no transfer committed yet (failed=%d)", st.TransfersFailed)
+		}
+		var info wire.ClusterInfoResponse
+		if err := monConn.Call(wire.TypeClusterInfo, nil, &info); err != nil {
+			return err
+		}
+		for root := range srcRoots {
+			if info.Index[root] == lightAddr {
+				return nil
+			}
+		}
+		return fmt.Errorf("no subtree moved from %s to %s yet", ownerAddr, lightAddr)
+	})
+	_ = fake
+}
+
+// TestClusterPartialJoinHeartbeat heartbeats a cluster whose planned slots
+// are only partially joined: subtree owners that never joined must be
+// skipped by failure checking and planning, not indexed out of range.
+func TestClusterPartialJoinHeartbeat(t *testing.T) {
+	w, err := trace.BuildWorkload(trace.LMBE().Scale(400), 1600, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(w.Tree, monitor.Config{
+		Addr:             "127.0.0.1:0",
+		Servers:          3,
+		HeartbeatTimeout: 300 * time.Millisecond,
+		AdjustInterval:   50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mon.Close() })
+
+	// One of three planned slots joins; its heartbeats drive both the
+	// failure checker and the planner over owners 1 and 2, which have no
+	// member entry yet.
+	srv := server.New(server.Config{
+		Addr:              "127.0.0.1:0",
+		MonitorAddr:       mon.Addr(),
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	eventually(t, 5*time.Second, func() error {
+		st := mon.Stats()
+		if st.Heartbeats < 10 {
+			return fmt.Errorf("heartbeats = %d, want >= 10", st.Heartbeats)
+		}
+		return nil
+	})
 }

@@ -114,7 +114,7 @@ func (s *Server) handleCreate(req *wire.CreateRequest) (*wire.CreateResponse, er
 		s.mu.Unlock()
 		return &wire.CreateResponse{Entry: &cp}, nil
 	}
-	mon := s.monConn
+	mon := s.mon
 	id := s.id
 	s.mu.Unlock()
 
@@ -163,7 +163,7 @@ func (s *Server) handleSetAttr(req *wire.SetAttrRequest) (*wire.SetAttrResponse,
 		s.mu.Unlock()
 		return &wire.SetAttrResponse{Entry: &cp}, nil
 	}
-	mon := s.monConn
+	mon := s.mon
 	id := s.id
 	s.mu.Unlock()
 
@@ -322,6 +322,7 @@ func (s *Server) handleInstall(req *wire.InstallRequest) (*wire.LockResponse, er
 }
 
 func (s *Server) handleStats() (*wire.StatsResponse, error) {
+	rtt := s.hbRTT.Summarize()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return &wire.StatsResponse{
@@ -335,5 +336,17 @@ func (s *Server) handleStats() (*wire.StatsResponse, error) {
 		GLVersion:  s.glVersion,
 		IndexSize:  len(s.index),
 		SubtreeCnt: len(s.subtrees),
+		MonRPC:     s.monMetrics.Snapshot(),
+		HeartbeatRTT: wire.LatencySummary{
+			Count:  rtt.Count,
+			MeanUS: rtt.Mean.Microseconds(),
+			P50US:  rtt.P50.Microseconds(),
+			P90US:  rtt.P90.Microseconds(),
+			P99US:  rtt.P99.Microseconds(),
+			MaxUS:  rtt.Max.Microseconds(),
+		},
+		TransferOK:      s.transferOK.Load(),
+		TransferFail:    s.transferFail.Load(),
+		HeartbeatMisses: s.hbMisses.Load(),
 	}, nil
 }

@@ -4,6 +4,12 @@
 // redirects queries it cannot serve using the local index (Sec. IV-A2),
 // heartbeats its load to the Monitor, and executes subtree transfers during
 // dynamic adjustment.
+//
+// All Monitor traffic flows over a deadline-armed, self-healing
+// wire.RetryingConn: a hung or restarted Monitor costs at most one call
+// timeout per heartbeat tick, never a wedged goroutine, and the channel
+// redials transparently once the Monitor returns. A server whose identity
+// the Monitor no longer recognises (Monitor restart) re-joins and resumes.
 package server
 
 import (
@@ -16,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"d2tree/internal/stats"
 	"d2tree/internal/wire"
 )
 
@@ -27,8 +34,14 @@ type Config struct {
 	MonitorAddr string
 	// HeartbeatInterval defaults to 500ms.
 	HeartbeatInterval time.Duration
-	// DialTimeout defaults to 2s.
+	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
+	// CallTimeout bounds every RPC attempt (default 2s). A call that
+	// exceeds it fails with a timeout and poisons its connection; nothing
+	// blocks past the deadline.
+	CallTimeout time.Duration
+	// Retry bounds redial/backoff on Monitor and transfer channels.
+	Retry wire.RetryPolicy
 }
 
 func (c *Config) applyDefaults() {
@@ -37,6 +50,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.DialTimeout == 0 {
 		c.DialTimeout = 2 * time.Second
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 2 * time.Second
 	}
 }
 
@@ -73,13 +89,19 @@ type Server struct {
 	creates          atomic.Int64
 	setattrs         atomic.Int64
 	redirects        atomic.Int64
+	transferOK       atomic.Int64
+	transferFail     atomic.Int64
+	hbMisses         atomic.Int64
 
-	ln      net.Listener
-	monConn *wire.Conn // heartbeat/GL-update channel to the Monitor
-	conns   map[net.Conn]struct{}
-	stop    chan struct{}
-	wg      sync.WaitGroup
-	closed  bool
+	monMetrics wire.CallMetrics // Monitor-channel RPC outcomes
+	hbRTT      stats.Histogram  // successful heartbeat round-trip latency
+
+	ln     net.Listener
+	mon    *wire.RetryingConn // heartbeat/GL-update channel to the Monitor
+	conns  map[net.Conn]struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
 }
 
 // indexOverride pins one index entry against stale refreshes.
@@ -113,22 +135,42 @@ func (s *Server) Start() error {
 	}
 	s.ln = ln
 
-	conn, err := wire.Dial(s.cfg.MonitorAddr, s.cfg.DialTimeout)
-	if err != nil {
-		_ = ln.Close()
-		return fmt.Errorf("server: monitor unreachable: %w", err)
-	}
+	mon := wire.NewRetryingConn(s.cfg.MonitorAddr, wire.RetryOptions{
+		DialTimeout: s.cfg.DialTimeout,
+		CallTimeout: s.cfg.CallTimeout,
+		Policy:      s.cfg.Retry,
+		Metrics:     &s.monMetrics,
+	})
 	var join wire.JoinResponse
-	if err := conn.Call(wire.TypeJoin, &wire.JoinRequest{Addr: s.Addr()}, &join); err != nil {
-		_ = conn.Close()
+	if err := mon.Call(wire.TypeJoin, &wire.JoinRequest{Addr: s.Addr()}, &join); err != nil {
+		_ = mon.Close()
 		_ = ln.Close()
 		return fmt.Errorf("server: join: %w", err)
 	}
 	s.mu.Lock()
-	s.monConn = conn
+	s.mon = mon
+	s.applyJoinLocked(&join)
+	s.mu.Unlock()
+
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.heartbeatLoop()
+	return nil
+}
+
+// applyJoinLocked installs a JoinResponse: identity, the global-layer
+// replica, assigned subtrees, and the index. On re-join (Monitor restart)
+// existing local-layer entries are kept; subtrees the fresh index assigns
+// elsewhere are dropped by the next applyHeartbeat reconciliation. Callers
+// hold s.mu.
+func (s *Server) applyJoinLocked(join *wire.JoinResponse) {
 	s.id = join.ServerID
 	s.glVersion = join.GLVersion
 	s.indexVer = join.IndexVer
+	for p := range s.glPaths {
+		delete(s.store, p)
+		delete(s.glPaths, p)
+	}
 	for _, e := range join.GlobalLayer {
 		e := e
 		s.store[e.Path] = &e
@@ -144,15 +186,10 @@ func (s *Server) Start() error {
 			s.store[e.Path] = &e
 		}
 	}
+	s.index = make(map[string]string, len(join.Index))
 	for k, v := range join.Index {
 		s.index[k] = v
 	}
-	s.mu.Unlock()
-
-	s.wg.Add(2)
-	go s.acceptLoop()
-	go s.heartbeatLoop()
-	return nil
 }
 
 // Addr returns the bound listen address.
@@ -178,7 +215,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	mon := s.monConn
+	mon := s.mon
 	conns := make([]net.Conn, 0, len(s.conns))
 	for nc := range s.conns {
 		conns = append(conns, nc)
@@ -254,6 +291,8 @@ func (s *Server) heartbeatOnce() {
 	recent := ops - s.lastHeartbeatOps
 	s.lastHeartbeatOps = ops
 	// Ship the access counters and reset them — the Monitor accumulates.
+	// On failure both the delta and the counters are merged back below, so
+	// a Monitor outage delays load reports instead of losing them.
 	hot := s.pathOps
 	s.pathOps = make(map[string]int64)
 	req := &wire.HeartbeatRequest{
@@ -266,16 +305,65 @@ func (s *Server) heartbeatOnce() {
 		IndexVer:  s.indexVer,
 		HotPaths:  topPaths(hot, 128),
 	}
-	mon := s.monConn
+	mon := s.mon
 	s.mu.Unlock()
 	if mon == nil {
 		return
 	}
 	var resp wire.HeartbeatResponse
-	if err := mon.Call(wire.TypeHeartbeat, req, &resp); err != nil {
-		return // monitor temporarily unreachable; retry next tick
+	start := time.Now()
+	// Single attempt: the next tick is the retry, and sleeping in a backoff
+	// here would skew the heartbeat cadence the Monitor's failure detector
+	// keys off.
+	err := mon.CallOnce(wire.TypeHeartbeat, req, &resp)
+	if err == nil {
+		s.hbRTT.Record(time.Since(start))
+		s.applyHeartbeat(&resp)
+		return
 	}
-	s.applyHeartbeat(&resp)
+	s.hbMisses.Add(1)
+	if wire.IsRemote(err) && strings.Contains(err.Error(), "unknown server") {
+		// A Monitor that restarted has no member table: our identity is
+		// gone, so re-join before un-shipping the sample.
+		if s.rejoin() {
+			s.restoreSample(recent, hot)
+			return
+		}
+	}
+	// Monitor temporarily unreachable: put the unshipped sample back so the
+	// next successful heartbeat carries the whole outage window.
+	s.restoreSample(recent, hot)
+}
+
+// restoreSample merges an unshipped heartbeat sample back into the live
+// counters. hot is the full (untruncated) counter map taken by the failed
+// heartbeat; new increments that landed meanwhile are preserved.
+func (s *Server) restoreSample(recent int64, hot map[string]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastHeartbeatOps -= recent
+	for p, c := range hot {
+		s.pathOps[p] += c
+	}
+}
+
+// rejoin re-registers with a Monitor that lost its member table (restart).
+// It reports whether the join succeeded.
+func (s *Server) rejoin() bool {
+	s.mu.Lock()
+	mon := s.mon
+	s.mu.Unlock()
+	if mon == nil {
+		return false
+	}
+	var join wire.JoinResponse
+	if err := mon.Call(wire.TypeJoin, &wire.JoinRequest{Addr: s.Addr()}, &join); err != nil {
+		return false
+	}
+	s.mu.Lock()
+	s.applyJoinLocked(&join)
+	s.mu.Unlock()
+	return true
 }
 
 func (s *Server) applyHeartbeat(resp *wire.HeartbeatResponse) {
@@ -337,7 +425,9 @@ func (s *Server) applyHeartbeat(resp *wire.HeartbeatResponse) {
 }
 
 // executeTransfer ships one owned subtree to the destination MDS and
-// confirms completion to the Monitor.
+// confirms completion to the Monitor. A transfer that cannot reach the
+// destination is NACKed with TransferFailed so the Monitor releases the
+// subtree for rescheduling instead of leaving it wedged in-flight.
 func (s *Server) executeTransfer(cmd wire.TransferCommand) {
 	s.mu.Lock()
 	if !s.subtrees[cmd.RootPath] {
@@ -347,13 +437,9 @@ func (s *Server) executeTransfer(cmd wire.TransferCommand) {
 	entries := s.collectSubtreeLocked(cmd.RootPath)
 	s.mu.Unlock()
 
-	dest, err := wire.Dial(cmd.DestAddr, s.cfg.DialTimeout)
-	if err != nil {
-		return
-	}
-	defer func() { _ = dest.Close() }()
-	req := &wire.InstallRequest{RootPath: cmd.RootPath, Entries: entries}
-	if err := dest.Call(wire.TypeInstall, req, nil); err != nil {
+	if err := s.installOnDest(cmd, entries); err != nil {
+		s.transferFail.Add(1)
+		s.nackTransfer(cmd, err)
 		return
 	}
 	// Remove locally only after the destination has the data. The local
@@ -366,14 +452,42 @@ func (s *Server) executeTransfer(cmd wire.TransferCommand) {
 	}
 	s.index[cmd.RootPath] = cmd.DestAddr
 	s.overrides[cmd.RootPath] = &indexOverride{addr: cmd.DestAddr, ttl: 50}
-	mon := s.monConn
+	mon := s.mon
 	id := s.id
 	s.mu.Unlock()
+	s.transferOK.Add(1)
 	if mon != nil {
 		_ = mon.Call(wire.TypeTransferDone, &wire.TransferDoneRequest{
 			ServerID: id, RootPath: cmd.RootPath, DestAddr: cmd.DestAddr,
 		}, nil)
 	}
+}
+
+// installOnDest pushes a subtree's entries to the transfer destination with
+// a per-call deadline.
+func (s *Server) installOnDest(cmd wire.TransferCommand, entries []wire.Entry) error {
+	dest, err := wire.DialCall(cmd.DestAddr, s.cfg.DialTimeout, s.cfg.CallTimeout)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dest.Close() }()
+	req := &wire.InstallRequest{RootPath: cmd.RootPath, Entries: entries}
+	return dest.Call(wire.TypeInstall, req, nil)
+}
+
+// nackTransfer reports a failed transfer command back to the Monitor.
+func (s *Server) nackTransfer(cmd wire.TransferCommand, cause error) {
+	s.mu.Lock()
+	mon := s.mon
+	id := s.id
+	s.mu.Unlock()
+	if mon == nil {
+		return
+	}
+	_ = mon.Call(wire.TypeTransferFailed, &wire.TransferFailedRequest{
+		ServerID: id, RootPath: cmd.RootPath, DestAddr: cmd.DestAddr,
+		Reason: cause.Error(),
+	}, nil)
 }
 
 // topPaths returns the k highest-count entries of the access counters.

@@ -1,55 +1,134 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 )
 
+// ErrConnBroken is returned by Call on a connection that previously hit a
+// transport error (timeout, short read, ID mismatch). Such a connection is
+// in an undefined framing state — a later response could be decoded as the
+// answer to the wrong request — so it is poisoned and must be redialled.
+var ErrConnBroken = errors.New("wire: connection is broken; redial")
+
+// RemoteError is an application-level failure reported by the peer. The
+// transport itself is healthy: the connection stays usable and the call
+// must NOT be retried (the peer already processed and rejected it).
+type RemoteError struct {
+	// MsgType is the request type that failed.
+	MsgType string
+	// Msg is the peer's error message.
+	Msg string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: call %s: remote error: %s", e.MsgType, e.Msg)
+}
+
+// IsRemote reports whether err is an application error from the peer (as
+// opposed to a transport failure worth a reconnect/retry).
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// IsTimeout reports whether err was caused by an I/O deadline expiring.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // Conn is a synchronous request/response client over one TCP connection.
 // Calls are serialised with a mutex; use one Conn per concurrent caller.
 type Conn struct {
-	mu     sync.Mutex
-	nc     net.Conn
-	nextID uint64
+	mu      sync.Mutex
+	nc      net.Conn
+	nextID  uint64
+	timeout time.Duration // per-call deadline; 0 = wait forever
+	broken  bool
 }
 
-// Dial connects to addr with the given timeout.
+// Dial connects to addr with the given dial timeout. Calls on the returned
+// connection have no deadline; see DialCall or SetCallTimeout.
 func Dial(addr string, timeout time.Duration) (*Conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	return DialCall(addr, timeout, 0)
+}
+
+// DialCall connects to addr with dialTimeout and arms every subsequent Call
+// with callTimeout (0 = no per-call deadline).
+func DialCall(addr string, dialTimeout, callTimeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return &Conn{nc: nc}, nil
+	return &Conn{nc: nc, timeout: callTimeout}, nil
 }
 
 // NewConn wraps an existing connection (tests, in-process pipes).
 func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
 
+// SetCallTimeout arms every subsequent Call with a deadline (0 disarms).
+func (c *Conn) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// Broken reports whether the connection has been poisoned by a transport
+// error and must be redialled.
+func (c *Conn) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
 // Call sends one request and decodes the response into out (which may be
-// nil when only success/failure matters).
+// nil when only success/failure matters). A transport failure — deadline
+// expiry, write/read error, or a response/request ID mismatch — poisons the
+// connection: the stream may still carry the stale response, so every later
+// Call fails fast with ErrConnBroken instead of decoding the wrong frame.
+// Application errors from the peer are returned as *RemoteError and leave
+// the connection usable.
 func (c *Conn) Call(msgType string, payload, out interface{}) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return fmt.Errorf("wire: call %s: %w", msgType, ErrConnBroken)
+	}
 	c.nextID++
 	env, err := NewEnvelope(c.nextID, msgType, payload)
 	if err != nil {
 		return err
 	}
+	if c.timeout > 0 {
+		if err := c.nc.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			c.broken = true
+			return fmt.Errorf("wire: call %s: set deadline: %w", msgType, err)
+		}
+	}
 	if err := WriteFrame(c.nc, env); err != nil {
-		return err
+		c.broken = true
+		return fmt.Errorf("wire: call %s: %w", msgType, err)
 	}
 	resp, err := ReadFrame(c.nc)
 	if err != nil {
+		c.broken = true
 		return fmt.Errorf("wire: call %s: %w", msgType, err)
 	}
+	if c.timeout > 0 {
+		// Disarm so an idle connection is not killed by a stale deadline.
+		_ = c.nc.SetDeadline(time.Time{})
+	}
 	if resp.ID != env.ID {
-		return fmt.Errorf("wire: call %s: response id %d != request id %d",
-			msgType, resp.ID, env.ID)
+		c.broken = true
+		return fmt.Errorf("wire: call %s: response id %d != request id %d: %w",
+			msgType, resp.ID, env.ID, ErrConnBroken)
 	}
 	if resp.Error != "" {
-		return fmt.Errorf("wire: call %s: remote error: %s", msgType, resp.Error)
+		return &RemoteError{MsgType: msgType, Msg: resp.Error}
 	}
 	if out != nil {
 		return resp.Decode(out)

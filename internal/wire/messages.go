@@ -82,6 +82,16 @@ type RenameResponse struct {
 	Redirect string `json:"redirect,omitempty"`
 }
 
+// LatencySummary reports a latency histogram's percentiles in microseconds.
+type LatencySummary struct {
+	Count  uint64 `json:"count"`
+	MeanUS int64  `json:"meanUs"`
+	P50US  int64  `json:"p50Us"`
+	P90US  int64  `json:"p90Us"`
+	P99US  int64  `json:"p99Us"`
+	MaxUS  int64  `json:"maxUs"`
+}
+
 // StatsResponse reports per-MDS counters for tests and operators.
 type StatsResponse struct {
 	Server     string `json:"server"`
@@ -94,6 +104,44 @@ type StatsResponse struct {
 	GLVersion  int64  `json:"glVersion"`
 	IndexSize  int    `json:"indexSize"`
 	SubtreeCnt int    `json:"subtreeCnt"`
+
+	// RPC-layer health of the server's Monitor channel.
+	MonRPC MetricsSnapshot `json:"monRpc"`
+	// HeartbeatRTT summarises successful heartbeat round-trip latency.
+	HeartbeatRTT LatencySummary `json:"heartbeatRtt"`
+	// Transfer outcomes executed by this server.
+	TransferOK   int64 `json:"transferOk"`
+	TransferFail int64 `json:"transferFail"`
+	// HeartbeatMisses counts heartbeat ticks whose Monitor call failed (the
+	// load sample is merged back and re-shipped on the next success).
+	HeartbeatMisses int64 `json:"heartbeatMisses"`
+}
+
+// MonitorStatsResponse reports coordinator-side counters and membership.
+type MonitorStatsResponse struct {
+	Members []MemberInfo `json:"members"`
+	// Heartbeats counts heartbeat requests processed.
+	Heartbeats int64 `json:"heartbeats"`
+	// TransfersPlanned counts transfer commands issued by the pending pool.
+	TransfersPlanned int64 `json:"transfersPlanned"`
+	// TransfersDone counts committed transfers (TransferDone received).
+	TransfersDone int64 `json:"transfersDone"`
+	// TransfersFailed counts NACKed transfers (TransferFailed received).
+	TransfersFailed int64 `json:"transfersFailed"`
+	// TransfersReissued counts in-flight transfers abandoned after their
+	// deadline and returned to the planner.
+	TransfersReissued int64 `json:"transfersReissued"`
+	GLVersion         int64 `json:"glVersion"`
+	IndexVer          int64 `json:"indexVer"`
+}
+
+// MemberInfo is one row of the Monitor's member table.
+type MemberInfo struct {
+	ID    int     `json:"id"`
+	Addr  string  `json:"addr"`
+	Alive bool    `json:"alive"`
+	Load  float64 `json:"load"`
+	Ops   int64   `json:"ops"`
 }
 
 // JoinRequest registers an MDS with the Monitor.
@@ -177,6 +225,16 @@ type TransferDoneRequest struct {
 	ServerID int    `json:"serverId"`
 	RootPath string `json:"rootPath"`
 	DestAddr string `json:"destAddr"`
+}
+
+// TransferFailedRequest NACKs a transfer command the source could not
+// execute, so the Monitor releases the subtree's in-flight marker and the
+// next adjustment round can reschedule it (possibly to another server).
+type TransferFailedRequest struct {
+	ServerID int    `json:"serverId"`
+	RootPath string `json:"rootPath"`
+	DestAddr string `json:"destAddr"`
+	Reason   string `json:"reason,omitempty"`
 }
 
 // LockRequest acquires or releases a named exclusive lock.

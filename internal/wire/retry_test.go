@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// startSilent accepts connections and never answers — the shape of a hung
+// peer, as opposed to a dead one.
+func startSilent(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer func() { _ = nc.Close() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestCallTimesOutAgainstSilentListener(t *testing.T) {
+	addr := startSilent(t)
+	c, err := DialCall(addr, time.Second, 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	start := time.Now()
+	err = c.Call(TypeLookup, &LookupRequest{Path: "/x"}, nil)
+	if err == nil {
+		t.Fatal("call against silent listener succeeded")
+	}
+	if !IsTimeout(err) {
+		t.Errorf("error is not a timeout: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("call blocked %v, want ~80ms", elapsed)
+	}
+}
+
+func TestCallPoisonsConnAfterTransportError(t *testing.T) {
+	addr := startSilent(t)
+	c, err := DialCall(addr, time.Second, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Call(TypeLookup, &LookupRequest{Path: "/x"}, nil); err == nil {
+		t.Fatal("first call succeeded")
+	}
+	if !c.Broken() {
+		t.Fatal("conn not poisoned after timeout")
+	}
+	// Later calls must fail fast with ErrConnBroken — never decode a stale
+	// frame that might still arrive for the timed-out request.
+	start := time.Now()
+	err = c.Call(TypeLookup, &LookupRequest{Path: "/y"}, nil)
+	if !errors.Is(err, ErrConnBroken) {
+		t.Errorf("second call error = %v, want ErrConnBroken", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("poisoned call took %v, want immediate failure", elapsed)
+	}
+}
+
+func TestRetryingConnSurvivesServerRestart(t *testing.T) {
+	addr := startEcho(t)
+	rc := NewRetryingConn(addr, RetryOptions{
+		CallTimeout: time.Second,
+		Policy:      RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond},
+		Seed:        1,
+	})
+	defer func() { _ = rc.Close() }()
+	var resp LookupResponse
+	if err := rc.Call(TypeLookup, &LookupRequest{Path: "/a"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the pooled connection out from under the RetryingConn; the next
+	// call must redial transparently.
+	rc.mu.Lock()
+	_ = rc.conn.Close()
+	rc.mu.Unlock()
+
+	if err := rc.Call(TypeLookup, &LookupRequest{Path: "/b"}, &resp); err != nil {
+		t.Fatalf("call after conn kill: %v", err)
+	}
+	if resp.Entry == nil || resp.Entry.Path != "/b" {
+		t.Errorf("resp = %+v", resp)
+	}
+	m := rc.Metrics().Snapshot()
+	if m.Retries == 0 {
+		t.Errorf("metrics = %+v, want at least one retry", m)
+	}
+}
+
+func TestRetryingConnDoesNotRetryRemoteErrors(t *testing.T) {
+	addr := startEcho(t) // echo server errors on anything but Lookup
+	rc := NewRetryingConn(addr, RetryOptions{
+		Policy: RetryPolicy{MaxAttempts: 4, BaseBackoff: 5 * time.Millisecond},
+		Seed:   1,
+	})
+	defer func() { _ = rc.Close() }()
+	err := rc.Call(TypeStats, nil, nil)
+	if err == nil {
+		t.Fatal("remote error not surfaced")
+	}
+	if !IsRemote(err) {
+		t.Errorf("error is not remote: %v", err)
+	}
+	m := rc.Metrics().Snapshot()
+	if m.Retries != 0 {
+		t.Errorf("remote error was retried: %+v", m)
+	}
+	// The connection is still healthy: a valid call reuses it.
+	var resp LookupResponse
+	if err := rc.Call(TypeLookup, &LookupRequest{Path: "/ok"}, &resp); err != nil {
+		t.Fatalf("call after remote error: %v", err)
+	}
+	if got := rc.Metrics().Snapshot(); got.Redials != 0 {
+		t.Errorf("healthy conn was redialled: %+v", got)
+	}
+}
+
+func TestRetryingConnExhaustsAttempts(t *testing.T) {
+	rc := NewRetryingConn("127.0.0.1:1", RetryOptions{
+		DialTimeout: 100 * time.Millisecond,
+		Policy:      RetryPolicy{MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond},
+		Seed:        1,
+	})
+	defer func() { _ = rc.Close() }()
+	if err := rc.Call(TypeLookup, &LookupRequest{Path: "/x"}, nil); err == nil {
+		t.Fatal("call to dead address succeeded")
+	}
+	m := rc.Metrics().Snapshot()
+	if m.Failures != 1 || m.Retries != 1 {
+		t.Errorf("metrics = %+v, want 1 failure and 1 retry", m)
+	}
+}
+
+func TestRetryingConnClosedFailsFast(t *testing.T) {
+	addr := startEcho(t)
+	rc := NewRetryingConn(addr, RetryOptions{Seed: 1})
+	_ = rc.Close()
+	err := rc.Call(TypeLookup, &LookupRequest{Path: "/x"}, nil)
+	if !errors.Is(err, ErrRetryClosed) {
+		t.Errorf("err = %v, want ErrRetryClosed", err)
+	}
+}
+
+func TestRetryPolicyBackoffBounds(t *testing.T) {
+	p := RetryPolicy{}
+	p.applyDefaults()
+	for i := 0; i < 20; i++ {
+		b := p.backoff(i, func() float64 { return 1 })
+		if b < 0 || b > p.MaxBackoff {
+			t.Fatalf("backoff(%d) = %v out of [0, %v]", i, b, p.MaxBackoff)
+		}
+		full := p.backoff(i, func() float64 { return 0 })
+		if full < b {
+			t.Fatalf("jitter increased backoff: %v > %v", b, full)
+		}
+	}
+}

@@ -43,6 +43,14 @@ const (
 	// MDS → Monitor after completing a transfer.
 	TypeTransferDone = "transfer_done"
 
+	// MDS → Monitor when a transfer could not be executed (destination
+	// unreachable, install rejected): the NACK that lets the Monitor
+	// reschedule the subtree instead of leaving it wedged in-flight.
+	TypeTransferFailed = "transfer_failed"
+
+	// Client → Monitor: coordinator-side counters and member table.
+	TypeMonitorStats = "monitor_stats"
+
 	// Lock service.
 	TypeLockAcquire = "lock_acquire"
 	TypeLockRelease = "lock_release"
