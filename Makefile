@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet lint check bench
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# go vet plus the project-specific analyzers (lockheld, determinism,
+# wirecheck, statcheck). See DESIGN.md "Invariants as lint rules".
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/d2vet ./...
+
+# The full gate: what ci.sh runs.
+check: build lint race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,132 @@
+// Command d2vet runs the project-specific static-analysis suite over the
+// repository and reports diagnostics in the familiar file:line:col form.
+//
+// Usage:
+//
+//	d2vet [-rules lockheld,wirecheck] [-v] [path]
+//
+// The path argument is a module root (default "."); the Go-style "./..."
+// suffix is accepted and stripped, since the analyzers always walk the whole
+// module. Findings can be suppressed in source with
+//
+//	//d2vet:ignore <rule> <reason>
+//
+// on the flagged line or the line directly above it; the rule may be "all"
+// and the reason is mandatory. Suppressed findings are counted and shown
+// with -v.
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on usage or
+// load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"d2tree/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("d2vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	verbose := fs.Bool("v", false, "list suppressed findings and per-analyzer counts")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: d2vet [flags] [path]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.Default()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	if *rules != "" {
+		byName := map[string]analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name()] = a
+		}
+		var selected []analysis.Analyzer
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "d2vet: unknown rule %q (use -list to see available rules)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
+	}
+
+	root := "."
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return 2
+	}
+	if fs.NArg() == 1 {
+		root = strings.TrimSuffix(fs.Arg(0), "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+	}
+
+	mod, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "d2vet: %v\n", err)
+		return 2
+	}
+
+	var diags []analysis.Diagnostic
+	perRule := map[string]int{}
+	for _, a := range analyzers {
+		found := a.Run(mod)
+		perRule[a.Name()] = len(found)
+		diags = append(diags, found...)
+	}
+
+	directives, malformed := analysis.CollectDirectives(mod)
+	diags = append(diags, malformed...)
+	kept, suppressed := analysis.Filter(diags, directives)
+	analysis.SortDiagnostics(kept)
+	analysis.SortDiagnostics(suppressed)
+
+	for _, d := range kept {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if *verbose {
+		for _, d := range suppressed {
+			fmt.Fprintf(stdout, "suppressed: %s\n", d.String())
+		}
+		fmt.Fprintf(stdout, "d2vet: %d package(s), %d finding(s), %d suppressed\n",
+			len(mod.Pkgs), len(kept), len(suppressed))
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "  %-12s %d\n", a.Name(), perRule[a.Name()])
+		}
+	}
+	if len(kept) > 0 {
+		if !*verbose && len(suppressed) > 0 {
+			fmt.Fprintf(stdout, "d2vet: %d finding(s), %d suppressed (run with -v to list)\n",
+				len(kept), len(suppressed))
+		}
+		return 1
+	}
+	return 0
+}

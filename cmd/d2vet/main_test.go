@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const dirtyTree = "../../internal/analysis/testdata/lockheld"
+
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCodeOnFindings(t *testing.T) {
+	code, out, _ := runVet(t, dirtyTree)
+	if code != 1 {
+		t.Fatalf("exit code %d on a tree with violations, want 1", code)
+	}
+	if !strings.Contains(out, "[lockheld]") {
+		t.Errorf("output missing lockheld diagnostics:\n%s", out)
+	}
+}
+
+func TestRulesFilter(t *testing.T) {
+	// The lockheld tree has no wirecheck violations, so restricting rules
+	// makes the same tree pass.
+	code, out, _ := runVet(t, "-rules", "wirecheck", dirtyTree)
+	if code != 0 {
+		t.Fatalf("exit code %d with -rules wirecheck, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestUnknownRule(t *testing.T) {
+	code, _, errb := runVet(t, "-rules", "nosuchrule", dirtyTree)
+	if code != 2 {
+		t.Fatalf("exit code %d for unknown rule, want 2", code)
+	}
+	if !strings.Contains(errb, "nosuchrule") {
+		t.Errorf("stderr does not name the bad rule: %q", errb)
+	}
+}
+
+func TestDotDotDotSuffixAccepted(t *testing.T) {
+	code, _, _ := runVet(t, dirtyTree+"/...")
+	if code != 1 {
+		t.Fatalf("exit code %d with /... suffix, want 1", code)
+	}
+}
+
+func TestListRules(t *testing.T) {
+	code, out, _ := runVet(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit code %d, want 0", code)
+	}
+	for _, name := range []string{"lockheld", "determinism", "wirecheck", "statcheck"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestSelfCheck(t *testing.T) {
+	// The repository itself must stay d2vet-clean: same gate as make lint.
+	code, out, errb := runVet(t, "../..")
+	if code != 0 {
+		t.Fatalf("d2vet is not clean on its own repository (exit %d):\n%s%s", code, out, errb)
+	}
+}

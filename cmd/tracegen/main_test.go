@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -63,5 +64,49 @@ func TestRunRequiresOut(t *testing.T) {
 func TestRunUnknownProfile(t *testing.T) {
 	if err := run([]string{"-profile", "XX", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
 		t.Error("unknown profile accepted")
+	}
+}
+
+// TestRunReproducible pins the determinism contract: the same seed must
+// produce byte-identical trace and snapshot files run-to-run, for every
+// profile, and a different seed must actually change the trace.
+func TestRunReproducible(t *testing.T) {
+	gen := func(profile string, seed, dir string) (traceBytes, treeBytes []byte) {
+		t.Helper()
+		tracePath := filepath.Join(dir, "out.trace")
+		treePath := filepath.Join(dir, "out.ns")
+		err := run([]string{
+			"-profile", profile, "-nodes", "500", "-events", "1500", "-seed", seed,
+			"-out", tracePath, "-tree", treePath,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traceBytes, err = os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		treeBytes, err = os.ReadFile(treePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traceBytes, treeBytes
+	}
+
+	for _, profile := range []string{"DTR", "LMBE", "RA"} {
+		t.Run(profile, func(t *testing.T) {
+			tr1, ns1 := gen(profile, "42", t.TempDir())
+			tr2, ns2 := gen(profile, "42", t.TempDir())
+			if !bytes.Equal(tr1, tr2) {
+				t.Error("same seed produced different trace files")
+			}
+			if !bytes.Equal(ns1, ns2) {
+				t.Error("same seed produced different namespace snapshots")
+			}
+			tr3, _ := gen(profile, "43", t.TempDir())
+			if bytes.Equal(tr1, tr3) {
+				t.Error("different seeds produced identical traces")
+			}
+		})
 	}
 }

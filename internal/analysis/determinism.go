@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Determinism forbids wall-clock reads and global math/rand state in the
+// packages whose output must be a pure function of inputs and seeds — the
+// paper's algorithms (mirror division, DKW sampling, decay adjustment) and
+// the simulator/trace machinery that experiments replay. Those packages use
+// the injected-clock / seeded-RNG pattern instead (cf. monitor.New's now
+// field and trace.NewGenerator's seed). Constructing seeded generators
+// (rand.New, rand.NewSource, rand.NewZipf) is allowed; consuming process
+// -global entropy or time is not.
+type Determinism struct {
+	// Packages lists root-relative package paths that must be deterministic.
+	Packages []string
+}
+
+// Name implements Analyzer.
+func (*Determinism) Name() string { return "determinism" }
+
+// Doc implements Analyzer.
+func (*Determinism) Doc() string {
+	return "deterministic packages must not read the wall clock or global math/rand state"
+}
+
+// forbiddenTime are time-package functions that read or wait on the wall
+// clock. time.Duration arithmetic and constants remain fine.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// forbiddenRand are math/rand package-level functions backed by the global,
+// unseeded source. Constructors for injectable sources are allowed.
+var forbiddenRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// Run implements Analyzer.
+func (a *Determinism) Run(m *Module) []Diagnostic {
+	r := &reporter{fset: m.Fset, rule: a.Name()}
+	for _, pkg := range m.Pkgs {
+		if !pathMatches(pkg.Path, a.Packages) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			a.checkFile(r, pkg, f)
+		}
+	}
+	return r.diags
+}
+
+func (a *Determinism) checkFile(r *reporter, pkg *Package, f *ast.File) {
+	timeName := importLocalName(f, "time")
+	randName := importLocalName(f, "math/rand")
+	if timeName == "" && randName == "" {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch {
+		case timeName != "" && id.Name == timeName && forbiddenTime[sel.Sel.Name]:
+			r.reportf(sel.Pos(),
+				"wall-clock %s.%s in deterministic package %s; inject a clock instead (cf. monitor.New's now field)",
+				timeName, sel.Sel.Name, pkg.Path)
+		case randName != "" && id.Name == randName && forbiddenRand[sel.Sel.Name]:
+			r.reportf(sel.Pos(),
+				"global math/rand %s.%s in deterministic package %s; use a seeded *rand.Rand",
+				randName, sel.Sel.Name, pkg.Path)
+		}
+		return true
+	})
+}
+
+// importLocalName returns the name the file refers to importPath by, or ""
+// when the file does not import it (dot and blank imports are ignored).
+func importLocalName(f *ast.File, importPath string) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != importPath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		// Default local name: the last path element.
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+// pathMatches reports whether pkgPath equals one of the configured paths.
+func pathMatches(pkgPath string, paths []string) bool {
+	for _, p := range paths {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}

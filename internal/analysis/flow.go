@@ -1,0 +1,386 @@
+package analysis
+
+// flow.go is the path-sensitive walker shared by lockheld and statcheck: it
+// interprets a function body statement by statement, tracking which mutexes
+// ("<expr>.Lock()" / "<expr>.RLock()") are held at each point. Branches are
+// walked with cloned state and merged as a union (held-on-any-path), which
+// is the conservative direction for "operation while holding a lock"
+// checks. Function literals are not inherited into the current path — they
+// run later (goroutines, defers, callbacks) — and are handed back to the
+// client to analyse as fresh scopes.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// heldLock records one acquired lock on the current path.
+type heldLock struct {
+	key   string    // textual lock expression, e.g. "s.mu"
+	rlock bool      // acquired with RLock
+	pos   token.Pos // acquisition site
+	// deferRelease marks a pending defer <key>.Unlock(): the lock is still
+	// held, but every return path releases it.
+	deferRelease bool
+	// seeded marks a lock assumed held at entry by the xxxLocked-suffix
+	// convention; it is never reported as leaked.
+	seeded bool
+}
+
+// flowState is the lock state along one path.
+type flowState struct {
+	held map[string]*heldLock
+	// pendingDefer remembers defer <key>.Unlock() seen before the matching
+	// Lock (rare, but cheap to honour).
+	pendingDefer map[string]bool
+}
+
+func newFlowState() *flowState {
+	return &flowState{held: map[string]*heldLock{}, pendingDefer: map[string]bool{}}
+}
+
+func (s *flowState) clone() *flowState {
+	c := newFlowState()
+	for k, v := range s.held {
+		cp := *v
+		c.held[k] = &cp
+	}
+	for k, v := range s.pendingDefer {
+		c.pendingDefer[k] = v
+	}
+	return c
+}
+
+// mergeFrom unions o's held locks into s.
+func (s *flowState) mergeFrom(o *flowState) {
+	for k, v := range o.held {
+		if _, ok := s.held[k]; !ok {
+			cp := *v
+			s.held[k] = &cp
+		}
+	}
+	for k := range o.pendingDefer {
+		s.pendingDefer[k] = true
+	}
+}
+
+// leaks returns held locks with no pending release, i.e. those a return at
+// this point would leave locked.
+func (s *flowState) leaks() []*heldLock {
+	var out []*heldLock
+	for _, h := range s.held {
+		if !h.deferRelease && !h.seeded {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// flowClient receives events from runFlow.
+type flowClient interface {
+	// exprNode is called for every *ast.CallExpr and *ast.SelectorExpr
+	// evaluated on the current path, with the locks held BEFORE any lock
+	// operation in the node takes effect.
+	exprNode(n ast.Node, held map[string]*heldLock)
+	// channelOp is called for channel sends, receives, and selects without
+	// a default clause.
+	channelOp(pos token.Pos, what string, held map[string]*heldLock)
+	// returnPath is called at each return (and at falling off the end of
+	// the body) with the locks that path leaves held.
+	returnPath(pos token.Pos, leaked []*heldLock)
+	// iterEnd is called at the end of a loop iteration with locks acquired
+	// inside the body that the iteration does not release.
+	iterEnd(pos token.Pos, leaked []*heldLock)
+	// funcLit is called for nested function literals; the engine does not
+	// walk their bodies.
+	funcLit(fn *ast.FuncLit)
+}
+
+// runFlow interprets body with the given locks assumed held at entry.
+func runFlow(body *ast.BlockStmt, seeds []*heldLock, c flowClient) {
+	fw := &flowWalker{client: c}
+	st := newFlowState()
+	for _, h := range seeds {
+		cp := *h
+		st.held[h.key] = &cp
+	}
+	if !fw.stmts(body.List, st) {
+		c.returnPath(body.Rbrace, st.leaks())
+	}
+}
+
+type flowWalker struct {
+	client flowClient
+}
+
+func (fw *flowWalker) stmts(list []ast.Stmt, st *flowState) bool {
+	for _, s := range list {
+		if fw.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt walks one statement; it reports whether the path terminated (return,
+// break, continue, goto — all conservatively treated as leaving the walk).
+func (fw *flowWalker) stmt(s ast.Stmt, st *flowState) bool {
+	switch v := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return false
+	case *ast.ExprStmt:
+		fw.expr(v.X, st)
+	case *ast.SendStmt:
+		fw.expr(v.Chan, st)
+		fw.expr(v.Value, st)
+		fw.client.channelOp(v.Arrow, "channel send", st.held)
+	case *ast.IncDecStmt:
+		fw.expr(v.X, st)
+	case *ast.AssignStmt:
+		for _, e := range v.Rhs {
+			fw.expr(e, st)
+		}
+		for _, e := range v.Lhs {
+			fw.expr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						fw.expr(e, st)
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		fw.callAsync(v.Call, st)
+	case *ast.DeferStmt:
+		if key, name, ok := lockCallInfo(v.Call); ok && isUnlockName(name) {
+			if h, held := st.held[key]; held {
+				h.deferRelease = true
+			} else {
+				st.pendingDefer[key] = true
+			}
+			return false
+		}
+		fw.callAsync(v.Call, st)
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			fw.expr(e, st)
+		}
+		fw.client.returnPath(v.Return, st.leaks())
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return fw.stmts(v.List, st)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			fw.stmt(v.Init, st)
+		}
+		fw.expr(v.Cond, st)
+		thenSt := st.clone()
+		thenTerm := fw.stmts(v.Body.List, thenSt)
+		if v.Else != nil {
+			elseSt := st.clone()
+			elseTerm := fw.stmt(v.Else, elseSt)
+			switch {
+			case thenTerm && elseTerm:
+				return true
+			case thenTerm:
+				*st = *elseSt
+			case elseTerm:
+				*st = *thenSt
+			default:
+				thenSt.mergeFrom(elseSt)
+				*st = *thenSt
+			}
+			return false
+		}
+		if !thenTerm {
+			st.mergeFrom(thenSt)
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			fw.stmt(v.Init, st)
+		}
+		if v.Cond != nil {
+			fw.expr(v.Cond, st)
+		}
+		fw.loopBody(v.Body, v.Post, st)
+	case *ast.RangeStmt:
+		fw.expr(v.X, st)
+		fw.loopBody(v.Body, nil, st)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			fw.stmt(v.Init, st)
+		}
+		fw.expr(v.Tag, st)
+		fw.caseClauses(v.Body, st)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			fw.stmt(v.Init, st)
+		}
+		fw.stmt(v.Assign, st)
+		fw.caseClauses(v.Body, st)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range v.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			fw.client.channelOp(v.Select, "select without default", st.held)
+		}
+		merged := st.clone()
+		for _, cl := range v.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			// The comm op itself is the select's wait, already reported
+			// above; only the clause body executes on the path.
+			cs := st.clone()
+			if !fw.stmts(cc.Body, cs) {
+				merged.mergeFrom(cs)
+			}
+		}
+		*st = *merged
+	case *ast.LabeledStmt:
+		return fw.stmt(v.Stmt, st)
+	}
+	return false
+}
+
+// loopBody walks a loop body with cloned state and reports locks an
+// iteration acquires but does not release before looping again.
+func (fw *flowWalker) loopBody(body *ast.BlockStmt, post ast.Stmt, st *flowState) {
+	bodySt := st.clone()
+	term := fw.stmts(body.List, bodySt)
+	if term {
+		return
+	}
+	if post != nil {
+		fw.stmt(post, bodySt)
+	}
+	var leaked []*heldLock
+	for k, h := range bodySt.held {
+		if _, atEntry := st.held[k]; !atEntry && !h.deferRelease && !h.seeded {
+			leaked = append(leaked, h)
+		}
+	}
+	if len(leaked) > 0 {
+		fw.client.iterEnd(body.Rbrace, leaked)
+	}
+}
+
+// caseClauses walks switch clauses independently and unions the states of
+// clauses that fall through to the code after the switch. The entry state is
+// kept in the union (a switch may match nothing).
+func (fw *flowWalker) caseClauses(body *ast.BlockStmt, st *flowState) {
+	merged := st.clone()
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		cs := st.clone()
+		for _, e := range cc.List {
+			fw.expr(e, cs)
+		}
+		if !fw.stmts(cc.Body, cs) {
+			merged.mergeFrom(cs)
+		}
+	}
+	*st = *merged
+}
+
+// callAsync handles go/defer calls: arguments and the callee expression are
+// evaluated now, but the call itself does not run on this path.
+func (fw *flowWalker) callAsync(call *ast.CallExpr, st *flowState) {
+	if fn, ok := call.Fun.(*ast.FuncLit); ok {
+		fw.client.funcLit(fn)
+	} else {
+		fw.exprNoCall(call.Fun, st)
+	}
+	for _, a := range call.Args {
+		fw.expr(a, st)
+	}
+}
+
+// expr evaluates an expression on the current path: client callbacks fire
+// for calls/selectors/channel receives, and Lock/Unlock calls update state.
+func (fw *flowWalker) expr(e ast.Expr, st *flowState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			fw.client.funcLit(v)
+			return false
+		case *ast.CallExpr:
+			fw.client.exprNode(v, st.held)
+			if key, name, ok := lockCallInfo(v); ok {
+				switch {
+				case name == "Lock" || name == "RLock":
+					h := &heldLock{key: key, rlock: name == "RLock", pos: v.Pos()}
+					if st.pendingDefer[key] {
+						h.deferRelease = true
+						delete(st.pendingDefer, key)
+					}
+					st.held[key] = h
+				case isUnlockName(name):
+					delete(st.held, key)
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			fw.client.exprNode(v, st.held)
+			return true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				fw.client.channelOp(v.OpPos, "channel receive", st.held)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// exprNoCall visits an expression for selector callbacks only (the callee of
+// a go/defer statement) without treating it as an executed call.
+func (fw *flowWalker) exprNoCall(e ast.Expr, st *flowState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			fw.client.funcLit(v)
+			return false
+		case *ast.SelectorExpr:
+			fw.client.exprNode(v, st.held)
+		}
+		return true
+	})
+}
+
+// lockCallInfo reports whether call is <expr>.Lock/RLock/Unlock/RUnlock()
+// and returns the lock key and method name.
+func lockCallInfo(call *ast.CallExpr) (key, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", false
+	}
+	name = sel.Sel.Name
+	if name != "Lock" && name != "RLock" && !isUnlockName(name) {
+		return "", "", false
+	}
+	key = exprString(sel.X)
+	if key == "" {
+		return "", "", false
+	}
+	return key, name, true
+}
+
+func isUnlockName(name string) bool { return name == "Unlock" || name == "RUnlock" }

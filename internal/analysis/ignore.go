@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix starts an in-source suppression: //d2vet:ignore <rule> <reason>.
+const ignorePrefix = "d2vet:ignore"
+
+// Directive is one parsed //d2vet:ignore comment. It suppresses diagnostics
+// of its rule on the directive's own line and on the line directly below it
+// (the comment-above-the-statement form).
+type Directive struct {
+	File   string
+	Line   int
+	Rule   string // "all" suppresses every rule
+	Reason string
+}
+
+// CollectDirectives extracts every ignore directive in the module. Malformed
+// directives (missing rule or reason) are returned as diagnostics under the
+// pseudo-rule "d2vet" so they fail the build instead of silently ignoring
+// nothing.
+func CollectDirectives(m *Module) ([]Directive, []Diagnostic) {
+	var dirs []Directive
+	var bad []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Pos:  pos,
+							Rule: "d2vet",
+							Message: "malformed ignore directive: want " +
+								"//d2vet:ignore <rule> <reason>",
+						})
+						continue
+					}
+					dirs = append(dirs, Directive{
+						File:   pos.Filename,
+						Line:   pos.Line,
+						Rule:   fields[0],
+						Reason: strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// Filter splits diagnostics into survivors and those suppressed by a
+// matching directive.
+func Filter(diags []Diagnostic, dirs []Directive) (kept, suppressed []Diagnostic) {
+	for _, d := range diags {
+		if matchDirective(d, dirs) {
+			suppressed = append(suppressed, d)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}
+
+func matchDirective(d Diagnostic, dirs []Directive) bool {
+	for _, dir := range dirs {
+		if dir.File != d.Pos.Filename {
+			continue
+		}
+		if dir.Rule != "all" && dir.Rule != d.Rule {
+			continue
+		}
+		if dir.Line == d.Pos.Line || dir.Line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// position is a tiny helper for analyzers that need a Position directly.
+func (m *Module) position(pos token.Pos) token.Position { return m.Fset.Position(pos) }

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses every non-test Go package under root into a Module. Package
+// paths are root-relative ("internal/wire"); the root itself loads as ".".
+// Directories named testdata or vendor, and hidden directories, are skipped.
+// Test files (_test.go) are not analysed: they intentionally use wall
+// clocks, sleeps and bare goroutines to drive the system under test.
+func Load(root string) (*Module, error) {
+	m := &Module{Fset: token.NewFileSet()}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		name := info.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			(strings.HasPrefix(name, ".") && name != ".")) {
+			return filepath.SkipDir
+		}
+		pkg, perr := loadDir(m.Fset, root, path)
+		if perr != nil {
+			return perr
+		}
+		if pkg != nil {
+			m.Pkgs = append(m.Pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return m, nil
+}
+
+// loadDir parses one directory's non-test Go files; nil when it holds none.
+func loadDir(fset *token.FileSet, root, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		rel = dir
+	}
+	pkg := &Package{Path: filepath.ToSlash(rel)}
+	for _, n := range names {
+		file := filepath.Join(dir, n)
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", file, err)
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	return pkg, nil
+}
+
+// FileName returns the filename of the file containing pos.
+func (m *Module) FileName(f *ast.File) string {
+	return m.Fset.Position(f.Package).Filename
+}

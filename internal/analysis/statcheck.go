@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// StatCheck enforces the ownership discipline of the stats/counter structs
+// (stats.Histogram, stats.CounterSet, core.Counters): a struct with a
+// mutex field named "mu" owns its other fields, and within the declaring
+// package those fields may only be read or written while that mutex is
+// held. Snapshots and merges must copy under the lock — an unlocked read
+// "just for reporting" is exactly the data race the race detector only
+// catches when a test happens to interleave it.
+//
+// The check is syntactic: it tracks the method receiver and any parameters
+// declared with a guarded struct type (e.g. Merge(other *Histogram)), and
+// walks each function with the shared lock-flow engine. Fresh locals built
+// from composite literals are not tracked — an object under construction
+// has a single owner and needs no lock. Either Lock or RLock satisfies the
+// check (read/write distinction is left to the race detector).
+type StatCheck struct {
+	// Packages lists root-relative package paths whose mutex-guarded
+	// structs are checked.
+	Packages []string
+}
+
+// Name implements Analyzer.
+func (*StatCheck) Name() string { return "statcheck" }
+
+// Doc implements Analyzer.
+func (*StatCheck) Doc() string {
+	return "fields of mutex-guarded stats structs accessed only under the owning mutex"
+}
+
+// guardedStruct is a struct with a "mu" mutex field guarding its others.
+type guardedStruct struct {
+	name    string
+	muField string
+	fields  map[string]bool // guarded (non-mutex) field names
+}
+
+// Run implements Analyzer.
+func (a *StatCheck) Run(m *Module) []Diagnostic {
+	r := &reporter{fset: m.Fset, rule: a.Name()}
+	for _, pkg := range m.Pkgs {
+		if !pathMatches(pkg.Path, a.Packages) {
+			continue
+		}
+		guarded := collectGuardedStructs(pkg)
+		if len(guarded) == 0 {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				a.checkFunc(r, guarded, fd)
+			}
+		}
+	}
+	return r.diags
+}
+
+// collectGuardedStructs finds structs with a sync.Mutex/RWMutex field named
+// mu (or lock/Mutex variants are not used in this codebase).
+func collectGuardedStructs(pkg *Package) map[string]*guardedStruct {
+	out := make(map[string]*guardedStruct)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			gs := &guardedStruct{name: ts.Name.Name, fields: map[string]bool{}}
+			for _, field := range st.Fields.List {
+				isMutex := isSyncMutexType(field.Type)
+				for _, fn := range field.Names {
+					if isMutex && fn.Name == "mu" {
+						gs.muField = fn.Name
+						continue
+					}
+					gs.fields[fn.Name] = true
+				}
+			}
+			if gs.muField != "" && len(gs.fields) > 0 {
+				out[gs.name] = gs
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isSyncMutexType matches sync.Mutex, sync.RWMutex and pointers to them.
+func isSyncMutexType(e ast.Expr) bool {
+	if star, ok := e.(*ast.StarExpr); ok {
+		return isSyncMutexType(star.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != "sync" {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+func (a *StatCheck) checkFunc(r *reporter, guarded map[string]*guardedStruct, fd *ast.FuncDecl) {
+	vars := map[string]*guardedStruct{}
+	bind := func(names []*ast.Ident, typ ast.Expr) {
+		tn := baseTypeName(typ)
+		gs, ok := guarded[tn]
+		if !ok {
+			return
+		}
+		for _, id := range names {
+			if id.Name != "_" {
+				vars[id.Name] = gs
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			bind(field.Names, field.Type)
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			bind(field.Names, field.Type)
+		}
+	}
+	if len(vars) == 0 {
+		return
+	}
+	var seeds []*heldLock
+	// xxxLocked convention: the caller already holds the receiver's mu.
+	if strings.HasSuffix(fd.Name.Name, "Locked") && fd.Recv != nil &&
+		len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv := fd.Recv.List[0].Names[0].Name
+		if gs, ok := vars[recv]; ok {
+			seeds = append(seeds, &heldLock{
+				key: recv + "." + gs.muField, pos: fd.Name.Pos(), seeded: true,
+			})
+		}
+	}
+	c := &statcheckClient{r: r, vars: vars}
+	runFlow(fd.Body, seeds, c)
+}
+
+type statcheckClient struct {
+	r    *reporter
+	vars map[string]*guardedStruct
+}
+
+func (c *statcheckClient) exprNode(n ast.Node, held map[string]*heldLock) {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	gs, ok := c.vars[id.Name]
+	if !ok || !gs.fields[sel.Sel.Name] {
+		return
+	}
+	if _, locked := held[id.Name+"."+gs.muField]; locked {
+		return
+	}
+	c.r.reportf(sel.Pos(), "%s.%s accessed without holding %s.%s (guarded field of %s)",
+		id.Name, sel.Sel.Name, id.Name, gs.muField, gs.name)
+}
+
+func (c *statcheckClient) channelOp(token.Pos, string, map[string]*heldLock) {}
+
+func (c *statcheckClient) returnPath(token.Pos, []*heldLock) {}
+
+func (c *statcheckClient) iterEnd(token.Pos, []*heldLock) {}
+
+func (c *statcheckClient) funcLit(fn *ast.FuncLit) {
+	// A closure may run on another goroutine: its lock state starts empty,
+	// but captured guarded variables remain checked.
+	runFlow(fn.Body, nil, c)
+}
+
+// baseTypeName unwraps pointers/parens to the underlying type identifier.
+func baseTypeName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.StarExpr:
+		return baseTypeName(v.X)
+	case *ast.ParenExpr:
+		return baseTypeName(v.X)
+	}
+	return ""
+}

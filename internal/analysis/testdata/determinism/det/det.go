@@ -1,0 +1,28 @@
+// Package det is configured as deterministic in the golden test.
+package det
+
+import (
+	mrand "math/rand"
+	"time"
+)
+
+// Now reads the wall clock.
+func Now() time.Time { return time.Now() } // want: wall-clock time.Now
+
+// Jitter sleeps and consumes global entropy.
+func Jitter() {
+	time.Sleep(time.Millisecond) // want: wall-clock time.Sleep
+	_ = mrand.Intn(10)           // want: global math/rand via alias
+}
+
+// Seeded is the approved pattern: an injected source, no diagnostics.
+func Seeded(seed int64) float64 {
+	r := mrand.New(mrand.NewSource(seed))
+	return r.Float64()
+}
+
+// Durations are arithmetic, not clock reads: clean.
+const tick = 250 * time.Millisecond
+
+// Elapsed takes the clock value as an argument: clean.
+func Elapsed(now, then time.Time) time.Duration { return now.Sub(then) }

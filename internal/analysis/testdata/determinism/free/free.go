@@ -1,0 +1,11 @@
+// Package free is NOT in the deterministic set: wall clocks are fine here.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Now() time.Time { return time.Now() }
+
+func Roll() int { return rand.Intn(6) }

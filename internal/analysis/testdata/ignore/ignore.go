@@ -1,0 +1,38 @@
+// Package ignore exercises the //d2vet:ignore directive machinery.
+package ignore
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// suppressedSameLine: directive on the flagged line.
+func (b *box) suppressedSameLine() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1 //d2vet:ignore lockheld startup handshake, receiver guaranteed parked
+}
+
+// suppressedLineAbove: directive on the line directly above.
+func (b *box) suppressedLineAbove() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//d2vet:ignore all bounded: buffered channel sized to the worker count
+	b.ch <- 2
+}
+
+// wrongRule names a rule that did not fire here, so the finding survives.
+func (b *box) wrongRule() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 3 //d2vet:ignore determinism reason that does not apply
+}
+
+// malformed directive: missing the reason, reported under the d2vet rule.
+func (b *box) malformed() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 4 //d2vet:ignore lockheld
+}

@@ -1,0 +1,55 @@
+// Package stats exercises the statcheck analyzer: Tally's fields are owned
+// by Tally.mu.
+package stats
+
+import "sync"
+
+type Tally struct {
+	mu    sync.Mutex
+	count int64
+	sum   float64
+}
+
+// Plain has no mutex: its fields are not guarded.
+type Plain struct {
+	hits int
+}
+
+// Add is the canonical pattern: clean.
+func (t *Tally) Add(v float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count++
+	t.sum += v
+}
+
+// Peek reads a guarded field with no lock.
+func (t *Tally) Peek() int64 {
+	return t.count // want: accessed without holding t.mu
+}
+
+// Merge must lock BOTH tallies; it forgets the source.
+func (t *Tally) Merge(o *Tally) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count += o.count // want: o.count without holding o.mu
+	o.mu.Lock()
+	t.sum += o.sum // clean: o.mu held here
+	o.mu.Unlock()
+}
+
+// snapshotLocked runs under the caller's lock by convention: clean.
+func (t *Tally) snapshotLocked() (int64, float64) {
+	return t.count, t.sum
+}
+
+// reset builds a fresh value: composite-literal locals are single-owner and
+// not tracked, so this is clean.
+func reset() *Tally {
+	t := &Tally{}
+	t.count = 0
+	return t
+}
+
+// Touch uses the unguarded struct: clean.
+func Touch(p *Plain) { p.hits++ }

@@ -1,0 +1,25 @@
+package wire
+
+// PingRequest is fully tagged: clean.
+type PingRequest struct {
+	Seq  int    `json:"seq"`
+	Node string `json:"node"`
+}
+
+// PingResponse has one untagged exported field.
+type PingResponse struct {
+	Seq  int `json:"seq"`
+	Took int // want: no json tag
+}
+
+// StatusResponse references Detail, pulling it into the checked set even
+// though Detail is declared in another file.
+type StatusResponse struct {
+	Details []Detail `json:"details"`
+	skipped int      // unexported: never needs a tag
+}
+
+// DropRequest exists so TypeDrop has a schema; its handler is missing.
+type DropRequest struct {
+	Path string `json:"path"`
+}

@@ -1,0 +1,22 @@
+package wire
+
+const (
+	TypePing   = "ping"   // handled, schema'd: clean
+	TypeStatus = "status" // handled, schema'd: clean
+	TypeDrop   = "drop"   // want: not dispatched by any handler
+	TypeGossip = "gossip" // want: no GossipRequest/GossipResponse struct
+
+	// Version is not an op constant; the Type prefix check must not match it.
+	Version = "v1"
+)
+
+// Detail is declared outside messages.go but reachable from StatusResponse.
+type Detail struct {
+	Key   string `json:"key"`
+	Value string // want: no json tag (transitively checked)
+}
+
+// Internal is exported but unreachable from the messages file: not checked.
+type Internal struct {
+	Untagged int
+}

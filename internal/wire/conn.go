@@ -109,10 +109,12 @@ func (c *Conn) Call(msgType string, payload, out interface{}) error {
 			return fmt.Errorf("wire: call %s: set deadline: %w", msgType, err)
 		}
 	}
+	//d2vet:ignore lockheld Call serialises the whole request/response exchange under c.mu by design: one outstanding call per Conn keeps IDs matched on a single stream.
 	if err := WriteFrame(c.nc, env); err != nil {
 		c.broken = true
 		return fmt.Errorf("wire: call %s: %w", msgType, err)
 	}
+	//d2vet:ignore lockheld the paired read of the same exchange; see the write above.
 	resp, err := ReadFrame(c.nc)
 	if err != nil {
 		c.broken = true

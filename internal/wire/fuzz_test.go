@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// frameBytes encodes a raw body with a length prefix, valid or not.
+func frameBytes(body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	copy(out[4:], body)
+	return out
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	// Well-formed frame.
+	var buf bytes.Buffer
+	env, err := NewEnvelope(7, TypeHeartbeat, map[string]int{"load": 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteFrame(&buf, env); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Corrupt shapes: empty input, short header, truncated body, length
+	// prefix larger than the payload, non-JSON body, huge claimed size.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add(frameBytes([]byte(`{"id":1,"type":"ok"`))[:8])
+	f.Add(append(frameBytes(nil), 'x'))
+	f.Add(frameBytes([]byte("not json at all")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(frameBytes([]byte(`{"id":18446744073709551615,"type":"\u0000"}`)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return // any malformed input must fail cleanly, never panic
+		}
+		// Successfully decoded frames must survive a re-encode/decode cycle.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, env); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		again, err := ReadFrame(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.ID != env.ID || again.Type != env.Type || again.Error != env.Error {
+			t.Fatalf("round trip changed envelope: %+v vs %+v", env, again)
+		}
+	})
+}
+
+// TestReadFrameHostileLengthPrefix pins the hardening in readBody: a header
+// claiming MaxFrameSize with no body behind it must fail without allocating
+// anywhere near the claimed size.
+func TestReadFrameHostileLengthPrefix(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize)
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]))
+	runtime.ReadMemStats(&after)
+
+	if err == nil {
+		t.Fatal("truncated frame decoded without error")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
+		t.Fatalf("ReadFrame allocated %d bytes for a frame that delivered none (chunked reads should cap this)", delta)
+	}
+}
+
+func TestReadFrameOversizePrefixRejected(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestReadFrameLargeBodyRoundTrip drives the multi-chunk path in readBody
+// with a frame bigger than one chunk.
+func TestReadFrameLargeBodyRoundTrip(t *testing.T) {
+	big := bytes.Repeat([]byte("x"), 200<<10)
+	env, err := NewEnvelope(42, TypeInstall, map[string]string{"blob": string(big)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || got.Type != TypeInstall || !bytes.Equal(got.Payload, env.Payload) {
+		t.Fatal("large frame did not round-trip")
+	}
+}
