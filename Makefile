@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_LABEL ?= dev
 
-.PHONY: build test race vet lint check bench
+.PHONY: build test race vet lint check bench bench-go
 
 build:
 	$(GO) build ./...
@@ -25,5 +26,11 @@ lint:
 # The full gate: what ci.sh runs.
 check: build lint race
 
+# Run the replay-tier benchmark suite and append a labelled entry to the
+# tracked trajectory BENCH_replay.json (set BENCH_LABEL to tag the run).
 bench:
+	$(GO) run ./cmd/d2bench -bench -benchout BENCH_replay.json -benchlabel "$(BENCH_LABEL)"
+
+# The full `go test` benchmark sweep (human-readable, not tracked).
+bench-go:
 	$(GO) test -bench=. -benchmem ./...

@@ -301,6 +301,7 @@ func BenchmarkReplay(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Replay(w.Tree, w.Events, asg, s, sim.DefaultCostModel(), 1); err != nil {
@@ -308,4 +309,51 @@ func BenchmarkReplay(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(w.Events)))
+}
+
+// BenchmarkReplayWorkers pins the sharded kernel at explicit worker counts
+// (w0 = GOMAXPROCS) so the serial/parallel split of the tracked baseline is
+// reproducible with plain `go test -bench`.
+func BenchmarkReplayWorkers(b *testing.B) {
+	w, err := trace.BuildWorkload(trace.DTR().Scale(5000), 50000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &core.Scheme{}
+	asg, err := s.Partition(w.Tree, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, wc := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("w%d", wc), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.ReplayWorkers(w.Tree, w.Events, asg, s, sim.DefaultCostModel(), 1, wc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(w.Events)))
+		})
+	}
+}
+
+// BenchmarkCompileRoutes measures the per-round route-table compile — the
+// fixed cost the replay kernel's O(1) event loop buys its speed with.
+func BenchmarkCompileRoutes(b *testing.B) {
+	w, err := trace.BuildWorkload(trace.DTR().Scale(5000), 50000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &core.Scheme{}
+	asg, err := s.Partition(w.Tree, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.CompileRoutes(w.Tree, asg, s); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -9,3 +9,7 @@ go build ./...
 go vet ./...
 go run ./cmd/d2vet ./...
 go test -race ./...
+
+# Benchmark smoke run: prove the tracked replay-tier suite executes and
+# emits well-formed JSON without paying for calibrated timing.
+go run ./cmd/d2bench -bench -benchsmoke -benchlabel ci-smoke > /dev/null

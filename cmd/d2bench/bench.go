@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"d2tree/internal/core"
+	"d2tree/internal/experiments"
+	"d2tree/internal/partition"
+	"d2tree/internal/sim"
+	"d2tree/internal/trace"
+)
+
+// The tracked benchmark baseline. `d2bench -bench` times the replay tier —
+// the code path every figure regeneration runs — and appends a labelled
+// entry to a JSON trajectory file (BENCH_replay.json at the repo root), so
+// perf PRs carry measured before/after evidence instead of claims.
+
+// BenchMeasurement is one benchmark's numbers within an entry.
+type BenchMeasurement struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// BenchEntry is one labelled run of the suite.
+type BenchEntry struct {
+	Label      string             `json:"label"`
+	GoMaxProcs int                `json:"goMaxProcs"`
+	Smoke      bool               `json:"smoke,omitempty"`
+	Benchmarks []BenchMeasurement `json:"benchmarks"`
+}
+
+// benchSpec is one benchmark: a setup-once closure returning the timed body.
+type benchSpec struct {
+	name string
+	body func() error
+}
+
+// benchSuite builds the tier benchmarks. The scales mirror bench_test.go's
+// benchConfig/BenchmarkReplay so `make bench` and `go test -bench` time the
+// identical work.
+func benchSuite() ([]benchSpec, error) {
+	w, err := trace.BuildWorkload(trace.DTR().Scale(5000), 50000, 5)
+	if err != nil {
+		return nil, err
+	}
+	s := &core.Scheme{}
+	asg, err := s.Partition(w.Tree, 16)
+	if err != nil {
+		return nil, err
+	}
+	figCfg := experiments.Quick()
+	figCfg.TreeNodes = 2000
+	figCfg.Events = 10000
+	figCfg.Rounds = 2
+	figCfg.MList = []int{5, 15, 30}
+	return []benchSpec{
+		{name: "Replay/serial", body: func() error {
+			_, err := sim.ReplayWorkers(w.Tree, w.Events, asg, s, sim.DefaultCostModel(), 1, 1)
+			return err
+		}},
+		{name: "Replay/parallel", body: func() error {
+			_, err := sim.ReplayWorkers(w.Tree, w.Events, asg, s, sim.DefaultCostModel(), 1, 0)
+			return err
+		}},
+		{name: "CompileRoutes", body: func() error {
+			_, err := partition.CompileRoutes(w.Tree, asg, s)
+			return err
+		}},
+		{name: "Fig5Throughput", body: func() error {
+			_, err := experiments.Fig5(figCfg)
+			return err
+		}},
+	}, nil
+}
+
+// runBenchSuite times every spec. In smoke mode each body runs exactly once
+// with wall-clock timing — enough for CI to prove the path executes and the
+// JSON stays well-formed; real baselines use testing.Benchmark's calibrated
+// iteration counts plus allocation counters.
+func runBenchSuite(label string, smoke bool) (BenchEntry, error) {
+	specs, err := benchSuite()
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	entry := BenchEntry{
+		Label:      label,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Smoke:      smoke,
+	}
+	for _, spec := range specs {
+		var m BenchMeasurement
+		m.Name = spec.name
+		if smoke {
+			start := time.Now()
+			if err := spec.body(); err != nil {
+				return BenchEntry{}, fmt.Errorf("%s: %w", spec.name, err)
+			}
+			m.Iterations = 1
+			m.NsPerOp = float64(time.Since(start).Nanoseconds())
+		} else {
+			var bodyErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := spec.body(); err != nil {
+						bodyErr = err
+						b.Fatal(err)
+					}
+				}
+			})
+			if bodyErr != nil {
+				return BenchEntry{}, fmt.Errorf("%s: %w", spec.name, bodyErr)
+			}
+			m.Iterations = r.N
+			m.NsPerOp = float64(r.NsPerOp())
+			m.AllocsPerOp = r.AllocsPerOp()
+			m.BytesPerOp = r.AllocedBytesPerOp()
+		}
+		entry.Benchmarks = append(entry.Benchmarks, m)
+	}
+	return entry, nil
+}
+
+// writeBenchEntry appends entry to the JSON trajectory at path (stdout when
+// path is empty). The file is a JSON array of entries, oldest first, so the
+// perf history of the replay tier accumulates across PRs.
+func writeBenchEntry(path string, w io.Writer, entry BenchEntry) error {
+	var entries []BenchEntry
+	if path != "" {
+		if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+			if err := json.Unmarshal(data, &entries); err != nil {
+				return fmt.Errorf("existing %s is not a bench trajectory: %w", path, err)
+			}
+		}
+	}
+	entries = append(entries, entry)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err := w.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

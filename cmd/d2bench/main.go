@@ -4,10 +4,16 @@
 //
 //	d2bench -exp table1|table2|fig5|fig6|fig7|fig8|fig9|all [-full] [-seed N]
 //	        [-nodes N] [-events N] [-rounds N]
+//	d2bench -bench [-benchout BENCH_replay.json] [-benchlabel L] [-benchsmoke]
 //
 // The default configuration is the fast Quick preset; -full switches to the
 // paper-scale preset (20k-node namespaces, 200k-op traces, 20 replay
 // rounds).
+//
+// -bench runs the replay-tier benchmark suite and appends a labelled entry
+// to the tracked JSON trajectory (see BENCH_replay.json). -cpuprofile and
+// -memprofile capture pprof profiles of whichever mode runs — experiments
+// or benchmarks — so perf work profiles the exact path users execute.
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"d2tree/internal/experiments"
@@ -30,16 +38,54 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("d2bench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment id: table1|table2|fig5|fig6|fig7|fig8|fig9|extras|all")
-		format = fs.String("format", "text", "output format for figures: text|csv|json")
-		full   = fs.Bool("full", false, "use the paper-scale configuration")
-		seed   = fs.Int64("seed", 0, "override random seed")
-		nodes  = fs.Int("nodes", 0, "override namespace size")
-		events = fs.Int("events", 0, "override trace length")
-		rounds = fs.Int("rounds", 0, "override replay rounds")
+		exp        = fs.String("exp", "all", "experiment id: table1|table2|fig5|fig6|fig7|fig8|fig9|extras|all")
+		format     = fs.String("format", "text", "output format for figures: text|csv|json")
+		full       = fs.Bool("full", false, "use the paper-scale configuration")
+		seed       = fs.Int64("seed", 0, "override random seed")
+		nodes      = fs.Int("nodes", 0, "override namespace size")
+		events     = fs.Int("events", 0, "override trace length")
+		rounds     = fs.Int("rounds", 0, "override replay rounds")
+		bench      = fs.Bool("bench", false, "run the replay-tier benchmark suite instead of experiments")
+		benchOut   = fs.String("benchout", "", "append the benchmark entry to this JSON trajectory file (empty: stdout)")
+		benchLabel = fs.String("benchlabel", "dev", "label recorded with the benchmark entry")
+		benchSmoke = fs.Bool("benchsmoke", false, "single-pass benchmark timing (CI smoke run)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "d2bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "d2bench: memprofile:", err)
+			}
+		}()
+	}
+	if *bench {
+		entry, err := runBenchSuite(*benchLabel, *benchSmoke)
+		if err != nil {
+			return err
+		}
+		return writeBenchEntry(*benchOut, w, entry)
 	}
 	cfg := experiments.Quick()
 	if *full {

@@ -176,7 +176,11 @@ func sweep(cfg Config, w *trace.Workload, metric func(*sim.Result) float64) ([]S
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				sch := freshScheme(name)
+				sch, err := freshScheme(name)
+				if err != nil {
+					points <- point{err: err}
+					return
+				}
 				res, err := sim.Run(w, sch, m, cfg.Rounds, cfg.Cost, cfg.Seed+int64(m))
 				if err != nil {
 					points <- point{err: fmt.Errorf("%s m=%d: %w", name, m, err)}
@@ -210,12 +214,14 @@ func sweep(cfg Config, w *trace.Workload, metric func(*sim.Result) float64) ([]S
 	return out, nil
 }
 
-// freshScheme builds a new scheme instance by legend name.
-func freshScheme(name string) partition.Scheme {
+// freshScheme builds a new scheme instance by legend name. An unknown name
+// is an error: silently substituting a default scheme would render a wrong
+// data series under the requested legend.
+func freshScheme(name string) (partition.Scheme, error) {
 	for _, s := range schemes() {
 		if s.Name() == name {
-			return s
+			return s, nil
 		}
 	}
-	return &core.Scheme{}
+	return nil, fmt.Errorf("experiments: unknown scheme %q", name)
 }

@@ -363,3 +363,23 @@ func TestGLHitRatesExtras(t *testing.T) {
 		t.Error("format missing header")
 	}
 }
+
+func TestFreshSchemeUnknownNameErrors(t *testing.T) {
+	// A typo in a legend name must fail loudly, not silently fall back to a
+	// default scheme and plot a wrong series.
+	if _, err := freshScheme("D2-Treee"); err == nil {
+		t.Error("unknown scheme name accepted")
+	}
+	for _, proto := range schemes() {
+		s, err := freshScheme(proto.Name())
+		if err != nil {
+			t.Fatalf("%s: %v", proto.Name(), err)
+		}
+		if s.Name() != proto.Name() {
+			t.Errorf("freshScheme(%q).Name() = %q", proto.Name(), s.Name())
+		}
+		if s == proto {
+			t.Errorf("%s: freshScheme returned the prototype, not a fresh instance", proto.Name())
+		}
+	}
+}

@@ -56,43 +56,39 @@ func IdealLoadFactor(loads, capacities []float64) (float64, error) {
 // for the variance denominator to be defined; M == 1 returns +Inf since a
 // single server is trivially balanced.
 func Balance(loads, capacities []float64) (float64, error) {
-	mu, err := IdealLoadFactor(loads, capacities)
-	if err != nil {
-		return 0, err
-	}
-	m := len(loads)
-	if m == 1 {
-		return math.Inf(1), nil
-	}
-	var ss float64
-	for i := range loads {
-		d := loads[i]/capacities[i] - mu
-		ss += d * d
-	}
-	v := ss / float64(m-1)
-	if v == 0 {
-		return math.Inf(1), nil
-	}
-	return 1 / v, nil
+	b, _, err := BalanceBoth(loads, capacities)
+	return b, err
 }
 
 // BalanceVariance returns the raw variance term (1/(M-1)) Σ (L_k/C_k − μ)²,
 // i.e. 1/balance. Handy when plotting: it stays finite for balanced clusters.
 func BalanceVariance(loads, capacities []float64) (float64, error) {
+	_, v, err := BalanceBoth(loads, capacities)
+	return v, err
+}
+
+// BalanceBoth computes Eq. 2 and its raw variance term in one pass over the
+// loads — the replay simulator reports both per Result, so computing them
+// together halves the post-replay metric sweep.
+func BalanceBoth(loads, capacities []float64) (balance, variance float64, err error) {
 	mu, err := IdealLoadFactor(loads, capacities)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	m := len(loads)
 	if m == 1 {
-		return 0, nil
+		return math.Inf(1), 0, nil
 	}
 	var ss float64
 	for i := range loads {
 		d := loads[i]/capacities[i] - mu
 		ss += d * d
 	}
-	return ss / float64(m-1), nil
+	variance = ss / float64(m-1)
+	if variance == 0 {
+		return math.Inf(1), 0, nil
+	}
+	return 1 / variance, variance, nil
 }
 
 // RelativeCapacities returns Re_k = L_k − μ·C_k for each server. Positive

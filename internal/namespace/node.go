@@ -137,3 +137,26 @@ func (n *Node) Ancestors() []*Node {
 	}
 	return chain
 }
+
+// EachAncestor visits the same root-first chain as Ancestors without
+// allocating the slice, recursing up the parent pointers (depth is bounded
+// by the namespace's max depth, 49 across the paper's traces). It stops and
+// returns false as soon as fn does.
+func (n *Node) EachAncestor(fn func(*Node) bool) bool {
+	if n.parent != nil && !n.parent.EachAncestor(fn) {
+		return false
+	}
+	return fn(n)
+}
+
+// EachChild visits the direct children in order without copying the slice
+// (Children copies defensively; iteration-heavy callers like the route-table
+// compiler use this instead). It stops and returns false as soon as fn does.
+func (n *Node) EachChild(fn func(*Node) bool) bool {
+	for _, c := range n.children {
+		if !fn(c) {
+			return false
+		}
+	}
+	return true
+}

@@ -36,6 +36,9 @@ type Assignment struct {
 	owner      map[namespace.NodeID]ServerID
 	replicated map[namespace.NodeID]struct{}
 	partial    map[namespace.NodeID][]ServerID
+	// gen counts placement mutations; compiled RouteTables snapshot it to
+	// detect staleness after a Rebalance round.
+	gen uint64
 }
 
 // NewAssignment creates an empty assignment over m servers.
@@ -54,6 +57,11 @@ func NewAssignment(m int) (*Assignment, error) {
 // M returns the number of servers.
 func (a *Assignment) M() int { return a.m }
 
+// Generation returns the mutation counter: it advances on every successful
+// SetOwner/SetReplicated/SetReplicas, so a compiled RouteTable can cheaply
+// detect that its snapshot went stale.
+func (a *Assignment) Generation() uint64 { return a.gen }
+
 // SetOwner places a node on exactly one server, clearing any replication.
 func (a *Assignment) SetOwner(id namespace.NodeID, s ServerID) error {
 	if s < 0 || int(s) >= a.m {
@@ -62,6 +70,7 @@ func (a *Assignment) SetOwner(id namespace.NodeID, s ServerID) error {
 	delete(a.replicated, id)
 	delete(a.partial, id)
 	a.owner[id] = s
+	a.gen++
 	return nil
 }
 
@@ -70,6 +79,7 @@ func (a *Assignment) SetReplicated(id namespace.NodeID) {
 	delete(a.owner, id)
 	delete(a.partial, id)
 	a.replicated[id] = struct{}{}
+	a.gen++
 }
 
 // SetReplicas replicates a node to a bounded server subset — the paper's
@@ -102,6 +112,7 @@ func (a *Assignment) SetReplicas(id namespace.NodeID, servers []ServerID) error 
 	delete(a.owner, id)
 	delete(a.replicated, id)
 	a.partial[id] = cp
+	a.gen++
 	return nil
 }
 
@@ -204,6 +215,7 @@ func (a *Assignment) Clone() *Assignment {
 		owner:      make(map[namespace.NodeID]ServerID, len(a.owner)),
 		replicated: make(map[namespace.NodeID]struct{}, len(a.replicated)),
 		partial:    make(map[namespace.NodeID][]ServerID, len(a.partial)),
+		gen:        a.gen,
 	}
 	for k, v := range a.owner {
 		c.owner[k] = v
@@ -231,12 +243,13 @@ func (a *Assignment) Jumps(n *namespace.Node) float64 {
 	var (
 		jumps    float64
 		curWild  = false
-		cur      []ServerID
+		curBuf   [4]ServerID
+		cur      = curBuf[:0]
 		first    = true
 		scratch1 = [1]ServerID{}
 	)
-	chain := n.Ancestors() // root-first: the wildcard charge is directional
-	for _, node := range chain {
+	// Root-first: the wildcard charge is directional.
+	n.EachAncestor(func(node *namespace.Node) bool {
 		wild, set := a.locSet(node.ID(), scratch1[:0])
 		switch {
 		case first:
@@ -258,7 +271,8 @@ func (a *Assignment) Jumps(n *namespace.Node) float64 {
 				cur = append(cur[:0], set...)
 			}
 		}
-	}
+		return true
+	})
 	return jumps
 }
 

@@ -1,0 +1,238 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"d2tree/internal/namespace"
+)
+
+// routeTree builds a small namespace with a few levels and files.
+func routeTree(t *testing.T) *namespace.Tree {
+	t.Helper()
+	tr := namespace.NewTree()
+	for _, p := range []string{
+		"/a/x/1", "/a/x/2", "/a/y/1", "/b/z/1", "/b/z/2", "/c/1",
+	} {
+		if _, err := tr.AddFile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range tr.Nodes() {
+		tr.Touch(n, int64(n.ID())+1)
+	}
+	return tr
+}
+
+// mixedAssignment places the tree with all three placement kinds.
+func mixedAssignment(t *testing.T, tr *namespace.Tree, m int) *Assignment {
+	t.Helper()
+	asg, err := NewAssignment(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range tr.Nodes() {
+		switch {
+		case n.Depth() == 0:
+			asg.SetReplicated(n.ID())
+		case n.Depth() == 1 && i%2 == 0:
+			if err := asg.SetReplicas(n.ID(), []ServerID{0, 1}); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := asg.SetOwner(n.ID(), ServerID(i%m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return asg
+}
+
+func TestCompileRoutesMatchesAssignment(t *testing.T) {
+	tr := routeTree(t)
+	m := 4
+	asg := mixedAssignment(t, tr, m)
+	rt, err := CompileRoutes(tr, asg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.M() != m || rt.Span() != tr.IDSpan() {
+		t.Fatalf("M=%d span=%d, want %d/%d", rt.M(), rt.Span(), m, tr.IDSpan())
+	}
+	for _, n := range tr.Nodes() {
+		id := n.ID()
+		if !rt.Known(id) {
+			t.Fatalf("node %d unknown", id)
+		}
+		// Jumps must be bit-identical to the interpretive per-node walk.
+		if got, want := rt.Jumps(id), asg.Jumps(n); got != want {
+			t.Errorf("node %d: Jumps = %v, want %v", id, got, want)
+		}
+		// With a nil router, forwards fall back to Def. 1 jumps.
+		if rt.Forwards(id) != rt.Jumps(id) {
+			t.Errorf("node %d: forwards %v != jumps %v", id, rt.Forwards(id), rt.Jumps(id))
+		}
+		// Serve must agree with the map-based placement.
+		for draw := uint64(0); draw < 8; draw++ {
+			srv, replicated, ok := rt.Serve(id, draw)
+			if !ok {
+				t.Fatalf("node %d unroutable", id)
+			}
+			if replicated != (asg.IsReplicated(id) || func() bool { _, p := asg.Replicas(id); return p }()) {
+				t.Errorf("node %d: replicated = %v", id, replicated)
+			}
+			if !asg.Holds(id, srv) {
+				t.Errorf("node %d: served by %d which does not hold it", id, srv)
+			}
+		}
+	}
+	if got, want := rt.WeightedJumpSum(), asg.WeightedJumpSum(tr); got != want {
+		t.Errorf("WeightedJumpSum = %v, want %v", got, want)
+	}
+}
+
+func TestCompileRoutesReplicaSpread(t *testing.T) {
+	tr := routeTree(t)
+	asg := mixedAssignment(t, tr, 4)
+	rt, err := CompileRoutes(tr, asg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fully replicated node must be served by every server across draws;
+	// a partially replicated one only by its replica set.
+	root := tr.Root().ID()
+	seen := map[ServerID]bool{}
+	for draw := uint64(0); draw < 64; draw++ {
+		srv, _, _ := rt.Serve(root, draw)
+		seen[srv] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("replicated root served by %d servers, want 4", len(seen))
+	}
+	for _, n := range tr.Nodes() {
+		rs, ok := asg.Replicas(n.ID())
+		if !ok {
+			continue
+		}
+		for draw := uint64(0); draw < 64; draw++ {
+			srv, _, _ := rt.Serve(n.ID(), draw)
+			found := false
+			for _, r := range rs {
+				if r == srv {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("partial node %d served by %d outside replicas %v", n.ID(), srv, rs)
+			}
+		}
+	}
+}
+
+func TestRouteTableInvalidation(t *testing.T) {
+	tr := routeTree(t)
+	asg := mixedAssignment(t, tr, 4)
+	rt, err := CompileRoutes(tr, asg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Valid(asg) {
+		t.Fatal("fresh table invalid")
+	}
+	gen := asg.Generation()
+	leaf := tr.Nodes()[len(tr.Nodes())-1]
+	if err := asg.SetOwner(leaf.ID(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if asg.Generation() == gen {
+		t.Fatal("SetOwner did not bump generation")
+	}
+	if rt.Valid(asg) {
+		t.Error("table still valid after SetOwner")
+	}
+	rt2, err := CompileRoutes(tr, asg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt2.Valid(asg) {
+		t.Error("recompiled table invalid")
+	}
+	asg.SetReplicated(leaf.ID())
+	if rt2.Valid(asg) {
+		t.Error("table still valid after SetReplicated")
+	}
+	// A different assignment never validates someone else's table.
+	other := asg.Clone()
+	if rt2.Valid(other) {
+		t.Error("table valid against a clone")
+	}
+}
+
+func TestRouteTableUnknownAndUnplaced(t *testing.T) {
+	tr := routeTree(t)
+	asg, err := NewAssignment(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Place only the root; everything else stays unplaced.
+	asg.SetReplicated(tr.Root().ID())
+	rt, err := CompileRoutes(tr, asg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := rt.Serve(namespace.NodeID(9999), 0); ok {
+		t.Error("out-of-range node served")
+	}
+	if _, _, ok := rt.Serve(namespace.NodeID(-1), 0); ok {
+		t.Error("negative node served")
+	}
+	leaf := tr.Nodes()[len(tr.Nodes())-1]
+	if _, _, ok := rt.Serve(leaf.ID(), 0); ok {
+		t.Error("unplaced node served")
+	}
+	if err := rt.DescribeUnroutable(leaf.ID()); err == nil {
+		t.Error("no description for unplaced node")
+	}
+	if err := rt.DescribeUnroutable(9999); err == nil {
+		t.Error("no description for unknown node")
+	}
+}
+
+func TestCompileRoutesNilArgs(t *testing.T) {
+	tr := routeTree(t)
+	asg := mixedAssignment(t, tr, 2)
+	if _, err := CompileRoutes(nil, asg, nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if _, err := CompileRoutes(tr, nil, nil); err == nil {
+		t.Error("nil assignment accepted")
+	}
+}
+
+// fixedRouter charges a constant forward cost for every node.
+type fixedRouter struct{ cost float64 }
+
+func (f fixedRouter) Forwards(*namespace.Tree, *Assignment, *namespace.Node) float64 {
+	return f.cost
+}
+
+func TestCompileRoutesUsesRouter(t *testing.T) {
+	tr := routeTree(t)
+	asg := mixedAssignment(t, tr, 4)
+	rt, err := CompileRoutes(tr, asg, fixedRouter{cost: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tr.Nodes() {
+		if rt.Forwards(n.ID()) != 0.25 {
+			t.Fatalf("node %d: forwards = %v, want router's 0.25", n.ID(), rt.Forwards(n.ID()))
+		}
+	}
+	// Jumps and the Eq. 1 sum stay Def. 1 quantities regardless of router.
+	if got, want := rt.WeightedJumpSum(), asg.WeightedJumpSum(tr); got != want {
+		t.Errorf("WeightedJumpSum = %v, want %v", got, want)
+	}
+	if math.IsNaN(rt.WeightedJumpSum()) {
+		t.Error("NaN weighted jump sum")
+	}
+}

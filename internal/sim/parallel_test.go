@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"d2tree/internal/baseline"
+	"d2tree/internal/core"
+	"d2tree/internal/partition"
+	"d2tree/internal/trace"
+)
+
+// TestParallelReplayEquivalence is the determinism contract of the sharded
+// kernel: for every scheme × trace × worker count, ReplayWorkers must
+// produce a Result bit-identical to the single-worker replay — including
+// the per-server Loads vector and every floating-point aggregate. Chunked
+// accumulation with in-order merge plus the counter-based per-event RNG is
+// what makes this hold; any drift here is a correctness bug, not noise.
+func TestParallelReplayEquivalence(t *testing.T) {
+	cm := DefaultCostModel()
+	schemes := func() []partition.Scheme {
+		return []partition.Scheme{
+			&core.Scheme{},
+			&baseline.StaticSubtree{},
+			&baseline.DynamicSubtree{},
+			&baseline.DROP{},
+			&baseline.AngleCut{},
+		}
+	}
+	workerCounts := []int{2, 3, 5, 16}
+	for _, p := range trace.Profiles() {
+		w := workload(t, p, 1500, 9000, 21)
+		for _, s := range schemes() {
+			asg, err := s.Partition(w.Tree, 6)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, s.Name(), err)
+			}
+			router, _ := s.(partition.Router)
+			serial, err := ReplayWorkers(w.Tree, w.Events, asg, router, cm, 22, 1)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", p.Name, s.Name(), err)
+			}
+			for _, wc := range workerCounts {
+				par, err := ReplayWorkers(w.Tree, w.Events, asg, router, cm, 22, wc)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", p.Name, s.Name(), wc, err)
+				}
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("%s/%s: workers=%d result differs from serial:\n serial: %+v\n parallel: %+v",
+						p.Name, s.Name(), wc, serial, par)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayRoundsWorkerIndependence extends the contract through the
+// rebalancing loop: the final multi-round Result (which feeds Fig. 7) must
+// not depend on GOMAXPROCS-driven sharding, because every round's Loads —
+// the Rebalancer's input — are themselves worker-count-independent.
+func TestReplayRoundsWorkerIndependence(t *testing.T) {
+	cm := DefaultCostModel()
+	w := workload(t, trace.LMBE(), 1500, 9000, 23)
+	results := make([]*Result, 0, 2)
+	for range 2 {
+		s := &core.Scheme{}
+		asg, err := s.Partition(w.Tree, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ReplayRounds(w.Tree, w.Events, s, asg, cm, 4, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Errorf("repeated ReplayRounds differ:\n a: %+v\n b: %+v", results[0], results[1])
+	}
+}
+
+// TestEventRandDeterministicAndSpread sanity-checks the counter RNG: pure
+// in (seed, index), different across indices and seeds, and roughly uniform
+// modulo small cluster sizes.
+func TestEventRandDeterministicAndSpread(t *testing.T) {
+	if eventRand(1, 0) != eventRand(1, 0) {
+		t.Fatal("eventRand not pure")
+	}
+	if eventRand(1, 0) == eventRand(2, 0) {
+		t.Error("seed does not change the stream")
+	}
+	if eventRand(1, 0) == eventRand(1, 1) {
+		t.Error("index does not change the stream")
+	}
+	const n, m = 100000, 7
+	counts := make([]int, m)
+	for i := 0; i < n; i++ {
+		counts[eventRand(42, i)%m]++
+	}
+	want := n / m
+	for s, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("server %d drew %d of %d, want ≈ %d", s, c, n, want)
+		}
+	}
+}
+
+// TestReplayChunkZeroAllocs is the allocation regression gate on the
+// steady-state event loop: once the route table and the chunk accumulator
+// exist, replaying events must not allocate at all.
+func TestReplayChunkZeroAllocs(t *testing.T) {
+	w := workload(t, trace.DTR(), 2000, 8192, 25)
+	s := &core.Scheme{}
+	asg, err := s.Partition(w.Tree, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := partition.CompileRoutes(w.Tree, asg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := DefaultCostModel()
+	acc := chunkAccum{
+		busy:  make([]float64, rt.M()),
+		loads: make([]float64, rt.M()),
+	}
+	events := w.Events[:replayChunkSize]
+	allocs := testing.AllocsPerRun(50, func() {
+		acc = chunkAccum{busy: acc.busy, loads: acc.loads}
+		replayChunk(rt, events, 0, &cm, 3, &acc)
+	})
+	if allocs != 0 {
+		t.Errorf("event loop allocates %v per chunk, want 0", allocs)
+	}
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	if acc.latencySum <= 0 || acc.glOps == 0 {
+		t.Errorf("kernel did no work: %+v", acc)
+	}
+}
+
+// TestReplayCompiledStaleAndNil covers the compiled entry point's argument
+// contract.
+func TestReplayCompiledArgErrors(t *testing.T) {
+	w := workload(t, trace.DTR(), 500, 600, 26)
+	s := &core.Scheme{}
+	asg, err := s.Partition(w.Tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := partition.CompileRoutes(w.Tree, asg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayCompiled(nil, w.Events, DefaultCostModel(), 1, 0); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := ReplayCompiled(rt, nil, DefaultCostModel(), 1, 0); err == nil {
+		t.Error("empty events accepted")
+	}
+	bad := DefaultCostModel()
+	bad.Clients = 0
+	if _, err := ReplayCompiled(rt, w.Events, bad, 1, 0); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+// Counter-based per-event randomness.
+//
+// The interpretive replay consumed a sequential *rand.Rand stream, which
+// made every draw depend on how many replicated-node events preceded it —
+// correct serially, but impossible to shard: a worker cannot know its
+// stream position without replaying everything before it. The sharded
+// kernel instead derives each event's random word purely from (seed, event
+// index) with a splitmix64 finalizer, so any worker can produce the draw
+// for any event independently and serial and parallel replay are
+// bit-identical by construction. splitmix64 passes BigCrush and its output
+// over a counter sequence is equidistributed — more than enough for
+// picking a uniform replica index.
+
+// splitmix64 mixing constants (Steele, Lea & Flood; the increment is
+// 2^64/φ, the golden-ratio sequence that decorrelates consecutive counters).
+const (
+	smGamma = 0x9E3779B97F4A7C15
+	smMix1  = 0xBF58476D1CE4E5B9
+	smMix2  = 0x94D049BB133111EB
+)
+
+// eventRand returns the 64-bit random word for event index i under seed.
+// It is a pure function: the same (seed, i) yields the same word on every
+// worker, every worker count, and every replay.
+func eventRand(seed int64, i int) uint64 {
+	z := uint64(seed) + smGamma*(uint64(i)+1)
+	z ^= z >> 30
+	z *= smMix1
+	z ^= z >> 27
+	z *= smMix2
+	z ^= z >> 31
+	return z
+}

@@ -23,7 +23,9 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"d2tree/internal/metrics"
 	"d2tree/internal/namespace"
@@ -109,12 +111,78 @@ var (
 	ErrNilAsg   = errors.New("sim: nil assignment")
 )
 
+// replayChunkSize is the fixed shard granularity of the parallel kernel.
+// Chunk boundaries depend only on the event count — never on the worker
+// count — so per-chunk partial sums and their in-order merge produce
+// bit-identical floating-point results however many workers run. 2048
+// events amortise scheduling overhead while giving a paper-scale trace
+// (200k events) ~100 chunks to spread across cores.
+const replayChunkSize = 2048
+
+// chunkAccum is one chunk's private accumulator. Workers never share one,
+// so the event loop runs without synchronisation or allocation; the driver
+// merges accumulators in chunk order afterwards.
+type chunkAccum struct {
+	busy  []float64 // per-server CPU busy time, µs
+	loads []float64 // per-server op counts
+
+	lockBusy   float64 // serialised GL-lock time, µs
+	latencySum float64 // Σ per-op latency, µs
+	jumpSum    float64
+	glOps      int
+	err        error
+}
+
+// replayChunk runs the allocation-free event loop over events[base:] for
+// one chunk: every per-event quantity comes from O(1) route-table indexing
+// and the counter-based RNG, and every write lands in the chunk's private
+// accumulator. On a routing error it records the error and stops; the
+// driver reports the error from the lowest-indexed failing chunk so the
+// failure, too, is worker-count-independent.
+func replayChunk(rt *partition.RouteTable, events []trace.Event, base int,
+	cm *CostModel, seed int64, acc *chunkAccum) {
+	for k := range events {
+		ev := &events[k]
+		server, replicated, ok := rt.Serve(ev.Node, eventRand(seed, base+k))
+		if !ok {
+			acc.err = fmt.Errorf("sim: event %d: %w", base+k, rt.DescribeUnroutable(ev.Node))
+			return
+		}
+		fw := rt.Forwards(ev.Node)
+		acc.jumpSum += fw
+		latency := cm.ServiceUS + fw*cm.HopUS
+		acc.busy[server] += cm.ServiceUS + fw*cm.ForwardUS
+		acc.loads[server]++
+		if replicated {
+			acc.glOps++
+			if ev.Op == trace.OpUpdate {
+				// Global-layer update: serialised through the lock service
+				// (Sec. IV-A3); replicas sync lazily via version/lease.
+				acc.lockBusy += cm.LockCritUS
+				latency += cm.LockLatencyUS
+			}
+		}
+		acc.latencySum += latency
+	}
+}
+
 // Replay runs the event stream once against a fixed placement. router
 // supplies scheme-specific runtime routing (nil falls back to the
 // placement's Def. 1 jumps — correct for range/hash schemes without client
-// mount knowledge).
+// mount knowledge). The stream is sharded across GOMAXPROCS workers; the
+// result is bit-identical to a single-worker replay (see ReplayWorkers).
 func Replay(t *namespace.Tree, events []trace.Event, asg *partition.Assignment,
 	router partition.Router, cm CostModel, seed int64) (*Result, error) {
+	return ReplayWorkers(t, events, asg, router, cm, seed, 0)
+}
+
+// ReplayWorkers is Replay with an explicit worker count (0 = GOMAXPROCS).
+// Determinism is worker-count-independent: events are processed in fixed
+// 2048-event chunks with private accumulators merged in chunk order, and
+// replica choices come from a counter-based per-event RNG, so every worker
+// count — including 1 — produces the identical Result bit for bit.
+func ReplayWorkers(t *namespace.Tree, events []trace.Event, asg *partition.Assignment,
+	router partition.Router, cm CostModel, seed int64, workers int) (*Result, error) {
 	if t == nil {
 		return nil, errors.New("sim: nil tree")
 	}
@@ -127,57 +195,99 @@ func Replay(t *namespace.Tree, events []trace.Event, asg *partition.Assignment,
 	if err := cm.Validate(); err != nil {
 		return nil, err
 	}
-	m := asg.M()
-	rng := rand.New(rand.NewSource(seed))
+	rt, err := partition.CompileRoutes(t, asg, router)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return ReplayCompiled(rt, events, cm, seed, workers)
+}
 
-	busy := make([]float64, m)  // per-server CPU busy time, µs
-	loads := make([]float64, m) // per-server op counts
-	var lockBusy float64        // serialised GL-lock time, µs
-	var latencySum float64      // Σ per-op latency, µs
-	var jumpSum float64
-	var glOps int
-
-	for i := range events {
-		ev := &events[i]
-		node := t.Node(ev.Node)
-		if node == nil {
-			return nil, fmt.Errorf("sim: event %d references unknown node %d", i, ev.Node)
-		}
-		forwards := asg.Jumps(node)
-		if router != nil {
-			forwards = router.Forwards(t, asg, node)
-		}
-		jumpSum += forwards
-		latency := cm.ServiceUS + forwards*cm.HopUS
-
-		replicated := asg.IsReplicated(node.ID())
-		var server partition.ServerID
-		if replicated {
-			glOps++
-			server = partition.ServerID(rng.Intn(m))
-		} else if rs, ok := asg.Replicas(node.ID()); ok {
-			// Bounded-replication global layer: served by a random replica.
-			glOps++
-			replicated = true
-			server = rs[rng.Intn(len(rs))]
-		} else if o, ok := asg.Owner(node.ID()); ok {
-			server = o
-		} else {
-			return nil, fmt.Errorf("sim: node %d unplaced", node.ID())
-		}
-		busy[server] += cm.ServiceUS + forwards*cm.ForwardUS
-		loads[server]++
-
-		if ev.Op == trace.OpUpdate && replicated {
-			// Global-layer update: serialised through the lock service
-			// (Sec. IV-A3); replicas sync lazily via version/lease.
-			lockBusy += cm.LockCritUS
-			latency += cm.LockLatencyUS
-		}
-		latencySum += latency
+// ReplayCompiled replays against an already-compiled route table — the
+// entry point ReplayRounds uses to reuse one table across rounds until a
+// Rebalance invalidates it. workers ≤ 0 means GOMAXPROCS.
+func ReplayCompiled(rt *partition.RouteTable, events []trace.Event,
+	cm CostModel, seed int64, workers int) (*Result, error) {
+	if rt == nil {
+		return nil, ErrNilAsg
+	}
+	if len(events) == 0 {
+		return nil, ErrNoEvents
+	}
+	if err := cm.Validate(); err != nil {
+		return nil, err
+	}
+	m := rt.M()
+	n := len(events)
+	chunks := (n + replayChunkSize - 1) / replayChunkSize
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
 	}
 
-	n := float64(len(events))
+	// One backing array for every chunk's busy/loads keeps the setup to a
+	// handful of allocations regardless of chunk count; the event loop
+	// itself allocates nothing.
+	accs := make([]chunkAccum, chunks)
+	backing := make([]float64, 2*chunks*m)
+	for c := range accs {
+		accs[c].busy = backing[2*c*m : (2*c+1)*m : (2*c+1)*m]
+		accs[c].loads = backing[(2*c+1)*m : (2*c+2)*m : (2*c+2)*m]
+	}
+	runChunk := func(c int) {
+		lo := c * replayChunkSize
+		hi := lo + replayChunkSize
+		if hi > n {
+			hi = n
+		}
+		replayChunk(rt, events[lo:hi], lo, &cm, seed, &accs[c])
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			runChunk(c)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= chunks {
+						return
+					}
+					runChunk(c)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Merge in chunk order: fixed boundaries + fixed order ⇒ the same
+	// floating-point sums for every worker count.
+	busy := make([]float64, m)
+	loads := make([]float64, m)
+	var lockBusy, latencySum, jumpSum float64
+	var glOps int
+	for c := range accs {
+		acc := &accs[c]
+		if acc.err != nil {
+			return nil, acc.err
+		}
+		for s := 0; s < m; s++ {
+			busy[s] += acc.busy[s]
+			loads[s] += acc.loads[s]
+		}
+		lockBusy += acc.lockBusy
+		latencySum += acc.latencySum
+		jumpSum += acc.jumpSum
+		glOps += acc.glOps
+	}
+
+	nf := float64(n)
 	maxBusy := lockBusy
 	for _, b := range busy {
 		if b > maxBusy {
@@ -191,29 +301,25 @@ func Replay(t *namespace.Tree, events []trace.Event, asg *partition.Assignment,
 	}
 	throughput := 0.0
 	if makespan > 0 {
-		throughput = n / makespan * 1e6 // ops/sec from µs
+		throughput = nf / makespan * 1e6 // ops/sec from µs
 	}
 
 	caps := partition.Capacities(m, 1)
-	bal, err := metrics.Balance(loads, caps)
-	if err != nil {
-		return nil, err
-	}
-	bv, err := metrics.BalanceVariance(loads, caps)
+	bal, bv, err := metrics.BalanceBoth(loads, caps)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		M:               m,
-		Ops:             len(events),
+		Ops:             n,
 		ThroughputOps:   throughput,
-		Locality:        metrics.Locality(asg.WeightedJumpSum(t)),
+		Locality:        metrics.Locality(rt.WeightedJumpSum()),
 		Balance:         bal,
 		BalanceVariance: bv,
 		Loads:           loads,
-		AvgJumps:        jumpSum / n,
-		AvgLatencyUS:    latencySum / n,
-		GLQueryFrac:     float64(glOps) / n,
+		AvgJumps:        jumpSum / nf,
+		AvgLatencyUS:    latencySum / nf,
+		GLQueryFrac:     float64(glOps) / nf,
 	}, nil
 }
 
@@ -221,19 +327,36 @@ func Replay(t *namespace.Tree, events []trace.Event, asg *partition.Assignment,
 // subtraces 20×), invoking the scheme's Rebalancer (when implemented) with
 // the realised loads between rounds, and returns the final-round result.
 // This is how Fig. 7's "relatively balanced status" is reached.
+//
+// The route table is compiled once and reused across rounds; a Rebalance
+// that mutates the assignment bumps its generation, which invalidates the
+// table and triggers a recompile before the next round.
 func ReplayRounds(t *namespace.Tree, events []trace.Event, scheme partition.Scheme,
 	asg *partition.Assignment, cm CostModel, rounds int, seed int64) (*Result, error) {
 	if rounds < 1 {
 		return nil, fmt.Errorf("sim: rounds = %d, need >= 1", rounds)
 	}
+	if t == nil {
+		return nil, errors.New("sim: nil tree")
+	}
+	if asg == nil {
+		return nil, ErrNilAsg
+	}
 	router, _ := scheme.(partition.Router)
 	var (
+		rt    *partition.RouteTable
 		res   *Result
 		err   error
 		moved int
 	)
 	for r := 0; r < rounds; r++ {
-		res, err = Replay(t, events, asg, router, cm, seed+int64(r))
+		if rt == nil || !rt.Valid(asg) {
+			rt, err = partition.CompileRoutes(t, asg, router)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+		}
+		res, err = ReplayCompiled(rt, events, cm, seed+int64(r), 0)
 		if err != nil {
 			return nil, err
 		}
