@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_LABEL ?= dev
 
-.PHONY: build test race vet lint check bench bench-go
+.PHONY: build test race race-obs vet lint check bench bench-go
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Targeted race pass over the observability and accounting packages (event
+# ring, histograms, cache counters) — fast enough to run on every edit.
+race-obs:
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/stats/ ./internal/cache/
+
 vet:
 	$(GO) vet ./...
 
@@ -24,7 +29,7 @@ lint:
 	$(GO) run ./cmd/d2vet ./...
 
 # The full gate: what ci.sh runs.
-check: build lint race
+check: build lint race-obs race
 
 # Run the replay-tier benchmark suite and append a labelled entry to the
 # tracked trajectory BENCH_replay.json (set BENCH_LABEL to tag the run).

@@ -8,6 +8,11 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 go run ./cmd/d2vet ./...
+
+# Fast-failing race pass over the observability and accounting packages
+# (event ring, histograms, cache counters) before the full suite.
+go test -race -count=1 ./internal/obs/ ./internal/stats/ ./internal/cache/
+
 go test -race ./...
 
 # Benchmark smoke run: prove the tracked replay-tier suite executes and

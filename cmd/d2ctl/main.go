@@ -1,5 +1,6 @@
 // Command d2ctl is the cluster control/demo client: lookup, create,
-// setattr, readdir and stats against a running D2-Tree cluster.
+// setattr, readdir, stats, events and ops against a running D2-Tree
+// cluster.
 //
 // Usage:
 //
@@ -10,17 +11,24 @@
 //	d2ctl -monitor 127.0.0.1:7070 readdir /home
 //	d2ctl -monitor 127.0.0.1:7070 stats            # monitor + all servers
 //	d2ctl -monitor 127.0.0.1:7070 stats 127.0.0.1:7081  # one server in detail
+//	d2ctl -monitor 127.0.0.1:7070 events           # merged cluster event log
+//	d2ctl -monitor 127.0.0.1:7070 -json events     # same, as JSONL (grep a reqId)
+//	d2ctl -monitor 127.0.0.1:7070 ops              # per-op latency histograms
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
+	"time"
 
 	"d2tree/internal/client"
+	"d2tree/internal/obs"
 	"d2tree/internal/wire"
 )
 
@@ -34,12 +42,13 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("d2ctl", flag.ContinueOnError)
 	mon := fs.String("monitor", "127.0.0.1:7070", "monitor address")
+	asJSON := fs.Bool("json", false, "emit machine-readable output (events: JSONL; ops: one JSON object)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("need a command: lookup|create|setattr|rename|readdir|stats [addr]")
+		return errors.New("need a command: lookup|create|setattr|rename|readdir|stats [addr]|events|ops")
 	}
 	c, err := client.Connect(client.Config{MonitorAddr: *mon})
 	if err != nil {
@@ -136,10 +145,105 @@ func run(args []string, w io.Writer) error {
 			}
 			printServerStats(w, st)
 		}
+	case "events":
+		// Merge the Monitor's and every server's event ring, oldest first.
+		if len(rest) != 1 {
+			return errors.New("usage: events")
+		}
+		dumps, err := collectDumps(c)
+		if err != nil {
+			return err
+		}
+		var events []obs.Event
+		for _, d := range dumps {
+			if d.Dropped > 0 {
+				fmt.Fprintf(os.Stderr, "d2ctl: %s dropped %d events (ring overwrote them)\n", d.Node, d.Dropped)
+			}
+			events = append(events, d.Events...)
+		}
+		sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+		if *asJSON {
+			return obs.WriteJSONL(w, events)
+		}
+		for _, ev := range events {
+			printEvent(w, ev)
+		}
+	case "ops":
+		// Per-node, per-op latency histograms (server-side service time).
+		if len(rest) != 1 {
+			return errors.New("usage: ops")
+		}
+		dumps, err := collectDumps(c)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			byNode := make(map[string]map[string]wire.LatencySummary, len(dumps))
+			for _, d := range dumps {
+				byNode[d.Node] = d.Ops
+			}
+			enc := json.NewEncoder(w)
+			return enc.Encode(byNode)
+		}
+		for _, d := range dumps {
+			fmt.Fprintf(w, "%s\n", d.Node)
+			ops := make([]string, 0, len(d.Ops))
+			for op := range d.Ops {
+				ops = append(ops, op)
+			}
+			sort.Strings(ops)
+			for _, op := range ops {
+				s := d.Ops[op]
+				fmt.Fprintf(w, "  %-15s n=%d mean=%dµs p50=%dµs p90=%dµs p99=%dµs max=%dµs\n",
+					op, s.Count, s.MeanUS, s.P50US, s.P90US, s.P99US, s.MaxUS)
+			}
+		}
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
 	return nil
+}
+
+// collectDumps fetches the Monitor's observability dump plus one per live
+// server, monitor first.
+func collectDumps(c *client.Client) ([]*wire.ObsDumpResponse, error) {
+	md, err := c.MonitorObsDump(0)
+	if err != nil {
+		return nil, err
+	}
+	dumps := []*wire.ObsDumpResponse{md}
+	for _, addr := range c.Servers() {
+		d, err := c.ObsDump(addr, 0)
+		if err != nil {
+			return nil, err
+		}
+		dumps = append(dumps, d)
+	}
+	return dumps, nil
+}
+
+func printEvent(w io.Writer, ev obs.Event) {
+	ts := time.Unix(0, ev.TS).Format("15:04:05.000")
+	fmt.Fprintf(w, "%s %-9s %-9s %-13s", ts, ev.Node, ev.Kind, ev.Op)
+	if ev.ReqID != "" {
+		fmt.Fprintf(w, " req=%s", ev.ReqID)
+	}
+	if ev.From != "" {
+		fmt.Fprintf(w, " from=%s", ev.From)
+	}
+	if ev.Path != "" {
+		fmt.Fprintf(w, " path=%s", ev.Path)
+	}
+	if ev.DurUS != 0 {
+		fmt.Fprintf(w, " dur=%dµs", ev.DurUS)
+	}
+	if ev.Detail != "" {
+		fmt.Fprintf(w, " (%s)", ev.Detail)
+	}
+	if ev.Err != "" {
+		fmt.Fprintf(w, " err=%q", ev.Err)
+	}
+	fmt.Fprintln(w)
 }
 
 func printServerStats(w io.Writer, st *wire.StatsResponse) {

@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
 
 	"d2tree/internal/monitor"
+	"d2tree/internal/obs"
 	"d2tree/internal/server"
 	"d2tree/internal/trace"
+	"d2tree/internal/wire"
 )
 
 func startCluster(t *testing.T) string {
@@ -91,6 +94,88 @@ func TestCtlLookupCreateReaddirStats(t *testing.T) {
 	}
 	if strings.Count(buf.String(), "mds-") != 2 {
 		t.Errorf("stats output = %q", buf.String())
+	}
+}
+
+func TestCtlOpsAndEvents(t *testing.T) {
+	addr := startCluster(t)
+	var buf bytes.Buffer
+	// Drive a couple of ops so histograms are non-empty on a server, and the
+	// client_index/heartbeat traffic populates the monitor's.
+	if err := run([]string{"-monitor", addr, "lookup", "/"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-monitor", addr, "readdir", "/"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	if err := run([]string{"-monitor", addr, "-json", "ops"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var byNode map[string]map[string]wire.LatencySummary
+	if err := json.Unmarshal(buf.Bytes(), &byNode); err != nil {
+		t.Fatalf("ops -json output not JSON: %v\n%s", err, buf.String())
+	}
+	mon, ok := byNode["monitor"]
+	if !ok {
+		t.Fatalf("ops -json missing monitor node: %v", buf.String())
+	}
+	var monN uint64
+	for _, s := range mon {
+		monN += s.Count
+	}
+	if monN == 0 {
+		t.Errorf("monitor op histograms all empty: %v", mon)
+	}
+	var serverN uint64
+	for node, ops := range byNode {
+		if !strings.HasPrefix(node, "mds-") {
+			continue
+		}
+		for _, s := range ops {
+			serverN += s.Count
+		}
+	}
+	if serverN == 0 {
+		t.Errorf("no server recorded any op: %v", byNode)
+	}
+
+	// Text mode renders one section per node.
+	buf.Reset()
+	if err := run([]string{"-monitor", addr, "ops"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "monitor") || !strings.Contains(buf.String(), "n=") {
+		t.Errorf("ops text output = %q", buf.String())
+	}
+
+	// events -json emits one JSON object per line, each with a seq + node.
+	buf.Reset()
+	if err := run([]string{"-monitor", addr, "-json", "events"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("events -json produced no lines")
+	}
+	for _, ln := range lines[:min(len(lines), 5)] {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("event line not JSON: %v\n%s", err, ln)
+		}
+		if ev.Seq == 0 || ev.Node == "" {
+			t.Errorf("event missing seq/node: %s", ln)
+		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"-monitor", addr, "events"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "member_join") {
+		t.Errorf("events text output missing member_join: %q", buf.String())
 	}
 }
 

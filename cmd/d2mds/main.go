@@ -5,6 +5,7 @@
 // Usage:
 //
 //	d2mds -addr :7081 -monitor 127.0.0.1:7070
+//	d2mds -addr :7081 -monitor 127.0.0.1:7070 -debug-addr 127.0.0.1:6081 -event-log mds.jsonl
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"d2tree/internal/obs"
 	"d2tree/internal/server"
 )
 
@@ -33,6 +35,8 @@ func run(args []string) error {
 		heartbeat = fs.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval")
 		dialTO    = fs.Duration("dial-timeout", 2*time.Second, "connection establishment deadline")
 		callTO    = fs.Duration("call-timeout", 2*time.Second, "per-RPC deadline")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof + expvar + /debug/d2/* on this address (empty = off)")
+		eventLog  = fs.String("event-log", "", "append this node's trace events as JSONL to a file (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +52,29 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("d2mds %d listening on %s (monitor %s)\n", srv.ID(), srv.Addr(), *mon)
+
+	if *eventLog != "" {
+		f, err := os.OpenFile(*eventLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			_ = srv.Close()
+			return err
+		}
+		fl := obs.NewFlusher(srv.Obs(), f, time.Second)
+		defer func() {
+			_ = fl.Close()
+			_ = f.Close()
+		}()
+	}
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr, srv.Obs(),
+			func() interface{} { return srv.OpLatencies() })
+		if err != nil {
+			_ = srv.Close()
+			return err
+		}
+		defer func() { _ = ln.Close() }()
+		fmt.Printf("d2mds: debug endpoints on http://%s/debug/\n", ln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

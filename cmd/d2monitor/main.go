@@ -6,6 +6,7 @@
 //
 //	d2monitor -addr :7070 -servers 4 [-snapshot tree.ndjson]
 //	          [-profile LMBE -nodes 20000 -events 100000 -seed 1]
+//	          [-debug-addr 127.0.0.1:6070] [-event-log monitor.jsonl]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"d2tree/internal/monitor"
 	"d2tree/internal/namespace"
+	"d2tree/internal/obs"
 	"d2tree/internal/trace"
 )
 
@@ -41,6 +43,10 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 1, "synthesis seed")
 		walPath    = fs.String("wal", "", "write-ahead log path for crash recovery (optional)")
 		statsEvery = fs.Duration("stats", 0, "print cluster stats at this interval (0 = off)")
+		// -events already means "synthesis event count", so the trace sink
+		// gets the longer -event-log name.
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof + expvar + /debug/d2/* on this address (empty = off)")
+		eventLog  = fs.String("event-log", "", "append the Monitor's trace events as JSONL to a file (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +95,29 @@ func run(args []string) error {
 	}
 	fmt.Printf("d2monitor listening on %s (namespace: %d nodes, servers: %d)\n",
 		mon.Addr(), tree.Len(), *servers)
+
+	if *eventLog != "" {
+		f, err := os.OpenFile(*eventLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			_ = mon.Close()
+			return err
+		}
+		fl := obs.NewFlusher(mon.Obs(), f, time.Second)
+		defer func() {
+			_ = fl.Close()
+			_ = f.Close()
+		}()
+	}
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr, mon.Obs(),
+			func() interface{} { return mon.OpLatencies() })
+		if err != nil {
+			_ = mon.Close()
+			return err
+		}
+		defer func() { _ = ln.Close() }()
+		fmt.Printf("d2monitor: debug endpoints on http://%s/debug/\n", ln.Addr())
+	}
 
 	stopStats := make(chan struct{})
 	if *statsEvery > 0 {

@@ -137,8 +137,8 @@ func Default() []Analyzer {
 	return []Analyzer{
 		&LockHeld{},
 		&Determinism{Packages: DeterministicPackages},
-		&WireCheck{WirePackage: "internal/wire", MessagesFile: "messages.go"},
-		&StatCheck{Packages: []string{"internal/stats", "internal/core"}},
+		&WireCheck{WirePackage: "internal/wire", MessagesFile: "messages.go", EnvelopeStruct: "Envelope"},
+		&StatCheck{Packages: []string{"internal/stats", "internal/core", "internal/obs"}},
 	}
 }
 

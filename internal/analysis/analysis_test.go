@@ -28,7 +28,7 @@ func TestGolden(t *testing.T) {
 	cases := []goldenCase{
 		{name: "lockheld", analyzers: []Analyzer{&LockHeld{}}},
 		{name: "determinism", analyzers: []Analyzer{&Determinism{Packages: []string{"det"}}}},
-		{name: "wirecheck", analyzers: []Analyzer{&WireCheck{WirePackage: "wire", MessagesFile: "messages.go"}}},
+		{name: "wirecheck", analyzers: []Analyzer{&WireCheck{WirePackage: "wire", MessagesFile: "messages.go", EnvelopeStruct: "Envelope"}}},
 		{name: "statcheck", analyzers: []Analyzer{&StatCheck{Packages: []string{"stats"}}}},
 		{name: "ignore", analyzers: []Analyzer{&LockHeld{}}, withIgnores: true},
 	}

@@ -41,6 +41,7 @@ func (*LockHeld) Doc() string {
 var blockingMethods = map[string]string{
 	"Call":        "RPC call",
 	"CallOnce":    "RPC call",
+	"CallTraced":  "RPC call",
 	"Dial":        "network dial",
 	"DialCall":    "network dial",
 	"DialTimeout": "network dial",

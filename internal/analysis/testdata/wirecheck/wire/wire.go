@@ -20,3 +20,10 @@ type Detail struct {
 type Internal struct {
 	Untagged int
 }
+
+// Envelope lives outside messages.go but is named by the EnvelopeStruct
+// config, so its fields (and types reachable from them) are tag-checked.
+type Envelope struct {
+	ID    uint64 `json:"id"`
+	ReqID string // want: no json tag (envelope is wire format)
+}

@@ -28,6 +28,10 @@ type WireCheck struct {
 	WirePackage string
 	// MessagesFile is the basename of the message-schema file.
 	MessagesFile string
+	// EnvelopeStruct optionally names the frame envelope struct, which lives
+	// outside the messages file but is still wire format: it joins the
+	// tag-checked set (and everything reachable from it) when set.
+	EnvelopeStruct string
 }
 
 // Name implements Analyzer.
@@ -93,6 +97,12 @@ func (a *WireCheck) checkJSONTags(r *reporter, m *Module, pkg *Package, structs 
 		if file == a.MessagesFile {
 			work = append(work, name)
 			seen[name] = true
+		}
+	}
+	if a.EnvelopeStruct != "" && !seen[a.EnvelopeStruct] {
+		if _, ok := structs[a.EnvelopeStruct]; ok {
+			work = append(work, a.EnvelopeStruct)
+			seen[a.EnvelopeStruct] = true
 		}
 	}
 	for len(work) > 0 {

@@ -121,28 +121,44 @@ func (c *Cache) Get(key string) (Entry, bool) {
 
 // Peek returns the entry even if the lease expired, along with whether the
 // lease is still live — the revalidation path: an expired entry's version
-// can be compared against the origin instead of refetching the body.
+// can be compared against the origin instead of refetching the body. A live
+// result is a hit; an expired one counts as expired (the entry stays
+// resident for revalidation); an absent key is a miss. Peek is an access,
+// so it also refreshes the entry's LRU position — before it did neither,
+// which both skewed the hit ratio against Get traffic and let the LRU evict
+// entries that revalidation was actively using.
 func (c *Cache) Peek(key string) (e Entry, live bool, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	it, found := c.items[key]
 	if !found {
+		c.misses++
 		return Entry{}, false, false
 	}
-	return it.entry, it.expires.After(c.now()), true
+	c.lru.MoveToFront(it.elem)
+	if !it.expires.After(c.now()) {
+		c.expired++
+		return it.entry, false, true
+	}
+	c.hits++
+	return it.entry, true, true
 }
 
 // Renew extends the lease of a cached entry whose version the origin just
-// confirmed. It reports whether the key was present with that version.
+// confirmed. It reports whether the key was present with that version. A
+// successful renewal is a hit (the cached body was served without a
+// refetch); a version mismatch or absent key is a miss.
 func (c *Cache) Renew(key string, version int64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	it, ok := c.items[key]
 	if !ok || it.entry.Version != version {
+		c.misses++
 		return false
 	}
 	it.expires = c.now().Add(c.lease)
 	c.lru.MoveToFront(it.elem)
+	c.hits++
 	return true
 }
 

@@ -180,3 +180,66 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("Len = %d exceeds capacity", c.Len())
 	}
 }
+
+func TestPeekRenewStats(t *testing.T) {
+	c, err := New(4, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	c.SetClock(func() time.Time { return now })
+
+	c.Put("/a", Entry{Version: 7})
+
+	if _, _, ok := c.Peek("/missing"); ok {
+		t.Fatal("Peek of absent key succeeded")
+	}
+	if _, live, ok := c.Peek("/a"); !ok || !live {
+		t.Fatalf("Peek(/a) live=%v ok=%v", live, ok)
+	}
+	if hits, misses, expired := c.Stats(); hits != 1 || misses != 1 || expired != 0 {
+		t.Fatalf("after peeks: hits=%d misses=%d expired=%d, want 1/1/0", hits, misses, expired)
+	}
+
+	now = now.Add(11 * time.Second) // lease lapses
+	if _, live, ok := c.Peek("/a"); !ok || live {
+		t.Fatalf("expired Peek(/a) live=%v ok=%v, want live=false ok=true", live, ok)
+	}
+	if _, _, expired := c.Stats(); expired != 1 {
+		t.Fatalf("expired counter = %d, want 1", expired)
+	}
+
+	if !c.Renew("/a", 7) {
+		t.Fatal("Renew with matching version failed")
+	}
+	if c.Renew("/a", 8) {
+		t.Fatal("Renew with stale version succeeded")
+	}
+	if c.Renew("/missing", 1) {
+		t.Fatal("Renew of absent key succeeded")
+	}
+	hits, misses, expired := c.Stats()
+	if hits != 2 || misses != 3 || expired != 1 {
+		t.Fatalf("final stats hits=%d misses=%d expired=%d, want 2/3/1", hits, misses, expired)
+	}
+}
+
+func TestPeekTouchesLRU(t *testing.T) {
+	c, err := New(2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("/old", Entry{Version: 1})
+	c.Put("/new", Entry{Version: 2})
+	// Peek must refresh /old's recency: the next insert evicts /new instead.
+	if _, _, ok := c.Peek("/old"); !ok {
+		t.Fatal("Peek(/old) missed")
+	}
+	c.Put("/third", Entry{Version: 3})
+	if _, _, ok := c.Peek("/old"); !ok {
+		t.Fatal("/old was evicted despite Peek touch")
+	}
+	if _, _, ok := c.Peek("/new"); ok {
+		t.Fatal("/new survived eviction; Peek did not refresh LRU order")
+	}
+}

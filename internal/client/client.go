@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"d2tree/internal/cache"
+	"d2tree/internal/obs"
 	"d2tree/internal/wire"
 )
 
@@ -38,6 +39,9 @@ type Config struct {
 	CacheEntries int
 	// CacheLease is the entry lease (default 2s when the cache is enabled).
 	CacheLease time.Duration
+	// Name identifies this client in trace spans and event logs (default
+	// "client"; the load generator names its workers "client-<n>").
+	Name string
 }
 
 func (c *Config) applyDefaults() {
@@ -52,6 +56,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.CacheEntries > 0 && c.CacheLease == 0 {
 		c.CacheLease = 2 * time.Second
+	}
+	if c.Name == "" {
+		c.Name = "client"
 	}
 }
 
@@ -68,6 +75,8 @@ var (
 type Client struct {
 	cfg Config
 	rng *rand.Rand
+	ids *obs.IDGen    // request-identifier mint, one ID per public op
+	rec *obs.Recorder // client-side op events
 
 	mu       sync.Mutex
 	servers  []string
@@ -92,6 +101,8 @@ func Connect(cfg Config) (*Client, error) {
 	c := &Client{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(seed)),
+		ids:   obs.NewIDGen("r", seed),
+		rec:   obs.NewRecorder(cfg.Name, 0),
 		index: make(map[string]string),
 		conns: make(map[string]*wire.Conn),
 	}
@@ -271,14 +282,32 @@ func (c *Client) call(path, msgType string,
 	return fmt.Errorf("%w: %s %s", ErrTooManyHops, msgType, path)
 }
 
+// record logs one client-side op event under the request's identifier.
+func (c *Client) record(op, reqID, path, detail string, start time.Time, err error) {
+	c.rec.Record(obs.Event{
+		Kind:   obs.KindOp,
+		Op:     op,
+		ReqID:  reqID,
+		Path:   path,
+		Detail: detail,
+		DurUS:  time.Since(start).Microseconds(),
+		Err:    obs.ErrString(err),
+	})
+}
+
 // Lookup resolves a path to its metadata entry. With the entry cache
 // enabled, a lease-live cached copy is returned without touching the
-// cluster; staleness is bounded by the configured lease.
+// cluster; staleness is bounded by the configured lease. Every call mints a
+// request identifier that rides the wire envelope to the serving MDS (and
+// any hop it forwards to), so the whole operation shares one trace.
 func (c *Client) Lookup(path string) (*wire.Entry, error) {
+	reqID := c.ids.Next()
+	start := time.Now()
 	if c.entries != nil {
 		if cached, ok := c.entries.Get(path); ok {
 			if e, ok := cached.Value.(wire.Entry); ok {
 				cp := e
+				c.record(wire.TypeLookup, reqID, path, "cache", start, nil)
 				return &cp, nil
 			}
 		}
@@ -286,12 +315,13 @@ func (c *Client) Lookup(path string) (*wire.Entry, error) {
 	var entry *wire.Entry
 	err := c.call(path, wire.TypeLookup, func(conn *wire.Conn) (string, error) {
 		var resp wire.LookupResponse
-		if err := conn.Call(wire.TypeLookup, &wire.LookupRequest{Path: path}, &resp); err != nil {
+		if err := conn.CallTraced(wire.TypeLookup, reqID, c.cfg.Name, &wire.LookupRequest{Path: path}, &resp); err != nil {
 			return "", err
 		}
 		entry = resp.Entry
 		return resp.Redirect, nil
 	})
+	c.record(wire.TypeLookup, reqID, path, "", start, err)
 	if err != nil {
 		return nil, err
 	}
@@ -303,16 +333,19 @@ func (c *Client) Lookup(path string) (*wire.Entry, error) {
 
 // Create makes a file or directory.
 func (c *Client) Create(path string, kind wire.EntryKind) (*wire.Entry, error) {
+	reqID := c.ids.Next()
+	start := time.Now()
 	var entry *wire.Entry
 	err := c.call(path, wire.TypeCreate, func(conn *wire.Conn) (string, error) {
 		var resp wire.CreateResponse
 		req := &wire.CreateRequest{Path: path, Kind: kind}
-		if err := conn.Call(wire.TypeCreate, req, &resp); err != nil {
+		if err := conn.CallTraced(wire.TypeCreate, reqID, c.cfg.Name, req, &resp); err != nil {
 			return "", err
 		}
 		entry = resp.Entry
 		return resp.Redirect, nil
 	})
+	c.record(wire.TypeCreate, reqID, path, "", start, err)
 	if err != nil {
 		return nil, err
 	}
@@ -322,6 +355,8 @@ func (c *Client) Create(path string, kind wire.EntryKind) (*wire.Entry, error) {
 // SetAttr updates a path's attributes (an "update" operation). The cached
 // copy, if any, is replaced by the committed entry.
 func (c *Client) SetAttr(path string, size int64, mode uint32) (*wire.Entry, error) {
+	reqID := c.ids.Next()
+	start := time.Now()
 	if c.entries != nil {
 		c.entries.Invalidate(path)
 	}
@@ -329,12 +364,13 @@ func (c *Client) SetAttr(path string, size int64, mode uint32) (*wire.Entry, err
 	err := c.call(path, wire.TypeSetAttr, func(conn *wire.Conn) (string, error) {
 		var resp wire.SetAttrResponse
 		req := &wire.SetAttrRequest{Path: path, Size: size, Mode: mode}
-		if err := conn.Call(wire.TypeSetAttr, req, &resp); err != nil {
+		if err := conn.CallTraced(wire.TypeSetAttr, reqID, c.cfg.Name, req, &resp); err != nil {
 			return "", err
 		}
 		entry = resp.Entry
 		return resp.Redirect, nil
 	})
+	c.record(wire.TypeSetAttr, reqID, path, "", start, err)
 	if err != nil {
 		return nil, err
 	}
@@ -344,6 +380,8 @@ func (c *Client) SetAttr(path string, size int64, mode uint32) (*wire.Entry, err
 // Rename renames a local-layer node (carrying its subtree) in place. The
 // cached entry for the old path, if any, is invalidated.
 func (c *Client) Rename(path, newName string) (*wire.Entry, error) {
+	reqID := c.ids.Next()
+	start := time.Now()
 	if c.entries != nil {
 		c.entries.Invalidate(path)
 	}
@@ -351,12 +389,13 @@ func (c *Client) Rename(path, newName string) (*wire.Entry, error) {
 	err := c.call(path, wire.TypeRename, func(conn *wire.Conn) (string, error) {
 		var resp wire.RenameResponse
 		req := &wire.RenameRequest{Path: path, NewName: newName}
-		if err := conn.Call(wire.TypeRename, req, &resp); err != nil {
+		if err := conn.CallTraced(wire.TypeRename, reqID, c.cfg.Name, req, &resp); err != nil {
 			return "", err
 		}
 		entry = resp.Entry
 		return resp.Redirect, nil
 	})
+	c.record(wire.TypeRename, reqID, path, "", start, err)
 	if err != nil {
 		return nil, err
 	}
@@ -367,15 +406,18 @@ func (c *Client) Rename(path, newName string) (*wire.Entry, error) {
 // the client's cached local index, so subtree roots hosted elsewhere appear
 // even while the server's own index snapshot is still catching up.
 func (c *Client) Readdir(path string) ([]string, error) {
+	reqID := c.ids.Next()
+	start := time.Now()
 	var names []string
 	err := c.call(path, wire.TypeReaddir, func(conn *wire.Conn) (string, error) {
 		var resp wire.ReaddirResponse
-		if err := conn.Call(wire.TypeReaddir, &wire.ReaddirRequest{Path: path}, &resp); err != nil {
+		if err := conn.CallTraced(wire.TypeReaddir, reqID, c.cfg.Name, &wire.ReaddirRequest{Path: path}, &resp); err != nil {
 			return "", err
 		}
 		names = resp.Names
 		return resp.Redirect, nil
 	})
+	c.record(wire.TypeReaddir, reqID, path, "", start, err)
 	if err != nil {
 		return nil, err
 	}
@@ -434,6 +476,41 @@ func (c *Client) MonitorStats() (*wire.MonitorStatsResponse, error) {
 	}
 	return &resp, nil
 }
+
+// ObsDump fetches one MDS's buffered events and op histograms by address.
+// since returns only events newer than that sequence number (0 = all).
+func (c *Client) ObsDump(addr string, since uint64) (*wire.ObsDumpResponse, error) {
+	conn, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	var resp wire.ObsDumpResponse
+	if err := conn.Call(wire.TypeObsDump, &wire.ObsDumpRequest{SinceSeq: since}, &resp); err != nil {
+		if !wire.IsRemote(err) {
+			c.dropConn(addr)
+		}
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// MonitorObsDump fetches the Monitor's buffered events and op histograms.
+func (c *Client) MonitorObsDump(since uint64) (*wire.ObsDumpResponse, error) {
+	c.mu.Lock()
+	mon := c.mon
+	c.mu.Unlock()
+	if mon == nil {
+		return nil, ErrNotConnected
+	}
+	var resp wire.ObsDumpResponse
+	if err := mon.Call(wire.TypeObsDump, &wire.ObsDumpRequest{SinceSeq: since}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Obs returns the client's own event recorder.
+func (c *Client) Obs() *obs.Recorder { return c.rec }
 
 // Servers returns the cached MDS address list.
 func (c *Client) Servers() []string {

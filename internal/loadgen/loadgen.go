@@ -10,11 +10,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"d2tree/internal/client"
 	"d2tree/internal/namespace"
+	"d2tree/internal/obs"
 	"d2tree/internal/stats"
 	"d2tree/internal/trace"
 )
@@ -38,6 +42,10 @@ type Config struct {
 	CacheEntries int
 	// CacheLease is the entry lease when the cache is enabled.
 	CacheLease time.Duration
+	// EventLog, when non-nil, receives every client-side trace event as
+	// JSONL after the run (workers are named "client-<n>"; each operation's
+	// ReqID matches the server-side events it produced).
+	EventLog io.Writer
 }
 
 // Validate reports whether the config is runnable.
@@ -96,6 +104,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		all       *stats.Histogram
 		queries   *stats.Histogram
 		updates   *stats.Histogram
+		events    []obs.Event // client-side trace events (when EventLog is set)
 		err       error
 		opErr     error // sample of a failed operation
 	}
@@ -115,12 +124,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				Seed:         cfg.Seed + int64(w) + 1,
 				CacheEntries: cfg.CacheEntries,
 				CacheLease:   cfg.CacheLease,
+				Name:         "client-" + strconv.Itoa(w),
 			})
 			if err != nil {
 				res.err = err
 				return
 			}
 			defer func() { _ = cl.Close() }()
+			if cfg.EventLog != nil {
+				defer func() { res.events = cl.Obs().Snapshot() }()
+			}
 			for i := w; i < len(cfg.Events); i += cfg.Clients {
 				select {
 				case <-ctx.Done():
@@ -188,6 +201,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	if elapsed > 0 {
 		rep.ThroughputOps = float64(ops) / elapsed.Seconds()
+	}
+	if cfg.EventLog != nil {
+		var events []obs.Event
+		for i := range results {
+			events = append(events, results[i].events...)
+		}
+		sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+		if err := obs.WriteJSONL(cfg.EventLog, events); err != nil {
+			return rep, fmt.Errorf("loadgen: event log: %w", err)
+		}
 	}
 	return rep, nil
 }

@@ -23,6 +23,7 @@ import (
 	"d2tree/internal/core"
 	"d2tree/internal/locksvc"
 	"d2tree/internal/namespace"
+	"d2tree/internal/obs"
 	"d2tree/internal/wal"
 	"d2tree/internal/wire"
 )
@@ -104,9 +105,14 @@ type Monitor struct {
 	// lastFailedDest remembers the destination a subtree's last transfer
 	// NACKed against, so the next plan picks a different server.
 	lastFailedDest map[string]int
-	journal        *wal.Log // nil when WALPath is unset
-	lastAdjust     time.Time
-	now            func() time.Time
+	// migIDs maps a subtree root to its migration's trace identifier. Minted
+	// when a move is first planned and kept across NACK → re-issue cycles, so
+	// the whole history of one subtree's migration shares one ReqID; cleared
+	// when the move commits.
+	migIDs     map[string]string
+	journal    *wal.Log // nil when WALPath is unset
+	lastAdjust time.Time
+	now        func() time.Time
 
 	// Coordinator counters (guarded by mu), surfaced via TypeMonitorStats.
 	nHeartbeats        int64
@@ -114,6 +120,10 @@ type Monitor struct {
 	nTransfersDone     int64
 	nTransfersFailed   int64
 	nTransfersReissued int64
+
+	rec     *obs.Recorder // event ring ("monitor")
+	opStats obs.OpStats   // per-op monitor-side latency histograms
+	ids     *obs.IDGen    // migration trace-identifier mint
 
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -148,6 +158,9 @@ func New(t *namespace.Tree, cfg Config) (*Monitor, error) {
 		inFlight:       make(map[string]int),
 		issuedAt:       make(map[string]time.Time),
 		lastFailedDest: make(map[string]int),
+		migIDs:         make(map[string]string),
+		rec:            obs.NewRecorder("monitor", 0),
+		ids:            obs.NewIDGen("m", 0),
 		now:            time.Now,
 		conns:          make(map[net.Conn]struct{}),
 		stop:           make(chan struct{}),
@@ -322,64 +335,115 @@ func (m *Monitor) acceptLoop() {
 	}
 }
 
+// handle times and records every request around dispatch, mirroring the MDS
+// wrapper: one op-latency histogram sample per wire op type and one trace
+// event carrying the envelope's ReqID and sending span.
 func (m *Monitor) handle(env *wire.Envelope) (interface{}, error) {
+	start := time.Now()
+	resp, path, err := m.dispatch(env)
+	d := time.Since(start)
+	m.opStats.Observe(env.Type, d)
+	m.rec.Record(obs.Event{
+		Kind:  obs.KindOp,
+		Op:    env.Type,
+		ReqID: env.ReqID,
+		From:  env.Span,
+		Path:  path,
+		DurUS: d.Microseconds(),
+		Err:   obs.ErrString(err),
+	})
+	return resp, err
+}
+
+// dispatch decodes and routes one request, additionally returning the
+// namespace path the request concerned (for the trace event).
+func (m *Monitor) dispatch(env *wire.Envelope) (interface{}, string, error) {
 	switch env.Type {
 	case wire.TypeJoin:
 		var req wire.JoinRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return m.handleJoin(&req)
+		resp, err := m.handleJoin(&req)
+		return resp, "", err
 	case wire.TypeHeartbeat:
 		var req wire.HeartbeatRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return m.handleHeartbeat(&req)
+		resp, err := m.handleHeartbeat(&req)
+		return resp, "", err
 	case wire.TypeGLUpdate:
 		var req wire.GLUpdateRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return m.handleGLUpdate(&req)
+		resp, err := m.handleGLUpdate(&req)
+		return resp, req.Entry.Path, err
 	case wire.TypeClusterInfo:
-		return m.handleClusterInfo()
+		resp, err := m.handleClusterInfo()
+		return resp, "", err
 	case wire.TypeTransferDone:
 		var req wire.TransferDoneRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return m.handleTransferDone(&req)
+		resp, err := m.handleTransferDone(&req)
+		return resp, req.RootPath, err
 	case wire.TypeTransferFailed:
 		var req wire.TransferFailedRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return m.handleTransferFailed(&req)
+		resp, err := m.handleTransferFailed(&req)
+		return resp, req.RootPath, err
 	case wire.TypeMonitorStats:
-		return m.handleMonitorStats()
+		resp, err := m.handleMonitorStats()
+		return resp, "", err
+	case wire.TypeObsDump:
+		var req wire.ObsDumpRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, "", err
+		}
+		resp, err := m.handleObsDump(&req)
+		return resp, "", err
 	case wire.TypeLockAcquire:
 		var req wire.LockRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		ok, err := m.locks.Acquire(req.Name, req.Owner, time.Duration(req.LeaseMS)*time.Millisecond)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return &wire.LockResponse{Granted: ok}, nil
+		return &wire.LockResponse{Granted: ok}, req.Name, nil
 	case wire.TypeLockRelease:
 		var req wire.LockRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		if err := m.locks.Release(req.Name, req.Owner); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return &wire.LockResponse{Granted: true}, nil
+		return &wire.LockResponse{Granted: true}, req.Name, nil
 	default:
-		return nil, fmt.Errorf("monitor: unknown message type %q", env.Type)
+		return nil, "", fmt.Errorf("monitor: unknown message type %q", env.Type)
 	}
+}
+
+func (m *Monitor) handleObsDump(req *wire.ObsDumpRequest) (*wire.ObsDumpResponse, error) {
+	events, dropped := m.rec.Since(req.SinceSeq, 0)
+	seq := req.SinceSeq
+	if n := len(events); n > 0 {
+		seq = events[n-1].Seq
+	}
+	return &wire.ObsDumpResponse{
+		Node:    m.rec.Node(),
+		Seq:     seq,
+		Dropped: dropped,
+		Events:  events,
+		Ops:     m.opStats.Latencies(),
+	}, nil
 }
 
 func (m *Monitor) handleJoin(req *wire.JoinRequest) (*wire.JoinResponse, error) {
@@ -405,6 +469,11 @@ func (m *Monitor) handleJoin(req *wire.JoinRequest) (*wire.JoinResponse, error) 
 	mem.lastSeen = m.now()
 	mem.alive = true
 	mem.load = 0
+	m.rec.Record(obs.Event{
+		Kind:   obs.KindCluster,
+		Op:     "member_join",
+		Detail: "mds-" + strconv.Itoa(id) + " at " + req.Addr,
+	})
 
 	// Refresh index addresses for subtrees owned by this slot.
 	for root, owner := range m.subtreeOwner {
@@ -519,6 +588,13 @@ func (m *Monitor) handleHeartbeat(req *wire.HeartbeatRequest) (*wire.HeartbeatRe
 		now := m.now()
 		for _, cmd := range cmds {
 			m.issuedAt[cmd.RootPath] = now
+			m.rec.Record(obs.Event{
+				Kind:   obs.KindMigration,
+				Op:     "issue",
+				ReqID:  cmd.ReqID,
+				Path:   cmd.RootPath,
+				Detail: "src mds-" + strconv.Itoa(req.ServerID) + ", dest " + cmd.DestAddr,
+			})
 		}
 	}
 	return resp, nil
@@ -533,6 +609,11 @@ func (m *Monitor) checkFailuresLocked() {
 	for _, mem := range m.members {
 		if mem.alive && now.Sub(mem.lastSeen) > m.cfg.HeartbeatTimeout {
 			mem.alive = false
+			m.rec.Record(obs.Event{
+				Kind:   obs.KindCluster,
+				Op:     "member_dead",
+				Detail: "mds-" + strconv.Itoa(mem.id) + " at " + mem.addr + " missed heartbeats",
+			})
 			// Commands queued for (or issued to) the dead server can never
 			// complete; release their subtrees back to the planner so
 			// recovery and rebalancing are not wedged behind them.
@@ -587,6 +668,13 @@ func (m *Monitor) reissueStaleLocked(now time.Time) {
 		delete(m.issuedAt, root)
 		delete(m.inFlight, root)
 		m.nTransfersReissued++
+		m.rec.Record(obs.Event{
+			Kind:   obs.KindMigration,
+			Op:     "reissue",
+			ReqID:  m.migIDs[root],
+			Path:   root,
+			Detail: "command unacknowledged past heartbeat timeout; returned to planner",
+		})
 	}
 }
 
@@ -594,6 +682,14 @@ func (m *Monitor) reissueStaleLocked(now time.Time) {
 // success, commits ownership and publishes the new index. Callers hold m.mu.
 func (m *Monitor) recoverSubtreeLocked(rootPath string, destID int, destAddr string) {
 	entries := m.subtreeEntriesLocked(rootPath)
+	reqID := m.migIDForLocked(rootPath)
+	m.rec.Record(obs.Event{
+		Kind:   obs.KindMigration,
+		Op:     "recover_start",
+		ReqID:  reqID,
+		Path:   rootPath,
+		Detail: "dest mds-" + strconv.Itoa(destID) + " at " + destAddr,
+	})
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
@@ -605,13 +701,39 @@ func (m *Monitor) recoverSubtreeLocked(rootPath string, destID int, destAddr str
 		}
 		delete(m.inFlight, rootPath)
 		if err != nil {
+			m.rec.Record(obs.Event{
+				Kind:  obs.KindMigration,
+				Op:    "recover_failed",
+				ReqID: reqID,
+				Path:  rootPath,
+				Err:   err.Error(),
+			})
 			return // retried on a later heartbeat
 		}
 		m.subtreeOwner[rootPath] = destID
 		m.index[rootPath] = destAddr
 		m.journalLocked("owner", &walOwner{Root: rootPath, Server: destID})
 		m.indexVer++
+		delete(m.migIDs, rootPath)
+		m.rec.Record(obs.Event{
+			Kind:   obs.KindMigration,
+			Op:     "recover_done",
+			ReqID:  reqID,
+			Path:   rootPath,
+			Detail: "dest " + destAddr,
+		})
 	}()
+}
+
+// migIDForLocked returns the subtree's migration trace identifier, minting
+// one on first use. Callers hold m.mu.
+func (m *Monitor) migIDForLocked(root string) string {
+	if id := m.migIDs[root]; id != "" {
+		return id
+	}
+	id := m.ids.Next()
+	m.migIDs[root] = id
+	return id
 }
 
 // pushSubtreeLocked installs a subtree's entries onto the destination MDS
@@ -699,6 +821,11 @@ func (m *Monitor) planAdjustmentLocked() {
 		if loads[src.id] <= limit {
 			continue
 		}
+		m.rec.Record(obs.Event{
+			Kind:   obs.KindMigration,
+			Op:     "overload",
+			Detail: fmt.Sprintf("mds-%d load %.0f over limit %.0f (mean %.0f)", src.id, loads[src.id], limit, mean),
+		})
 		scale := 0.0
 		var ownPop int64
 		for _, c := range byOwner[src.id] {
@@ -734,14 +861,22 @@ func (m *Monitor) planAdjustmentLocked() {
 			if loads[dst.id]+shed > limit {
 				continue
 			}
+			reqID := m.migIDForLocked(c.root)
 			m.transfers[src.id] = append(m.transfers[src.id], wire.TransferCommand{
-				RootPath: c.root, DestAddr: dst.addr,
+				RootPath: c.root, DestAddr: dst.addr, ReqID: reqID,
 			})
 			// Ownership commits only on TransferDone — committing now would
 			// open a window where the destination is advertised as owner
 			// before the entries arrive.
 			m.inFlight[c.root] = dst.id
 			m.nTransfersPlanned++
+			m.rec.Record(obs.Event{
+				Kind:   obs.KindMigration,
+				Op:     "plan",
+				ReqID:  reqID,
+				Path:   c.root,
+				Detail: "src mds-" + strconv.Itoa(src.id) + ", dest mds-" + strconv.Itoa(dst.id) + " at " + dst.addr,
+			})
 			loads[src.id] -= shed
 			loads[dst.id] += shed
 		}
@@ -823,6 +958,18 @@ func (m *Monitor) handleTransferDone(req *wire.TransferDoneRequest) (*wire.LockR
 	m.nTransfersDone++
 	m.index[req.RootPath] = req.DestAddr
 	m.indexVer++
+	reqID := req.ReqID
+	if reqID == "" {
+		reqID = m.migIDs[req.RootPath]
+	}
+	delete(m.migIDs, req.RootPath) // migration over; a later move is a new trace
+	m.rec.Record(obs.Event{
+		Kind:   obs.KindMigration,
+		Op:     "done",
+		ReqID:  reqID,
+		Path:   req.RootPath,
+		Detail: "committed to " + req.DestAddr,
+	})
 	return &wire.LockResponse{Granted: true}, nil
 }
 
@@ -838,6 +985,19 @@ func (m *Monitor) handleTransferFailed(req *wire.TransferFailedRequest) (*wire.L
 		delete(m.inFlight, req.RootPath)
 	}
 	delete(m.issuedAt, req.RootPath)
+	reqID := req.ReqID
+	if reqID == "" {
+		reqID = m.migIDs[req.RootPath]
+	}
+	// The migID is kept: the re-scheduled move continues the same trace.
+	m.rec.Record(obs.Event{
+		Kind:   obs.KindMigration,
+		Op:     "failed",
+		ReqID:  reqID,
+		Path:   req.RootPath,
+		Detail: "dest " + req.DestAddr,
+		Err:    req.Reason,
+	})
 	// Let the planner act on the failure without waiting out a full
 	// adjustment interval: the NACK is fresh evidence, not noise.
 	m.lastAdjust = time.Time{}
@@ -924,6 +1084,56 @@ func (m *Monitor) ReevaluateGlobalLayer() error {
 	m.glVersion++
 	m.indexVer++
 	return nil
+}
+
+// ScheduleTransfer manually enqueues one subtree transfer to the given
+// destination server, bypassing the load planner — an operator/test hook for
+// forcing a migration. The command is handed to the source on its next
+// heartbeat and follows the normal lifecycle (issue → install →
+// TransferDone/TransferFailed), sharing the subtree's migration trace
+// identifier with any earlier NACKed attempt.
+func (m *Monitor) ScheduleTransfer(root string, destID int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	owner, ok := m.subtreeOwner[root]
+	if !ok {
+		return fmt.Errorf("monitor: %s is not a subtree root", root)
+	}
+	if owner < 0 || owner >= len(m.members) || !m.members[owner].alive {
+		return fmt.Errorf("monitor: subtree %s owner mds-%d is not alive", root, owner)
+	}
+	if destID < 0 || destID >= len(m.members) || !m.members[destID].alive {
+		return fmt.Errorf("monitor: destination mds-%d is not alive", destID)
+	}
+	if destID == owner {
+		return fmt.Errorf("monitor: subtree %s is already owned by mds-%d", root, destID)
+	}
+	if _, moving := m.inFlight[root]; moving {
+		return fmt.Errorf("monitor: subtree %s already has a transfer in flight", root)
+	}
+	dst := m.members[destID]
+	reqID := m.migIDForLocked(root)
+	m.transfers[owner] = append(m.transfers[owner], wire.TransferCommand{
+		RootPath: root, DestAddr: dst.addr, ReqID: reqID,
+	})
+	m.inFlight[root] = destID
+	m.nTransfersPlanned++
+	m.rec.Record(obs.Event{
+		Kind:   obs.KindMigration,
+		Op:     "plan",
+		ReqID:  reqID,
+		Path:   root,
+		Detail: "manual, src mds-" + strconv.Itoa(owner) + ", dest mds-" + strconv.Itoa(destID) + " at " + dst.addr,
+	})
+	return nil
+}
+
+// Obs returns the Monitor's event recorder (debug endpoints, tests).
+func (m *Monitor) Obs() *obs.Recorder { return m.rec }
+
+// OpLatencies summarises the Monitor's per-op latency histograms.
+func (m *Monitor) OpLatencies() map[string]wire.LatencySummary {
+	return m.opStats.Latencies()
 }
 
 // Stats returns the coordinator counters and member table (tools, tests).

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the HTTP handler behind a daemon's -debug-addr flag:
+// net/http/pprof under /debug/pprof/, the process-wide expvar page under
+// /debug/vars, the node's event ring as JSONL under /debug/d2/events, and
+// its per-op latency summaries as JSON under /debug/d2/ops. The handlers
+// are registered on a private mux (not http.DefaultServeMux) so tests can
+// run several nodes in one process without expvar/pprof registration
+// collisions.
+func DebugMux(rec *Recorder, ops func() interface{}) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/d2/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteJSONL(w, rec.Snapshot())
+	})
+	mux.HandleFunc("/debug/d2/ops", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(ops())
+	})
+	return mux
+}
+
+// ServeDebug listens on addr and serves DebugMux in the background until the
+// returned listener is closed.
+func ServeDebug(addr string, rec *Recorder, ops func() interface{}) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: DebugMux(rec, ops)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

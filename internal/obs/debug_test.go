@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"d2tree/internal/wire"
+)
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	rec := NewRecorder("mds-1", 8)
+	rec.Record(Event{Kind: KindOp, Op: "lookup", ReqID: "r-1", Path: "/a"})
+	ops := func() interface{} {
+		return map[string]wire.LatencySummary{"lookup": {Count: 3}}
+	}
+	mux := DebugMux(rec, ops)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		if w.Code != 200 {
+			t.Fatalf("GET %s = %d", path, w.Code)
+		}
+		return w
+	}
+
+	w := get("/debug/d2/events")
+	var ev Event
+	if err := json.Unmarshal([]byte(strings.TrimSpace(w.Body.String())), &ev); err != nil {
+		t.Fatalf("events body not JSONL: %v\n%s", err, w.Body.String())
+	}
+	if ev.ReqID != "r-1" || ev.Node != "mds-1" {
+		t.Errorf("event = %+v", ev)
+	}
+
+	w = get("/debug/d2/ops")
+	var got map[string]wire.LatencySummary
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatalf("ops body not JSON: %v\n%s", err, w.Body.String())
+	}
+	if got["lookup"].Count != 3 {
+		t.Errorf("ops = %+v", got)
+	}
+
+	// expvar and pprof index pages respond.
+	if body := get("/debug/vars").Body.String(); !strings.Contains(body, "cmdline") {
+		t.Errorf("expvar page = %q", body)
+	}
+	if body := get("/debug/pprof/").Body.String(); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index = %q", body)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	rec := NewRecorder("mon", 8)
+	ln, err := ServeDebug("127.0.0.1:0", rec, func() interface{} { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	if ln.Addr().String() == "" {
+		t.Fatal("no bound address")
+	}
+}

@@ -5,53 +5,93 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"d2tree/internal/obs"
 	"d2tree/internal/wire"
 )
 
+// handle times and records every request around dispatch: one op-latency
+// histogram sample keyed by wire op type, and one trace event carrying the
+// envelope's end-to-end ReqID and the sender's span. The recording path is
+// allocation-free (pre-allocated ring, struct copy), so it stays on the
+// steady-state hot path.
 func (s *Server) handle(env *wire.Envelope) (interface{}, error) {
 	s.ops.Add(1)
+	start := time.Now()
+	resp, path, err := s.dispatch(env)
+	d := time.Since(start)
+	s.opStats.Observe(env.Type, d)
+	s.rec.Record(obs.Event{
+		Kind:  obs.KindOp,
+		Op:    env.Type,
+		ReqID: env.ReqID,
+		From:  env.Span,
+		Path:  path,
+		DurUS: d.Microseconds(),
+		Err:   obs.ErrString(err),
+	})
+	return resp, err
+}
+
+// dispatch decodes and routes one request, additionally returning the
+// namespace path the request concerned (for the trace event).
+func (s *Server) dispatch(env *wire.Envelope) (interface{}, string, error) {
 	switch env.Type {
 	case wire.TypeLookup:
 		var req wire.LookupRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return s.handleLookup(&req)
+		resp, err := s.handleLookup(&req)
+		return resp, req.Path, err
 	case wire.TypeCreate:
 		var req wire.CreateRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return s.handleCreate(&req)
+		resp, err := s.handleCreate(env, &req)
+		return resp, req.Path, err
 	case wire.TypeSetAttr:
 		var req wire.SetAttrRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return s.handleSetAttr(&req)
+		resp, err := s.handleSetAttr(env, &req)
+		return resp, req.Path, err
 	case wire.TypeReaddir:
 		var req wire.ReaddirRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return s.handleReaddir(&req)
+		resp, err := s.handleReaddir(&req)
+		return resp, req.Path, err
 	case wire.TypeRename:
 		var req wire.RenameRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return s.handleRename(&req)
+		resp, err := s.handleRename(&req)
+		return resp, req.Path, err
 	case wire.TypeInstall:
 		var req wire.InstallRequest
 		if err := env.Decode(&req); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return s.handleInstall(&req)
+		resp, err := s.handleInstall(env, &req)
+		return resp, req.RootPath, err
 	case wire.TypeStats:
-		return s.handleStats()
+		resp, err := s.handleStats()
+		return resp, "", err
+	case wire.TypeObsDump:
+		var req wire.ObsDumpRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, "", err
+		}
+		resp, err := s.handleObsDump(&req)
+		return resp, "", err
 	default:
-		return nil, fmt.Errorf("server: unknown message type %q", env.Type)
+		return nil, "", fmt.Errorf("server: unknown message type %q", env.Type)
 	}
 }
 
@@ -89,7 +129,7 @@ func (s *Server) handleLookup(req *wire.LookupRequest) (*wire.LookupResponse, er
 	return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
 }
 
-func (s *Server) handleCreate(req *wire.CreateRequest) (*wire.CreateResponse, error) {
+func (s *Server) handleCreate(env *wire.Envelope, req *wire.CreateRequest) (*wire.CreateResponse, error) {
 	s.creates.Add(1)
 	if req.Path == "" || req.Path[0] != '/' || req.Path == "/" {
 		return nil, fmt.Errorf("server: invalid path %q", req.Path)
@@ -118,9 +158,11 @@ func (s *Server) handleCreate(req *wire.CreateRequest) (*wire.CreateResponse, er
 	id := s.id
 	s.mu.Unlock()
 
-	// Global-layer create: serialised through the Monitor's lock service.
+	// Global-layer create: serialised through the Monitor's lock service. The
+	// forwarded call keeps the client's request identifier so the Monitor's
+	// trace event joins the same ReqID chain.
 	var resp wire.GLUpdateResponse
-	err := mon.Call(wire.TypeGLUpdate, &wire.GLUpdateRequest{
+	err := mon.CallTraced(wire.TypeGLUpdate, env.ReqID, s.rec.Node(), &wire.GLUpdateRequest{
 		ServerID: id,
 		Op:       "create",
 		Entry:    wire.Entry{Path: req.Path, Kind: req.Kind},
@@ -140,7 +182,7 @@ func (s *Server) handleCreate(req *wire.CreateRequest) (*wire.CreateResponse, er
 	return &wire.CreateResponse{Entry: &cp}, nil
 }
 
-func (s *Server) handleSetAttr(req *wire.SetAttrRequest) (*wire.SetAttrResponse, error) {
+func (s *Server) handleSetAttr(env *wire.Envelope, req *wire.SetAttrRequest) (*wire.SetAttrResponse, error) {
 	s.setattrs.Add(1)
 	s.mu.Lock()
 	s.pathOps[req.Path]++
@@ -168,7 +210,7 @@ func (s *Server) handleSetAttr(req *wire.SetAttrRequest) (*wire.SetAttrResponse,
 	s.mu.Unlock()
 
 	var resp wire.GLUpdateResponse
-	err := mon.Call(wire.TypeGLUpdate, &wire.GLUpdateRequest{
+	err := mon.CallTraced(wire.TypeGLUpdate, env.ReqID, s.rec.Node(), &wire.GLUpdateRequest{
 		ServerID: id,
 		Op:       "setattr",
 		Entry:    wire.Entry{Path: req.Path, Size: req.Size, Mode: req.Mode},
@@ -301,7 +343,17 @@ func (s *Server) handleRename(req *wire.RenameRequest) (*wire.RenameResponse, er
 	return &wire.RenameResponse{Entry: &cp}, nil
 }
 
-func (s *Server) handleInstall(req *wire.InstallRequest) (*wire.LockResponse, error) {
+func (s *Server) handleInstall(env *wire.Envelope, req *wire.InstallRequest) (*wire.LockResponse, error) {
+	// The install is one stage of a migration: record it under the
+	// TransferCommand's ReqID (carried on the envelope by the source MDS).
+	s.rec.Record(obs.Event{
+		Kind:   obs.KindMigration,
+		Op:     "install",
+		ReqID:  env.ReqID,
+		From:   env.Span,
+		Path:   req.RootPath,
+		Detail: strconv.Itoa(len(req.Entries)) + " entries",
+	})
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.subtrees[req.RootPath] = true
@@ -348,5 +400,20 @@ func (s *Server) handleStats() (*wire.StatsResponse, error) {
 		TransferOK:      s.transferOK.Load(),
 		TransferFail:    s.transferFail.Load(),
 		HeartbeatMisses: s.hbMisses.Load(),
+	}, nil
+}
+
+func (s *Server) handleObsDump(req *wire.ObsDumpRequest) (*wire.ObsDumpResponse, error) {
+	events, dropped := s.rec.Since(req.SinceSeq, 0)
+	seq := req.SinceSeq
+	if n := len(events); n > 0 {
+		seq = events[n-1].Seq
+	}
+	return &wire.ObsDumpResponse{
+		Node:    s.rec.Node(),
+		Seq:     seq,
+		Dropped: dropped,
+		Events:  events,
+		Ops:     s.opStats.Latencies(),
 	}, nil
 }

@@ -1,0 +1,222 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"d2tree/internal/monitor"
+	"d2tree/internal/obs"
+	"d2tree/internal/server"
+	"d2tree/internal/trace"
+	"d2tree/internal/wire"
+)
+
+// TestClusterTraceForwardedOp drives one global-layer SetAttr and asserts the
+// RequestID minted at the client edge reappears verbatim in the handling
+// MDS's event ring and in the Monitor's (the MDS forwards the write as a
+// GLUpdate carrying the same ReqID) — one ID reconstructs the whole path.
+func TestClusterTraceForwardedOp(t *testing.T) {
+	mon, servers, _ := startCluster(t, 2, 600)
+	c := connect(t, mon)
+
+	// "/" always lives in the global layer, so this SetAttr must be
+	// forwarded by whichever MDS receives it.
+	if _, err := c.SetAttr("/", 7, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var reqID string
+	for _, ev := range c.Obs().Snapshot() {
+		if ev.Op == wire.TypeSetAttr && ev.Path == "/" {
+			reqID = ev.ReqID
+		}
+	}
+	if reqID == "" {
+		t.Fatal("client recorded no setattr event with a request ID")
+	}
+
+	// The MDS that served the op recorded it under the same ID, with the
+	// client's name as the span origin.
+	var srvEv *obs.Event
+	for _, srv := range servers {
+		d, err := c.ObsDump(srv.Addr(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ev := range d.Events {
+			if ev.ReqID == reqID && ev.Op == wire.TypeSetAttr {
+				srvEv = &d.Events[i]
+			}
+		}
+	}
+	if srvEv == nil {
+		t.Fatalf("no MDS recorded a setattr with reqID %s", reqID)
+	}
+	if srvEv.From != "client" {
+		t.Errorf("MDS setattr event From = %q, want %q", srvEv.From, "client")
+	}
+
+	// The Monitor saw the forwarded GLUpdate under the same ID, with the
+	// forwarding MDS as the span origin.
+	md, err := c.MonitorObsDump(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var monEv *obs.Event
+	for i, ev := range md.Events {
+		if ev.ReqID == reqID && ev.Op == wire.TypeGLUpdate {
+			monEv = &md.Events[i]
+		}
+	}
+	if monEv == nil {
+		t.Fatalf("monitor recorded no gl_update with reqID %s", reqID)
+	}
+	if !strings.HasPrefix(monEv.From, "mds-") {
+		t.Errorf("monitor gl_update From = %q, want an mds-N span", monEv.From)
+	}
+}
+
+// TestClusterTraceMigrationLifecycle schedules a transfer to an unreachable
+// member, waits for the NACK, re-schedules to a reachable one, and asserts
+// the whole lifecycle — plan, issue, transfer_start, transfer_failed, failed,
+// install, transfer_done, done — shares one migration ReqID, reconstructable
+// by grepping the merged JSONL event log for that ID alone.
+func TestClusterTraceMigrationLifecycle(t *testing.T) {
+	w, err := trace.BuildWorkload(trace.LMBE().Scale(800), 3200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(w.Tree, monitor.Config{
+		Addr:             "127.0.0.1:0",
+		Servers:          3,
+		HeartbeatTimeout: 2 * time.Second,
+		// Keep the automatic planner out of the way: this test drives the
+		// migration by hand via ScheduleTransfer.
+		AdjustInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mon.Close() })
+
+	real := make([]*server.Server, 0, 2)
+	for i := 0; i < 2; i++ {
+		srv := server.New(server.Config{
+			Addr:              "127.0.0.1:0",
+			MonitorAddr:       mon.Addr(),
+			HeartbeatInterval: 50 * time.Millisecond,
+			DialTimeout:       500 * time.Millisecond,
+			CallTimeout:       500 * time.Millisecond,
+		})
+		if err := srv.Start(); err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		real = append(real, srv)
+	}
+	fake := startFakeMDS(t, mon.Addr())
+
+	// Map the partition: pick a subtree root owned by a real server, and
+	// resolve the fake's and the other real server's member IDs.
+	monConn := directConn(t, mon.Addr())
+	var info wire.ClusterInfoResponse
+	if err := monConn.Call(wire.TypeClusterInfo, nil, &info); err != nil {
+		t.Fatal(err)
+	}
+	idOf := func(addr string) int {
+		for i, a := range info.Servers {
+			if a == addr {
+				return i
+			}
+		}
+		t.Fatalf("address %s not in member table %v", addr, info.Servers)
+		return -1
+	}
+	fakeID := idOf(fake.addr)
+	root, ownerAddr := "", ""
+	for r, addr := range info.Index {
+		if addr == real[0].Addr() || addr == real[1].Addr() {
+			root, ownerAddr = r, addr
+			break
+		}
+	}
+	if root == "" {
+		t.Fatal("no subtree owned by a real server")
+	}
+	otherAddr := real[0].Addr()
+	if ownerAddr == otherAddr {
+		otherAddr = real[1].Addr()
+	}
+
+	// Phase 1: transfer to the unreachable member must fail and NACK.
+	if err := mon.ScheduleTransfer(root, fakeID); err != nil {
+		t.Fatal(err)
+	}
+	var reqID string
+	eventually(t, 5*time.Second, func() error {
+		for _, ev := range mon.Obs().Snapshot() {
+			if ev.Op == "failed" && ev.Path == root {
+				reqID = ev.ReqID
+				return nil
+			}
+		}
+		return fmt.Errorf("no failed event for %s yet", root)
+	})
+	if reqID == "" {
+		t.Fatal("failed event carries no migration reqID")
+	}
+
+	// Phase 2: the re-scheduled move to a live server continues the same
+	// trace and commits.
+	if err := mon.ScheduleTransfer(root, idOf(otherAddr)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, 5*time.Second, func() error {
+		for _, ev := range mon.Obs().Snapshot() {
+			if ev.Op == "done" && ev.Path == root && ev.ReqID == reqID {
+				return nil
+			}
+		}
+		return fmt.Errorf("no done event for %s with reqID %s yet", root, reqID)
+	})
+
+	// Reconstruction: merge every node's ring as JSONL, grep for the one
+	// ReqID, and require the full lifecycle to fall out.
+	var all []obs.Event
+	all = append(all, mon.Obs().Snapshot()...)
+	for _, srv := range real {
+		all = append(all, srv.Obs().Snapshot()...)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, all); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !strings.Contains(line, reqID) {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if ev.ReqID == reqID {
+			stages[ev.Op] = true
+		}
+	}
+	for _, want := range []string{
+		"plan", "issue", "transfer_start", "transfer_failed", "failed",
+		"install", "transfer_done", "done",
+	} {
+		if !stages[want] {
+			t.Errorf("lifecycle stage %q missing for reqID %s (got %v)", want, reqID, stages)
+		}
+	}
+}

@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"d2tree/internal/obs"
 	"d2tree/internal/stats"
 	"d2tree/internal/wire"
 )
@@ -96,6 +98,9 @@ type Server struct {
 	monMetrics wire.CallMetrics // Monitor-channel RPC outcomes
 	hbRTT      stats.Histogram  // successful heartbeat round-trip latency
 
+	rec     *obs.Recorder // event ring; renamed to "mds-<id>" on join
+	opStats obs.OpStats   // per-op server-side latency histograms
+
 	ln     net.Listener
 	mon    *wire.RetryingConn // heartbeat/GL-update channel to the Monitor
 	conns  map[net.Conn]struct{}
@@ -123,7 +128,16 @@ func New(cfg Config) *Server {
 		pathOps:   make(map[string]int64),
 		conns:     make(map[net.Conn]struct{}),
 		stop:      make(chan struct{}),
+		rec:       obs.NewRecorder("mds", 0),
 	}
+}
+
+// Obs returns the server's event recorder (debug endpoints, tests).
+func (s *Server) Obs() *obs.Recorder { return s.rec }
+
+// OpLatencies summarises the server's per-op latency histograms.
+func (s *Server) OpLatencies() map[string]wire.LatencySummary {
+	return s.opStats.Latencies()
 }
 
 // Start listens, joins the cluster, installs the initial state, and begins
@@ -165,6 +179,7 @@ func (s *Server) Start() error {
 // hold s.mu.
 func (s *Server) applyJoinLocked(join *wire.JoinResponse) {
 	s.id = join.ServerID
+	s.rec.SetNode("mds-" + strconv.Itoa(join.ServerID))
 	s.glVersion = join.GLVersion
 	s.indexVer = join.IndexVer
 	for p := range s.glPaths {
@@ -437,8 +452,23 @@ func (s *Server) executeTransfer(cmd wire.TransferCommand) {
 	entries := s.collectSubtreeLocked(cmd.RootPath)
 	s.mu.Unlock()
 
+	s.rec.Record(obs.Event{
+		Kind:   obs.KindMigration,
+		Op:     "transfer_start",
+		ReqID:  cmd.ReqID,
+		Path:   cmd.RootPath,
+		Detail: "dest " + cmd.DestAddr + ", " + strconv.Itoa(len(entries)) + " entries",
+	})
 	if err := s.installOnDest(cmd, entries); err != nil {
 		s.transferFail.Add(1)
+		s.rec.Record(obs.Event{
+			Kind:   obs.KindMigration,
+			Op:     "transfer_failed",
+			ReqID:  cmd.ReqID,
+			Path:   cmd.RootPath,
+			Detail: "dest " + cmd.DestAddr,
+			Err:    err.Error(),
+		})
 		s.nackTransfer(cmd, err)
 		return
 	}
@@ -456,9 +486,16 @@ func (s *Server) executeTransfer(cmd wire.TransferCommand) {
 	id := s.id
 	s.mu.Unlock()
 	s.transferOK.Add(1)
+	s.rec.Record(obs.Event{
+		Kind:   obs.KindMigration,
+		Op:     "transfer_done",
+		ReqID:  cmd.ReqID,
+		Path:   cmd.RootPath,
+		Detail: "dest " + cmd.DestAddr,
+	})
 	if mon != nil {
-		_ = mon.Call(wire.TypeTransferDone, &wire.TransferDoneRequest{
-			ServerID: id, RootPath: cmd.RootPath, DestAddr: cmd.DestAddr,
+		_ = mon.CallTraced(wire.TypeTransferDone, cmd.ReqID, s.rec.Node(), &wire.TransferDoneRequest{
+			ServerID: id, RootPath: cmd.RootPath, DestAddr: cmd.DestAddr, ReqID: cmd.ReqID,
 		}, nil)
 	}
 }
@@ -472,7 +509,7 @@ func (s *Server) installOnDest(cmd wire.TransferCommand, entries []wire.Entry) e
 	}
 	defer func() { _ = dest.Close() }()
 	req := &wire.InstallRequest{RootPath: cmd.RootPath, Entries: entries}
-	return dest.Call(wire.TypeInstall, req, nil)
+	return dest.CallTraced(wire.TypeInstall, cmd.ReqID, s.rec.Node(), req, nil)
 }
 
 // nackTransfer reports a failed transfer command back to the Monitor.
@@ -484,9 +521,9 @@ func (s *Server) nackTransfer(cmd wire.TransferCommand, cause error) {
 	if mon == nil {
 		return
 	}
-	_ = mon.Call(wire.TypeTransferFailed, &wire.TransferFailedRequest{
+	_ = mon.CallTraced(wire.TypeTransferFailed, cmd.ReqID, s.rec.Node(), &wire.TransferFailedRequest{
 		ServerID: id, RootPath: cmd.RootPath, DestAddr: cmd.DestAddr,
-		Reason: cause.Error(),
+		Reason: cause.Error(), ReqID: cmd.ReqID,
 	}, nil)
 }
 

@@ -96,12 +96,12 @@ func TestHandleLookupNotFound(t *testing.T) {
 func TestHandleCreateValidation(t *testing.T) {
 	s := newBareServer(t)
 	for _, bad := range []string{"", "relative", "/"} {
-		if _, err := s.handleCreate(&wire.CreateRequest{Path: bad, Kind: wire.EntryFile}); err == nil {
+		if _, err := s.handleCreate(&wire.Envelope{}, &wire.CreateRequest{Path: bad, Kind: wire.EntryFile}); err == nil {
 			t.Errorf("create(%q) accepted", bad)
 		}
 	}
 	s.store["/dup"] = &wire.Entry{Path: "/dup", Kind: wire.EntryFile}
-	if _, err := s.handleCreate(&wire.CreateRequest{Path: "/dup", Kind: wire.EntryFile}); err == nil {
+	if _, err := s.handleCreate(&wire.Envelope{}, &wire.CreateRequest{Path: "/dup", Kind: wire.EntryFile}); err == nil {
 		t.Error("duplicate create accepted")
 	}
 }
@@ -115,7 +115,7 @@ func TestHandleInstallAddsSubtree(t *testing.T) {
 			{Path: "/moved/f", Kind: wire.EntryFile, Version: 2},
 		},
 	}
-	if _, err := s.handleInstall(req); err != nil {
+	if _, err := s.handleInstall(&wire.Envelope{}, req); err != nil {
 		t.Fatal(err)
 	}
 	if !s.subtrees["/moved"] {

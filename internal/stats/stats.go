@@ -49,8 +49,13 @@ func bucketUpperUS(i int) float64 {
 	return histMinUS * math.Pow(histGrowth, float64(i+1))
 }
 
-// Record adds one latency observation.
+// Record adds one latency observation. Negative durations — possible when a
+// caller differences timestamps across a wall-clock step — are clamped to
+// zero rather than poisoning the running sum and minimum.
 func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
 	us := float64(d) / float64(time.Microsecond)
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -76,6 +81,10 @@ func (h *Histogram) Count() uint64 {
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.meanLocked()
+}
+
+func (h *Histogram) meanLocked() time.Duration {
 	if h.count == 0 {
 		return 0
 	}
@@ -100,6 +109,10 @@ func (h *Histogram) Min() time.Duration {
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
 	}
@@ -161,16 +174,22 @@ type Summary struct {
 	P99   time.Duration `json:"p99"`
 }
 
-// Summarize captures the histogram's current summary.
+// Summarize captures the histogram's current summary. The whole summary is
+// taken under one lock acquisition, so the fields are mutually consistent —
+// the per-field accessors each lock independently, and stitching them
+// together used to yield torn snapshots (e.g. P99 from more samples than
+// Count) under concurrent Record traffic.
 func (h *Histogram) Summarize() Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return Summary{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+		Count: h.count,
+		Mean:  h.meanLocked(),
+		Min:   time.Duration(h.minUS) * time.Microsecond,
+		Max:   time.Duration(h.maxUS) * time.Microsecond,
+		P50:   h.quantileLocked(0.50),
+		P90:   h.quantileLocked(0.90),
+		P99:   h.quantileLocked(0.99),
 	}
 }
 

@@ -185,3 +185,61 @@ func TestCounterSetConcurrent(t *testing.T) {
 		t.Errorf("n = %d", c.Get("n"))
 	}
 }
+
+func TestRecordClampsNegative(t *testing.T) {
+	var h Histogram
+	h.Record(-5 * time.Millisecond) // clock skew must not poison sum/min
+	h.Record(10 * time.Millisecond)
+	s := h.Summarize()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.Min < 0 || s.Mean < 0 {
+		t.Fatalf("negative stats after clamp: min=%v mean=%v", s.Min, s.Mean)
+	}
+	if s.Mean > 10*time.Millisecond {
+		t.Fatalf("mean = %v, want <= 10ms (negative sample clamps to 0)", s.Mean)
+	}
+}
+
+// TestSummarizeConsistentUnderRecord exercises Summarize against concurrent
+// Record traffic: each summary is taken under one lock acquisition, so its
+// fields must be mutually consistent (no percentile from more samples than
+// Count). Run with -race to also catch lock regressions.
+func TestSummarizeConsistentUnderRecord(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := time.Duration(g+1) * time.Millisecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(d)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Summarize()
+		if s.Count == 0 {
+			continue
+		}
+		if s.P99 > s.Max+5*time.Millisecond {
+			t.Errorf("torn summary: p99=%v max=%v", s.P99, s.Max)
+		}
+		if s.Min > s.Max {
+			t.Errorf("torn summary: min=%v max=%v", s.Min, s.Max)
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			t.Errorf("torn summary: mean=%v outside [%v,%v]", s.Mean, s.Min, s.Max)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -93,6 +93,13 @@ func (c *Conn) Broken() bool {
 // Application errors from the peer are returned as *RemoteError and leave
 // the connection usable.
 func (c *Conn) Call(msgType string, payload, out interface{}) error {
+	return c.CallTraced(msgType, "", "", payload, out)
+}
+
+// CallTraced is Call with trace propagation: reqID is the end-to-end request
+// identifier stamped on the envelope and span names the calling hop. Both
+// may be empty (untraced traffic).
+func (c *Conn) CallTraced(msgType, reqID, span string, payload, out interface{}) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken {
@@ -103,6 +110,8 @@ func (c *Conn) Call(msgType string, payload, out interface{}) error {
 	if err != nil {
 		return err
 	}
+	env.ReqID = reqID
+	env.Span = span
 	if c.timeout > 0 {
 		if err := c.nc.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 			c.broken = true
@@ -167,6 +176,9 @@ func Serve(nc net.Conn, h Handler) {
 				resp = ErrorEnvelope(env.ID, err)
 			}
 		}
+		// Echo the trace identifier so responses correlate in packet captures
+		// and single-connection debugging, not just by frame ID.
+		resp.ReqID = env.ReqID
 		if err := WriteFrame(nc, resp); err != nil {
 			return
 		}

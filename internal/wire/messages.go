@@ -179,6 +179,10 @@ type HeartbeatRequest struct {
 type TransferCommand struct {
 	RootPath string `json:"rootPath"`
 	DestAddr string `json:"destAddr"`
+	// ReqID is the migration's trace identifier, minted by the Monitor when
+	// the move is first planned and kept across NACK → re-issue cycles, so
+	// one grep reconstructs the subtree's whole migration history.
+	ReqID string `json:"reqId,omitempty"`
 }
 
 // HeartbeatResponse acknowledges a heartbeat, piggybacking the current
@@ -225,6 +229,8 @@ type TransferDoneRequest struct {
 	ServerID int    `json:"serverId"`
 	RootPath string `json:"rootPath"`
 	DestAddr string `json:"destAddr"`
+	// ReqID echoes the TransferCommand's migration trace identifier.
+	ReqID string `json:"reqId,omitempty"`
 }
 
 // TransferFailedRequest NACKs a transfer command the source could not
@@ -235,6 +241,60 @@ type TransferFailedRequest struct {
 	RootPath string `json:"rootPath"`
 	DestAddr string `json:"destAddr"`
 	Reason   string `json:"reason,omitempty"`
+	// ReqID echoes the TransferCommand's migration trace identifier.
+	ReqID string `json:"reqId,omitempty"`
+}
+
+// ObsEvent is one structured observability event: a client/MDS op, a
+// migration lifecycle stage, or a cluster membership change. Events are
+// recorded into fixed rings (internal/obs) and shipped as JSONL or over
+// TypeObsDump; a shared ReqID threads one operation or migration across
+// every node it touched.
+type ObsEvent struct {
+	// Seq is the recorder-local sequence number (1-based, dense).
+	Seq uint64 `json:"seq"`
+	// TS is the recording wall-clock time in Unix nanoseconds.
+	TS int64 `json:"ts"`
+	// Node identifies the recorder ("client-3", "mds-0", "monitor").
+	Node string `json:"node"`
+	// Kind classifies the event: "op", "migration", "cluster" or "obs".
+	Kind string `json:"kind"`
+	// Op is the wire op type or lifecycle stage ("lookup", "plan", "issue",
+	// "install", "transfer_done", …).
+	Op string `json:"op,omitempty"`
+	// ReqID is the end-to-end trace identifier (see Envelope.ReqID).
+	ReqID string `json:"reqId,omitempty"`
+	// From is the sending hop's span for received frames (Envelope.Span).
+	From string `json:"from,omitempty"`
+	// Path is the namespace path the event concerns, when it has one.
+	Path string `json:"path,omitempty"`
+	// Detail carries event-specific context (destination address, counts).
+	Detail string `json:"detail,omitempty"`
+	// DurUS is the operation's duration in microseconds (0 when not timed).
+	DurUS int64 `json:"durUs,omitempty"`
+	// Err is the failure message for failed operations.
+	Err string `json:"err,omitempty"`
+}
+
+// ObsDumpRequest asks a node for its buffered events and op histograms.
+type ObsDumpRequest struct {
+	// SinceSeq returns only events with Seq > SinceSeq (0 = all buffered).
+	SinceSeq uint64 `json:"sinceSeq,omitempty"`
+}
+
+// ObsDumpResponse carries one node's observability state.
+type ObsDumpResponse struct {
+	// Node is the responder's recorder identity.
+	Node string `json:"node"`
+	// Seq is the last sequence number assigned (resume cursor for polling).
+	Seq uint64 `json:"seq"`
+	// Dropped counts events in (SinceSeq, oldest buffered) that the ring
+	// overwrote before this dump.
+	Dropped uint64 `json:"dropped"`
+	// Events are the buffered events newer than SinceSeq, oldest first.
+	Events []ObsEvent `json:"events,omitempty"`
+	// Ops summarises server-side latency per wire op type.
+	Ops map[string]LatencySummary `json:"ops,omitempty"`
 }
 
 // LockRequest acquires or releases a named exclusive lock.

@@ -159,17 +159,24 @@ func (r *RetryingConn) Metrics() *CallMetrics { return r.metrics }
 // the policy's attempt budget with jittered exponential backoff between
 // attempts. Remote errors return immediately.
 func (r *RetryingConn) Call(msgType string, payload, out interface{}) error {
-	return r.call(msgType, payload, out, r.policy.MaxAttempts)
+	return r.call(msgType, "", "", payload, out, r.policy.MaxAttempts)
+}
+
+// CallTraced is Call with trace propagation: every attempt's envelope
+// carries the same reqID/span, so retries of one logical request share one
+// trace identifier.
+func (r *RetryingConn) CallTraced(msgType, reqID, span string, payload, out interface{}) error {
+	return r.call(msgType, reqID, span, payload, out, r.policy.MaxAttempts)
 }
 
 // CallOnce performs a single attempt with no backoff — the right shape for
 // periodic traffic like heartbeats, where the next tick is the retry and
 // sleeping inside the call would delay it.
 func (r *RetryingConn) CallOnce(msgType string, payload, out interface{}) error {
-	return r.call(msgType, payload, out, 1)
+	return r.call(msgType, "", "", payload, out, 1)
 }
 
-func (r *RetryingConn) call(msgType string, payload, out interface{}, attempts int) error {
+func (r *RetryingConn) call(msgType, reqID, span string, payload, out interface{}, attempts int) error {
 	r.metrics.Calls.Add(1)
 	var lastErr error
 	for i := 0; i < attempts; i++ {
@@ -188,7 +195,7 @@ func (r *RetryingConn) call(msgType string, payload, out interface{}, attempts i
 		if redialled {
 			r.metrics.Redials.Add(1)
 		}
-		err = conn.Call(msgType, payload, out)
+		err = conn.CallTraced(msgType, reqID, span, payload, out)
 		if err == nil {
 			return nil
 		}

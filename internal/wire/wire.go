@@ -52,6 +52,10 @@ const (
 	// Client → Monitor: coordinator-side counters and member table.
 	TypeMonitorStats = "monitor_stats"
 
+	// Client → MDS and Client → Monitor: buffered observability events and
+	// per-op latency histograms.
+	TypeObsDump = "obs_dump"
+
 	// Lock service.
 	//d2vet:ignore wirecheck acquire and release share the LockRequest/LockResponse pair
 	TypeLockAcquire = "lock_acquire"
@@ -77,6 +81,15 @@ type Envelope struct {
 	ID uint64 `json:"id"`
 	// Type selects the payload schema.
 	Type string `json:"type"`
+	// ReqID is the end-to-end request identifier minted once at the edge
+	// (client or load generator) and propagated unchanged across every hop
+	// the operation touches — MDS forwarding, Monitor RPCs, the migration
+	// lifecycle — so one grep over the event logs reconstructs its path.
+	// Responses echo the request's ReqID. Empty on untraced traffic.
+	ReqID string `json:"reqId,omitempty"`
+	// Span names the hop that sent this frame ("client-3", "mds-0",
+	// "monitor"): the parent span of whatever work the receiver does for it.
+	Span string `json:"span,omitempty"`
 	// Error carries a failure message on responses (empty on success).
 	Error string `json:"error,omitempty"`
 	// Payload is the type-specific body.
