@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_LABEL ?= dev
 
-.PHONY: build test race race-obs vet lint check bench bench-go
+.PHONY: build test race race-obs race-rpc vet lint check bench bench-cluster bench-go
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ race:
 race-obs:
 	$(GO) test -race -count=1 ./internal/obs/ ./internal/stats/ ./internal/cache/
 
+# Targeted race pass over the concurrent RPC serving path: the multiplexed
+# client conn, the worker-pool server dispatch, and the loadgen pipeline.
+race-rpc:
+	$(GO) test -race -count=1 ./internal/wire/ ./internal/server/ ./internal/client/ ./internal/loadgen/
+
 vet:
 	$(GO) vet ./...
 
@@ -29,12 +34,17 @@ lint:
 	$(GO) run ./cmd/d2vet ./...
 
 # The full gate: what ci.sh runs.
-check: build lint race-obs race
+check: build lint race-obs race-rpc race
 
 # Run the replay-tier benchmark suite and append a labelled entry to the
 # tracked trajectory BENCH_replay.json (set BENCH_LABEL to tag the run).
 bench:
 	$(GO) run ./cmd/d2bench -bench -benchout BENCH_replay.json -benchlabel "$(BENCH_LABEL)"
+
+# Run the live-cluster throughput benchmark (real Monitor + MDSs over
+# loopback, loadgen-driven) and append a labelled entry to BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/d2bench -clusterbench -benchout BENCH_cluster.json -benchlabel "$(BENCH_LABEL)"
 
 # The full `go test` benchmark sweep (human-readable, not tracked).
 bench-go:

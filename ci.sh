@@ -13,8 +13,14 @@ go run ./cmd/d2vet ./...
 # (event ring, histograms, cache counters) before the full suite.
 go test -race -count=1 ./internal/obs/ ./internal/stats/ ./internal/cache/
 
+# Race pass over the concurrent RPC serving path: multiplexed client conn,
+# worker-pool server dispatch, pipelined loadgen clients.
+go test -race -count=1 ./internal/wire/ ./internal/server/ ./internal/client/ ./internal/loadgen/
+
 go test -race ./...
 
-# Benchmark smoke run: prove the tracked replay-tier suite executes and
-# emits well-formed JSON without paying for calibrated timing.
+# Benchmark smoke runs: prove the tracked replay-tier and live-cluster
+# suites execute and emit well-formed JSON without paying for calibrated
+# timing or full-scale load.
 go run ./cmd/d2bench -bench -benchsmoke -benchlabel ci-smoke > /dev/null
+go run ./cmd/d2bench -clusterbench -benchsmoke -benchlabel ci-smoke > /dev/null

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"d2tree/internal/loadgen"
+	"d2tree/internal/monitor"
+	"d2tree/internal/server"
+	"d2tree/internal/trace"
+)
+
+// The tracked live-cluster benchmark. `d2bench -clusterbench` boots a real
+// Monitor + MDS cluster over loopback, drives it with the load generator at
+// increasing per-client pipeline depths, and appends a labelled entry to a
+// JSON trajectory (BENCH_cluster.json at the repo root) — the serving-path
+// counterpart of BENCH_replay.json, so RPC/server perf PRs carry measured
+// before/after evidence for the paper's Sec. V throughput experiment.
+
+// ClusterMeasurement is one load run at a given pipeline depth.
+type ClusterMeasurement struct {
+	Name          string  `json:"name"`
+	InFlight      int     `json:"inFlight"`
+	Ops           uint64  `json:"ops"`
+	Errors        uint64  `json:"errors"`
+	ElapsedMS     float64 `json:"elapsedMs"`
+	ThroughputOps float64 `json:"throughputOps"`
+	MeanUS        int64   `json:"meanUs"`
+	P50US         int64   `json:"p50Us"`
+	P99US         int64   `json:"p99Us"`
+}
+
+// ClusterEntry is one labelled run of the cluster suite.
+type ClusterEntry struct {
+	Label      string               `json:"label"`
+	GoMaxProcs int                  `json:"goMaxProcs"`
+	Smoke      bool                 `json:"smoke,omitempty"`
+	Servers    int                  `json:"servers"`
+	Clients    int                  `json:"clients"`
+	Events     int                  `json:"events"`
+	Profile    string               `json:"profile"`
+	Nodes      int                  `json:"nodes"`
+	Runs       []ClusterMeasurement `json:"runs"`
+}
+
+// clusterBenchConfig fixes the benchmark shape. The smoke variant only
+// proves the path executes; real baselines use the full shape.
+type clusterBenchConfig struct {
+	servers  int
+	clients  int
+	nodes    int
+	events   int
+	depths   []int
+	attempts int // best-of-N per depth, damping scheduler noise
+}
+
+func clusterConfig(smoke bool) clusterBenchConfig {
+	if smoke {
+		return clusterBenchConfig{servers: 2, clients: 4, nodes: 400, events: 1200, depths: []int{1, 4}, attempts: 1}
+	}
+	return clusterBenchConfig{servers: 3, clients: 48, nodes: 5000, events: 40000, depths: []int{1, 8}, attempts: 2}
+}
+
+// runClusterBench boots the cluster and measures throughput per depth.
+func runClusterBench(label string, smoke bool) (ClusterEntry, error) {
+	cfg := clusterConfig(smoke)
+	profile := trace.LMBE()
+	w, err := trace.BuildWorkload(profile.Scale(cfg.nodes), cfg.events, 1)
+	if err != nil {
+		return ClusterEntry{}, err
+	}
+
+	mon, err := monitor.New(w.Tree, monitor.Config{
+		Addr:    "127.0.0.1:0",
+		Servers: cfg.servers,
+	})
+	if err != nil {
+		return ClusterEntry{}, err
+	}
+	if err := mon.Start(); err != nil {
+		return ClusterEntry{}, err
+	}
+	defer func() { _ = mon.Close() }()
+
+	servers := make([]*server.Server, 0, cfg.servers)
+	defer func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}()
+	for i := 0; i < cfg.servers; i++ {
+		srv := server.New(server.Config{
+			Addr:        "127.0.0.1:0",
+			MonitorAddr: mon.Addr(),
+		})
+		if err := srv.Start(); err != nil {
+			return ClusterEntry{}, fmt.Errorf("mds %d: %w", i, err)
+		}
+		servers = append(servers, srv)
+	}
+
+	entry := ClusterEntry{
+		Label:      label,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Smoke:      smoke,
+		Servers:    cfg.servers,
+		Clients:    cfg.clients,
+		Events:     cfg.events,
+		Profile:    profile.Name,
+		Nodes:      cfg.nodes,
+	}
+	for _, depth := range cfg.depths {
+		var best *loadgen.Report
+		for a := 0; a < cfg.attempts; a++ {
+			rep, err := loadgen.Run(context.Background(), loadgen.Config{
+				MonitorAddr: mon.Addr(),
+				Clients:     cfg.clients,
+				InFlight:    depth,
+				Tree:        w.Tree,
+				Events:      w.Events,
+				Timeout:     5 * time.Minute,
+				Seed:        1,
+			})
+			if err != nil {
+				return ClusterEntry{}, fmt.Errorf("inflight %d: %w", depth, err)
+			}
+			if rep.Errors > 0 {
+				return ClusterEntry{}, fmt.Errorf("inflight %d: %d/%d ops failed: %s",
+					depth, rep.Errors, rep.Ops, rep.ErrorSample)
+			}
+			if best == nil || rep.ThroughputOps > best.ThroughputOps {
+				best = rep
+			}
+		}
+		entry.Runs = append(entry.Runs, ClusterMeasurement{
+			Name: fmt.Sprintf("Cluster/%s/mds=%d/clients=%d/inflight=%d",
+				profile.Name, cfg.servers, cfg.clients, depth),
+			InFlight:      depth,
+			Ops:           best.Ops,
+			Errors:        best.Errors,
+			ElapsedMS:     float64(best.Elapsed.Nanoseconds()) / 1e6,
+			ThroughputOps: best.ThroughputOps,
+			MeanUS:        best.Latency.Mean.Microseconds(),
+			P50US:         best.Latency.P50.Microseconds(),
+			P99US:         best.Latency.P99.Microseconds(),
+		})
+	}
+	return entry, nil
+}
+
+// writeClusterEntry appends entry to the JSON trajectory at path (stdout
+// when path is empty), oldest first — the same accumulation discipline as
+// BENCH_replay.json.
+func writeClusterEntry(path string, w io.Writer, entry ClusterEntry) error {
+	var entries []ClusterEntry
+	if path != "" {
+		if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+			if err := json.Unmarshal(data, &entries); err != nil {
+				return fmt.Errorf("existing %s is not a cluster bench trajectory: %w", path, err)
+			}
+		}
+	}
+	entries = append(entries, entry)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err := w.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

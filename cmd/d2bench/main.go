@@ -5,15 +5,19 @@
 //	d2bench -exp table1|table2|fig5|fig6|fig7|fig8|fig9|all [-full] [-seed N]
 //	        [-nodes N] [-events N] [-rounds N]
 //	d2bench -bench [-benchout BENCH_replay.json] [-benchlabel L] [-benchsmoke]
+//	d2bench -clusterbench [-benchout BENCH_cluster.json] [-benchlabel L] [-benchsmoke]
 //
 // The default configuration is the fast Quick preset; -full switches to the
 // paper-scale preset (20k-node namespaces, 200k-op traces, 20 replay
 // rounds).
 //
 // -bench runs the replay-tier benchmark suite and appends a labelled entry
-// to the tracked JSON trajectory (see BENCH_replay.json). -cpuprofile and
-// -memprofile capture pprof profiles of whichever mode runs — experiments
-// or benchmarks — so perf work profiles the exact path users execute.
+// to the tracked JSON trajectory (see BENCH_replay.json). -clusterbench
+// boots a real Monitor + MDS cluster over loopback and measures loadgen
+// throughput at increasing pipeline depths, appending to BENCH_cluster.json.
+// -cpuprofile and -memprofile capture pprof profiles of whichever mode runs
+// — experiments or benchmarks — so perf work profiles the exact path users
+// execute.
 package main
 
 import (
@@ -46,6 +50,7 @@ func run(args []string, w io.Writer) error {
 		events     = fs.Int("events", 0, "override trace length")
 		rounds     = fs.Int("rounds", 0, "override replay rounds")
 		bench      = fs.Bool("bench", false, "run the replay-tier benchmark suite instead of experiments")
+		cluster    = fs.Bool("clusterbench", false, "run the live-cluster throughput benchmark instead of experiments")
 		benchOut   = fs.String("benchout", "", "append the benchmark entry to this JSON trajectory file (empty: stdout)")
 		benchLabel = fs.String("benchlabel", "dev", "label recorded with the benchmark entry")
 		benchSmoke = fs.Bool("benchsmoke", false, "single-pass benchmark timing (CI smoke run)")
@@ -86,6 +91,13 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		return writeBenchEntry(*benchOut, w, entry)
+	}
+	if *cluster {
+		entry, err := runClusterBench(*benchLabel, *benchSmoke)
+		if err != nil {
+			return err
+		}
+		return writeClusterEntry(*benchOut, w, entry)
 	}
 	cfg := experiments.Quick()
 	if *full {

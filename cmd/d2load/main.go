@@ -5,7 +5,10 @@
 // Usage:
 //
 //	d2load -monitor 127.0.0.1:7070 -profile LMBE -nodes 20000 -events 50000 \
-//	       -clients 200 [-seed 1] [-timeout 2m]
+//	       -clients 200 [-inflight 8] [-seed 1] [-timeout 2m]
+//
+// -inflight sets each client's pipeline depth: how many operations a client
+// keeps outstanding at once (default 1, the paper's closed loop).
 //
 // The namespace parameters must match the ones the Monitor was started
 // with, so both sides resolve the same paths.
@@ -32,13 +35,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("d2load", flag.ContinueOnError)
 	var (
-		mon     = fs.String("monitor", "127.0.0.1:7070", "monitor address")
-		profile = fs.String("profile", "LMBE", "trace profile (DTR|LMBE|RA)")
-		nodes   = fs.Int("nodes", 20000, "namespace size (must match the monitor)")
-		events  = fs.Int("events", 50000, "operations to replay")
-		clients = fs.Int("clients", 200, "closed-loop client population")
-		seed    = fs.Int64("seed", 1, "seed (must match the monitor)")
-		timeout = fs.Duration("timeout", 5*time.Minute, "overall run timeout")
+		mon      = fs.String("monitor", "127.0.0.1:7070", "monitor address")
+		profile  = fs.String("profile", "LMBE", "trace profile (DTR|LMBE|RA)")
+		nodes    = fs.Int("nodes", 20000, "namespace size (must match the monitor)")
+		events   = fs.Int("events", 50000, "operations to replay")
+		clients  = fs.Int("clients", 200, "closed-loop client population")
+		inflight = fs.Int("inflight", 1, "per-client pipeline depth (operations kept outstanding)")
+		privconn = fs.Bool("private-conns", false, "give every client private sockets instead of the shared per-process transport")
+		seed     = fs.Int64("seed", 1, "seed (must match the monitor)")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "overall run timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,12 +59,14 @@ func run(args []string) error {
 	fmt.Printf("replaying %d %s ops with %d clients against %s …\n",
 		len(w.Events), p.Name, *clients, *mon)
 	rep, err := loadgen.Run(context.Background(), loadgen.Config{
-		MonitorAddr: *mon,
-		Clients:     *clients,
-		Tree:        w.Tree,
-		Events:      w.Events,
-		Timeout:     *timeout,
-		Seed:        *seed,
+		MonitorAddr:  *mon,
+		Clients:      *clients,
+		InFlight:     *inflight,
+		PrivateConns: *privconn,
+		Tree:         w.Tree,
+		Events:       w.Events,
+		Timeout:      *timeout,
+		Seed:         *seed,
 	})
 	if err != nil {
 		return err

@@ -1,3 +1,3 @@
 module d2tree
 
-go 1.22
+go 1.23

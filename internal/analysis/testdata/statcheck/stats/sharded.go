@@ -1,0 +1,70 @@
+// sharded.go exercises statcheck over the sharded-counter shape used by
+// internal/stats.ShardedCounter: an unguarded outer struct fanning out to
+// shards that each own their fields via a per-shard mutex. The methods on
+// the shard type are what the analyzer must police.
+package stats
+
+import "sync"
+
+// Sharded has no mu of its own: only its shards are guarded types.
+type Sharded struct {
+	shards [4]Shard
+}
+
+// Shard owns counts via mu.
+type Shard struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// add is the canonical pattern: clean.
+func (s *Shard) add(key string, n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counts == nil {
+		s.counts = make(map[string]int64)
+	}
+	s.counts[key] += n
+}
+
+// size reads a guarded field with no lock.
+func (s *Shard) size() int {
+	return len(s.counts) // want: accessed without holding s.mu
+}
+
+// drainInto swaps the map out under the lock and merges after release:
+// clean — the local alias is single-owner once detached.
+func (s *Shard) drainInto(out map[string]int64) {
+	s.mu.Lock()
+	counts := s.counts
+	s.counts = nil
+	s.mu.Unlock()
+	for k, v := range counts {
+		out[k] += v
+	}
+}
+
+// mergeFrom locks the receiver but reads the parameter's guarded field
+// without its lock.
+func (s *Shard) mergeFrom(o *Shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range o.counts { // want: o.counts without holding o.mu
+		s.counts[k] += v
+	}
+}
+
+// Total sums shard sizes through the locked accessor path: clean.
+func (c *Sharded) Total() int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].lockedSize()
+	}
+	return n
+}
+
+func (s *Shard) lockedSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.counts)
+}

@@ -42,6 +42,11 @@ type Config struct {
 	// Name identifies this client in trace spans and event logs (default
 	// "client"; the load generator names its workers "client-<n>").
 	Name string
+	// Transport, when non-nil, is a shared MDS connection pool: co-located
+	// clients coalesce onto one multiplexed connection per server instead of
+	// dialling private sockets. The client never closes a shared Transport;
+	// its owner does. Nil gives the client a private pool, closed by Close.
+	Transport *Transport
 }
 
 func (c *Config) applyDefaults() {
@@ -78,11 +83,13 @@ type Client struct {
 	ids *obs.IDGen    // request-identifier mint, one ID per public op
 	rec *obs.Recorder // client-side op events
 
+	tr    *Transport // MDS connection pool (shared or private)
+	ownTr bool       // Close tears tr down only when the pool is private
+
 	mu       sync.Mutex
 	servers  []string
 	index    map[string]string
 	indexVer int64
-	conns    map[string]*wire.Conn
 	mon      *wire.RetryingConn // self-healing: survives Monitor restarts
 	entries  *cache.Cache       // nil when disabled
 	closed   bool
@@ -104,7 +111,11 @@ func Connect(cfg Config) (*Client, error) {
 		ids:   obs.NewIDGen("r", seed),
 		rec:   obs.NewRecorder(cfg.Name, 0),
 		index: make(map[string]string),
-		conns: make(map[string]*wire.Conn),
+		tr:    cfg.Transport,
+	}
+	if c.tr == nil {
+		c.tr = NewTransport(cfg.DialTimeout, cfg.CallTimeout)
+		c.ownTr = true
 	}
 	if cfg.CacheEntries > 0 {
 		entries, err := cache.New(cfg.CacheEntries, cfg.CacheLease)
@@ -126,7 +137,8 @@ func Connect(cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// Close releases every connection.
+// Close releases the client's connections. A shared Transport is left
+// untouched (other clients are still using it); a private pool is closed.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -134,8 +146,8 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	for _, conn := range c.conns {
-		_ = conn.Close()
+	if c.ownTr {
+		_ = c.tr.Close()
 	}
 	if c.mon != nil {
 		_ = c.mon.Close()
@@ -197,34 +209,14 @@ func (c *Client) route(path string) (string, error) {
 
 // conn returns a pooled connection to addr.
 func (c *Client) conn(addr string) (*wire.Conn, error) {
-	c.mu.Lock()
-	if conn, ok := c.conns[addr]; ok {
-		c.mu.Unlock()
-		return conn, nil
-	}
-	c.mu.Unlock()
-	conn, err := wire.DialCall(addr, c.cfg.DialTimeout, c.cfg.CallTimeout)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if existing, ok := c.conns[addr]; ok {
-		_ = conn.Close()
-		return existing, nil
-	}
-	c.conns[addr] = conn
-	return conn, nil
+	return c.tr.conn(addr)
 }
 
-// dropConn discards a broken pooled connection.
-func (c *Client) dropConn(addr string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if conn, ok := c.conns[addr]; ok {
-		_ = conn.Close()
-		delete(c.conns, addr)
-	}
+// dropConn discards a broken pooled connection. The conn is passed so a
+// shared pool only evicts the connection this client actually failed on —
+// not a fresh one another client already dialled in its place.
+func (c *Client) dropConn(addr string, conn *wire.Conn) {
+	c.tr.drop(addr, conn)
 }
 
 // call performs one routed request, following redirects and refreshing the
@@ -259,7 +251,7 @@ func (c *Client) call(path, msgType string,
 				// against another server would not change the answer.
 				return err
 			}
-			c.dropConn(addr)
+			c.dropConn(addr, conn)
 			if rerr := c.refreshClusterInfo(); rerr != nil {
 				return err
 			}
@@ -455,7 +447,7 @@ func (c *Client) Stats(addr string) (*wire.StatsResponse, error) {
 	var resp wire.StatsResponse
 	if err := conn.Call(wire.TypeStats, nil, &resp); err != nil {
 		if !wire.IsRemote(err) {
-			c.dropConn(addr)
+			c.dropConn(addr, conn)
 		}
 		return nil, err
 	}
@@ -487,7 +479,7 @@ func (c *Client) ObsDump(addr string, since uint64) (*wire.ObsDumpResponse, erro
 	var resp wire.ObsDumpResponse
 	if err := conn.Call(wire.TypeObsDump, &wire.ObsDumpRequest{SinceSeq: since}, &resp); err != nil {
 		if !wire.IsRemote(err) {
-			c.dropConn(addr)
+			c.dropConn(addr, conn)
 		}
 		return nil, err
 	}

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"d2tree/internal/wire"
+)
+
+// Transport is a pool of multiplexed MDS connections keyed by address. The
+// wire protocol pipelines any number of concurrent calls over one TCP
+// connection, so a whole process worth of clients can share a single
+// Transport: co-located clients then coalesce onto one connection per MDS
+// instead of dialling a private socket each, which batches their frames into
+// shared writes and keeps the per-server connection count flat as clients
+// multiply. Every client still stamps its own ReqID/Span per call, so shared
+// connections lose no trace attribution.
+//
+// A Transport is safe for concurrent use. Clients constructed with
+// Config.Transport never close it — the owner does, after the last client.
+type Transport struct {
+	dialTimeout time.Duration
+	callTimeout time.Duration
+
+	mu     sync.Mutex
+	conns  map[string]*wire.Conn
+	closed bool
+}
+
+// NewTransport builds a connection pool. dialTimeout bounds each dial,
+// callTimeout arms every call made over pooled connections (0 = none).
+func NewTransport(dialTimeout, callTimeout time.Duration) *Transport {
+	if dialTimeout == 0 {
+		dialTimeout = 2 * time.Second
+	}
+	return &Transport{
+		dialTimeout: dialTimeout,
+		callTimeout: callTimeout,
+		conns:       make(map[string]*wire.Conn),
+	}
+}
+
+// conn returns the pooled connection to addr, dialling on first use.
+func (t *Transport) conn(addr string) (*wire.Conn, error) {
+	t.mu.Lock()
+	if conn, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		return conn, nil
+	}
+	t.mu.Unlock()
+	conn, err := wire.DialCall(addr, t.dialTimeout, t.callTimeout)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = conn.Close()
+		return nil, ErrNotConnected
+	}
+	if existing, ok := t.conns[addr]; ok {
+		_ = conn.Close()
+		return existing, nil
+	}
+	t.conns[addr] = conn
+	return conn, nil
+}
+
+// drop discards the pooled connection to addr if it is the given one (a
+// poisoned connection another client already replaced stays replaced).
+func (t *Transport) drop(addr string, conn *wire.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.conns[addr]; ok && (conn == nil || cur == conn) {
+		_ = cur.Close()
+		delete(t.conns, addr)
+	}
+}
+
+// Close closes every pooled connection; in-flight calls fail as their
+// connections poison.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for _, conn := range t.conns {
+		_ = conn.Close()
+	}
+	t.conns = nil
+	return nil
+}

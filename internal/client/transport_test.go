@@ -1,0 +1,118 @@
+package client_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"d2tree/internal/client"
+)
+
+// TestSharedTransportAcrossClients runs many clients over one Transport:
+// their operations multiplex over shared per-MDS connections, closing one
+// client must not break the others, and only Transport.Close tears the pool
+// down.
+func TestSharedTransportAcrossClients(t *testing.T) {
+	mon, _, w := startCluster(t, 2)
+	tr := client.NewTransport(2*time.Second, 2*time.Second)
+	defer func() { _ = tr.Close() }()
+
+	const nClients = 6
+	clients := make([]*client.Client, nClients)
+	for i := range clients {
+		c, err := client.Connect(client.Config{
+			MonitorAddr: mon.Addr(),
+			Seed:        int64(i) + 1,
+			Name:        fmt.Sprintf("shared-%d", i),
+			Transport:   tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+
+	// Concurrent lookups from every client through the shared pool.
+	paths := make([]string, 0, 64)
+	for _, n := range w.Tree.Nodes() {
+		if len(paths) == 64 {
+			break
+		}
+		paths = append(paths, w.Tree.Path(n))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, nClients)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			for _, p := range paths {
+				e, err := c.Lookup(p)
+				if err != nil {
+					errs[i] = fmt.Errorf("lookup %s: %w", p, err)
+					return
+				}
+				if e.Path != p {
+					errs[i] = fmt.Errorf("lookup %s returned entry for %s (crossed responses)", p, e.Path)
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	// Closing one client leaves the shared transport usable by the rest.
+	if err := clients[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clients[1].Lookup(paths[0]); err != nil {
+		t.Fatalf("lookup after sibling Close: %v", err)
+	}
+
+	// Transport.Close fails future dials through it.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clients[1].Lookup(paths[0]); err == nil {
+		t.Fatal("lookup succeeded over a closed transport")
+	}
+}
+
+// TestPrivateTransportClosedWithClient checks the default: a client without
+// a shared Transport owns its pool, and Close tears it down (no goroutine or
+// socket leak on the server side is directly observable here, but the calls
+// must fail fast afterwards).
+func TestPrivateTransportClosedWithClient(t *testing.T) {
+	mon, _, w := startCluster(t, 1)
+	c, err := client.Connect(client.Config{MonitorAddr: mon.Addr(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := w.Tree.Path(w.Tree.Nodes()[0])
+	if _, err := c.Lookup(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The pooled conns are poisoned by Close; a later call must not hang.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Lookup(root)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		// Either a fast transport failure or a redial that succeeds is
+		// acceptable client behaviour; hanging is not.
+		_ = err
+	case <-time.After(10 * time.Second):
+		t.Fatal("lookup after Close hung")
+	}
+}

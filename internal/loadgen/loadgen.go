@@ -29,6 +29,12 @@ type Config struct {
 	MonitorAddr string
 	// Clients is the closed-loop client population (the paper fixes 200).
 	Clients int
+	// InFlight is each client's pipeline depth: how many operations one
+	// client keeps outstanding at once over its (shared, multiplexed)
+	// connections. 1 — the default — is the paper's closed loop: issue,
+	// wait, issue. Deeper pipelines measure how far the serving path
+	// scales when the network round trip is no longer the limiter.
+	InFlight int
 	// Tree resolves event node IDs to paths.
 	Tree *namespace.Tree
 	// Events is the operation stream, split round-robin across clients.
@@ -46,6 +52,12 @@ type Config struct {
 	// JSONL after the run (workers are named "client-<n>"; each operation's
 	// ReqID matches the server-side events it produced).
 	EventLog io.Writer
+	// PrivateConns gives every client its own sockets instead of the
+	// default shared per-process transport. The default matches how a real
+	// client host multiplexes its tenants over one connection per MDS (and
+	// batches their frames into shared writes); set PrivateConns to model
+	// each client as a fully independent host.
+	PrivateConns bool
 }
 
 // Validate reports whether the config is runnable.
@@ -55,6 +67,8 @@ func (c Config) Validate() error {
 		return errors.New("loadgen: missing monitor address")
 	case c.Clients < 1:
 		return fmt.Errorf("loadgen: Clients = %d, need >= 1", c.Clients)
+	case c.InFlight < 0:
+		return fmt.Errorf("loadgen: InFlight = %d, need >= 0 (0 means 1)", c.InFlight)
 	case c.Tree == nil:
 		return errors.New("loadgen: nil namespace tree")
 	case len(c.Events) == 0:
@@ -104,66 +118,93 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		all       *stats.Histogram
 		queries   *stats.Histogram
 		updates   *stats.Histogram
-		events    []obs.Event // client-side trace events (when EventLog is set)
-		err       error
 		opErr     error // sample of a failed operation
 	}
-	results := make([]workerResult, cfg.Clients)
+	inFlight := cfg.InFlight
+	if inFlight < 1 {
+		inFlight = 1
+	}
+	// One result slot per pipeline lane so lanes never share histograms or
+	// counters; lane k of client w owns results[w*inFlight+k].
+	results := make([]workerResult, cfg.Clients*inFlight)
+	clientErrs := make([]error, cfg.Clients)
+	clientEvents := make([][]obs.Event, cfg.Clients)
+	// All clients share one multiplexed connection per MDS unless the run
+	// models fully independent hosts.
+	var shared *client.Transport
+	if !cfg.PrivateConns {
+		// Timeouts match the client library's defaults.
+		shared = client.NewTransport(2*time.Second, 2*time.Second)
+		defer func() { _ = shared.Close() }()
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < cfg.Clients; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			res := &results[w]
-			res.all = &stats.Histogram{}
-			res.queries = &stats.Histogram{}
-			res.updates = &stats.Histogram{}
 			cl, err := client.Connect(client.Config{
 				MonitorAddr:  cfg.MonitorAddr,
 				Seed:         cfg.Seed + int64(w) + 1,
 				CacheEntries: cfg.CacheEntries,
 				CacheLease:   cfg.CacheLease,
 				Name:         "client-" + strconv.Itoa(w),
+				Transport:    shared,
 			})
 			if err != nil {
-				res.err = err
+				clientErrs[w] = err
 				return
 			}
 			defer func() { _ = cl.Close() }()
 			if cfg.EventLog != nil {
-				defer func() { res.events = cl.Obs().Snapshot() }()
+				defer func() { clientEvents[w] = cl.Obs().Snapshot() }()
 			}
-			for i := w; i < len(cfg.Events); i += cfg.Clients {
-				select {
-				case <-ctx.Done():
-					return
-				default:
-				}
-				ev := cfg.Events[i]
-				t0 := time.Now()
-				var opErr error
-				if ev.Op == trace.OpUpdate {
-					_, opErr = cl.SetAttr(paths[i], int64(i), 0o644)
-				} else {
-					_, opErr = cl.Lookup(paths[i])
-				}
-				lat := time.Since(t0)
-				res.ops++
-				if opErr != nil {
-					res.errs++
-					if res.opErr == nil {
-						res.opErr = opErr
+			// Each lane replays every inFlight-th event of this client's
+			// stripe, so the client keeps up to inFlight operations
+			// outstanding over its shared connections.
+			var lanes sync.WaitGroup
+			for k := 0; k < inFlight; k++ {
+				lanes.Add(1)
+				go func(k int) {
+					defer lanes.Done()
+					res := &results[w*inFlight+k]
+					res.all = &stats.Histogram{}
+					res.queries = &stats.Histogram{}
+					res.updates = &stats.Histogram{}
+					stride := cfg.Clients * inFlight
+					for i := w + k*cfg.Clients; i < len(cfg.Events); i += stride {
+						select {
+						case <-ctx.Done():
+							return
+						default:
+						}
+						ev := cfg.Events[i]
+						t0 := time.Now()
+						var opErr error
+						if ev.Op == trace.OpUpdate {
+							_, opErr = cl.SetAttr(paths[i], int64(i), 0o644)
+						} else {
+							_, opErr = cl.Lookup(paths[i])
+						}
+						lat := time.Since(t0)
+						res.ops++
+						if opErr != nil {
+							res.errs++
+							if res.opErr == nil {
+								res.opErr = opErr
+							}
+							continue
+						}
+						res.all.Record(lat)
+						if ev.Op == trace.OpUpdate {
+							res.updates.Record(lat)
+						} else {
+							res.queries.Record(lat)
+						}
 					}
-					continue
-				}
-				res.all.Record(lat)
-				if ev.Op == trace.OpUpdate {
-					res.updates.Record(lat)
-				} else {
-					res.queries.Record(lat)
-				}
+				}(k)
 			}
+			lanes.Wait()
 		}(w)
 	}
 	wg.Wait()
@@ -173,9 +214,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		all, queries, updates stats.Histogram
 		ops, errs             uint64
 	)
+	for i, err := range clientErrs {
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: client %d: %w", i, err)
+		}
+	}
 	for i := range results {
-		if results[i].err != nil {
-			return nil, fmt.Errorf("loadgen: client %d: %w", i, results[i].err)
+		if results[i].all == nil {
+			continue
 		}
 		ops += results[i].ops
 		errs += results[i].errs
@@ -204,8 +250,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	if cfg.EventLog != nil {
 		var events []obs.Event
-		for i := range results {
-			events = append(events, results[i].events...)
+		for i := range clientEvents {
+			events = append(events, clientEvents[i]...)
 		}
 		sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
 		if err := obs.WriteJSONL(cfg.EventLog, events); err != nil {

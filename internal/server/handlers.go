@@ -97,7 +97,7 @@ func (s *Server) dispatch(env *wire.Envelope) (interface{}, string, error) {
 
 // owner resolves the MDS address responsible for path via the local index:
 // the longest indexed subtree-root prefix wins; no prefix means the path is
-// (or would be) in the global layer. Callers hold s.mu.
+// (or would be) in the global layer. Callers hold s.mu (either side).
 func (s *Server) ownerLocked(path string) (addr string, global bool) {
 	cur := path
 	for {
@@ -114,9 +114,9 @@ func (s *Server) ownerLocked(path string) (addr string, global bool) {
 
 func (s *Server) handleLookup(req *wire.LookupRequest) (*wire.LookupResponse, error) {
 	s.lookups.Add(1)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pathOps[req.Path]++
+	s.hot.Add(req.Path, 1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if e, ok := s.store[req.Path]; ok {
 		cp := *e
 		return &wire.LookupResponse{Entry: &cp}, nil
@@ -134,8 +134,8 @@ func (s *Server) handleCreate(env *wire.Envelope, req *wire.CreateRequest) (*wir
 	if req.Path == "" || req.Path[0] != '/' || req.Path == "/" {
 		return nil, fmt.Errorf("server: invalid path %q", req.Path)
 	}
+	s.hot.Add(req.Path, 1)
 	s.mu.Lock()
-	s.pathOps[req.Path]++
 	if _, exists := s.store[req.Path]; exists {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrExists, req.Path)
@@ -184,8 +184,8 @@ func (s *Server) handleCreate(env *wire.Envelope, req *wire.CreateRequest) (*wir
 
 func (s *Server) handleSetAttr(env *wire.Envelope, req *wire.SetAttrRequest) (*wire.SetAttrResponse, error) {
 	s.setattrs.Add(1)
+	s.hot.Add(req.Path, 1)
 	s.mu.Lock()
-	s.pathOps[req.Path]++
 	e, ok := s.store[req.Path]
 	if !ok {
 		addr, global := s.ownerLocked(req.Path)
@@ -230,8 +230,8 @@ func (s *Server) handleSetAttr(env *wire.Envelope, req *wire.SetAttrRequest) (*w
 }
 
 func (s *Server) handleReaddir(req *wire.ReaddirRequest) (*wire.ReaddirResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	dir, ok := s.store[req.Path]
 	if !ok {
 		addr, global := s.ownerLocked(req.Path)
@@ -292,9 +292,9 @@ func (s *Server) handleRename(req *wire.RenameRequest) (*wire.RenameResponse, er
 	if req.NewName == "" || strings.ContainsRune(req.NewName, '/') {
 		return nil, fmt.Errorf("server: invalid new name %q", req.NewName)
 	}
+	s.hot.Add(req.Path, 1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.pathOps[req.Path]++
 	if s.glPaths[req.Path] {
 		return nil, fmt.Errorf("server: %s is in the global layer; rename requires re-evaluation", req.Path)
 	}
@@ -375,8 +375,8 @@ func (s *Server) handleInstall(env *wire.Envelope, req *wire.InstallRequest) (*w
 
 func (s *Server) handleStats() (*wire.StatsResponse, error) {
 	rtt := s.hbRTT.Summarize()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return &wire.StatsResponse{
 		Server:     "mds-" + strconv.Itoa(s.id) + "@" + s.Addr(),
 		Ops:        s.ops.Load(),

@@ -68,7 +68,12 @@ var (
 type Server struct {
 	cfg Config
 
-	mu        sync.Mutex
+	// mu is a read/write lock over the entry store and cluster-state maps:
+	// the read-mostly handlers (Lookup, Readdir, Stats) take the read side
+	// and run concurrently with each other across the per-connection worker
+	// pools; mutations (Create, SetAttr, Rename, Install, join/heartbeat
+	// state swaps, transfers) take the write side.
+	mu        sync.RWMutex
 	id        int
 	store     map[string]*wire.Entry
 	glPaths   map[string]bool
@@ -85,9 +90,12 @@ type Server struct {
 	overrides map[string]*indexOverride
 
 	ops              atomic.Int64
-	lastHeartbeatOps int64            // guarded by mu; for recent-load reporting
-	pathOps          map[string]int64 // guarded by mu; recent per-path access counts
-	lookups          atomic.Int64
+	lastHeartbeatOps int64 // guarded by mu; for recent-load reporting
+	// hot counts recent per-path accesses on its own sharded locks, so the
+	// hot-path increment neither takes nor extends s.mu; the heartbeat
+	// drains it and merges it back if the Monitor was unreachable.
+	hot          stats.ShardedCounter
+	lookups      atomic.Int64
 	creates          atomic.Int64
 	setattrs         atomic.Int64
 	redirects        atomic.Int64
@@ -125,7 +133,6 @@ func New(cfg Config) *Server {
 		subtrees:  make(map[string]bool),
 		index:     make(map[string]string),
 		overrides: make(map[string]*indexOverride),
-		pathOps:   make(map[string]int64),
 		conns:     make(map[net.Conn]struct{}),
 		stop:      make(chan struct{}),
 		rec:       obs.NewRecorder("mds", 0),
@@ -217,8 +224,8 @@ func (s *Server) Addr() string {
 
 // ID returns the server's cluster identity (valid after Start).
 func (s *Server) ID() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.id
 }
 
@@ -297,6 +304,10 @@ func (s *Server) heartbeatLoop() {
 }
 
 func (s *Server) heartbeatOnce() {
+	// Ship the access counters and reset them — the Monitor accumulates.
+	// On failure both the counters and the ops delta are merged back below,
+	// so a Monitor outage delays load reports instead of losing them.
+	hot := s.hot.Drain()
 	s.mu.Lock()
 	ops := s.ops.Load()
 	// Report recent load (ops since the previous heartbeat) rather than the
@@ -305,11 +316,6 @@ func (s *Server) heartbeatOnce() {
 	// Sec. IV-B.
 	recent := ops - s.lastHeartbeatOps
 	s.lastHeartbeatOps = ops
-	// Ship the access counters and reset them — the Monitor accumulates.
-	// On failure both the delta and the counters are merged back below, so
-	// a Monitor outage delays load reports instead of losing them.
-	hot := s.pathOps
-	s.pathOps = make(map[string]int64)
 	req := &wire.HeartbeatRequest{
 		ServerID:  s.id,
 		Addr:      s.Addr(),
@@ -355,11 +361,9 @@ func (s *Server) heartbeatOnce() {
 // heartbeat; new increments that landed meanwhile are preserved.
 func (s *Server) restoreSample(recent int64, hot map[string]int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.lastHeartbeatOps -= recent
-	for p, c := range hot {
-		s.pathOps[p] += c
-	}
+	s.mu.Unlock()
+	s.hot.Merge(hot)
 }
 
 // rejoin re-registers with a Monitor that lost its member table (restart).

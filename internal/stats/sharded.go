@@ -1,0 +1,98 @@
+package stats
+
+import "sync"
+
+// counterShards is the fixed shard fan-out (a power of two so the hash can
+// mask instead of divide). Sixteen shards keep independent paths on
+// independent locks for any realistic handler concurrency.
+const counterShards = 16
+
+// ShardedCounter is a string-keyed counter map sharded across independent
+// locks, so concurrent handlers incrementing counters for different keys do
+// not convoy on a single mutex. The zero value is ready to use.
+//
+// It is the MDS's per-path access counter: every served operation
+// increments one key on the hot path, and the heartbeat drains the whole
+// map once per tick.
+type ShardedCounter struct {
+	shards [counterShards]counterShard
+}
+
+// counterShard holds one slice of the key space.
+type counterShard struct {
+	mu     sync.Mutex
+	counts map[string]int64 // lazily allocated; nil after a drain
+}
+
+// shardIndex hashes key with inline FNV-1a (no allocation, no interface).
+func shardIndex(key string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h & (counterShards - 1))
+}
+
+// Add increments key by n.
+func (c *ShardedCounter) Add(key string, n int64) {
+	c.shards[shardIndex(key)].add(key, n)
+}
+
+// Drain atomically takes and resets every shard, returning the merged
+// counts. Increments that race with a drain land wholly in either the
+// returned map or the fresh one — never lost, never double-counted.
+func (c *ShardedCounter) Drain() map[string]int64 {
+	out := make(map[string]int64)
+	for i := range c.shards {
+		c.shards[i].drainInto(out)
+	}
+	return out
+}
+
+// Merge adds counts back into the counter — the undo of a Drain whose
+// consumer failed (e.g. an unreachable Monitor), preserving increments that
+// landed in between.
+func (c *ShardedCounter) Merge(counts map[string]int64) {
+	for k, v := range counts {
+		c.Add(k, v)
+	}
+}
+
+// Len reports the number of distinct keys.
+func (c *ShardedCounter) Len() int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].size()
+	}
+	return n
+}
+
+func (sh *counterShard) add(key string, n int64) {
+	sh.mu.Lock()
+	if sh.counts == nil {
+		sh.counts = make(map[string]int64)
+	}
+	sh.counts[key] += n
+	sh.mu.Unlock()
+}
+
+func (sh *counterShard) drainInto(out map[string]int64) {
+	sh.mu.Lock()
+	counts := sh.counts
+	sh.counts = nil
+	sh.mu.Unlock()
+	for k, v := range counts {
+		out[k] += v
+	}
+}
+
+func (sh *counterShard) size() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.counts)
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedCounterBasics(t *testing.T) {
+	var c ShardedCounter
+	c.Add("/a", 1)
+	c.Add("/a", 2)
+	c.Add("/b", 5)
+	if got := c.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	got := c.Drain()
+	if got["/a"] != 3 || got["/b"] != 5 || len(got) != 2 {
+		t.Errorf("Drain = %v", got)
+	}
+	if got := c.Len(); got != 0 {
+		t.Errorf("Len after drain = %d, want 0", got)
+	}
+	if got := c.Drain(); len(got) != 0 {
+		t.Errorf("second Drain = %v, want empty", got)
+	}
+}
+
+func TestShardedCounterMergeRestoresDrain(t *testing.T) {
+	var c ShardedCounter
+	c.Add("/a", 4)
+	taken := c.Drain()
+	c.Add("/a", 1) // a new increment lands while the sample is out
+	c.Merge(taken) // the consumer failed; put the sample back
+	got := c.Drain()
+	if got["/a"] != 5 {
+		t.Errorf("after merge, /a = %d, want 5", got["/a"])
+	}
+}
+
+// TestShardedCounterConcurrent hammers adds from many goroutines against
+// concurrent drains and asserts no increment is lost or double-counted —
+// the exact guarantee heartbeatOnce/restoreSample rely on.
+func TestShardedCounterConcurrent(t *testing.T) {
+	var c ShardedCounter
+	const (
+		workers = 8
+		perKey  = 500
+		keys    = 20
+	)
+	var wg sync.WaitGroup
+	drained := make(chan map[string]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perKey; i++ {
+				for k := 0; k < keys; k++ {
+					c.Add(fmt.Sprintf("/dir/%d", k), 1)
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			drained <- c.Drain()
+		}()
+	}
+	wg.Wait()
+	close(drained)
+	total := make(map[string]int64)
+	for m := range drained {
+		for k, v := range m {
+			total[k] += v
+		}
+	}
+	for k, v := range c.Drain() {
+		total[k] += v
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("/dir/%d", k)
+		if total[key] != workers*perKey {
+			t.Errorf("%s = %d, want %d", key, total[key], workers*perKey)
+		}
+	}
+}

@@ -1,17 +1,22 @@
 package wire
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // ErrConnBroken is returned by Call on a connection that previously hit a
-// transport error (timeout, short read, ID mismatch). Such a connection is
-// in an undefined framing state — a later response could be decoded as the
-// answer to the wrong request — so it is poisoned and must be redialled.
+// transport error (timeout, short read, ID the demultiplexer could not
+// match). Such a connection is in an undefined framing state — a later
+// response could be decoded as the answer to the wrong request — so it is
+// poisoned and must be redialled.
 var ErrConnBroken = errors.New("wire: connection is broken; redial")
 
 // RemoteError is an application-level failure reported by the peer. The
@@ -41,14 +46,84 @@ func IsTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// Conn is a synchronous request/response client over one TCP connection.
-// Calls are serialised with a mutex; use one Conn per concurrent caller.
+// connBufSize sizes the buffered reader/writer each side of a connection
+// uses: big enough to batch dozens of typical frames per syscall.
+const connBufSize = 32 << 10
+
+// brokenError is the failure delivered to every call that was in flight
+// when its connection was poisoned: it carries the transport cause (so
+// IsTimeout and friends still classify it) and matches ErrConnBroken.
+type brokenError struct{ cause error }
+
+func (e *brokenError) Error() string {
+	return fmt.Sprintf("%v (%v)", e.cause, ErrConnBroken)
+}
+
+func (e *brokenError) Unwrap() []error { return []error{e.cause, ErrConnBroken} }
+
+// callResult is what the demultiplexer (or the poisoner) delivers to a
+// waiting call.
+type callResult struct {
+	env *Envelope
+	err error
+}
+
+// resultChPool recycles the per-call result channels. A channel is only
+// returned to the pool after its single result has been received, so a
+// pooled channel is always empty.
+var resultChPool = sync.Pool{
+	New: func() interface{} { return make(chan callResult, 1) },
+}
+
+// timerPool recycles per-call timeout timers. Requires the Go 1.23+ timer
+// semantics (see go.mod): Stop guarantees no late send, so a stopped timer
+// can be Reset and reused without draining.
+var timerPool = sync.Pool{}
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
+}
+
+// Conn is a pipelined, multiplexed request/response client over one TCP
+// connection: any number of goroutines may have calls in flight at once.
+// Each call stamps a fresh frame ID and parks on a per-call channel; a
+// writer goroutine batches queued request frames into single writes, and a
+// single demultiplexing reader goroutine matches response frames back to
+// pending calls by ID. Responses may arrive in any order.
+//
+// Any transport failure — a deadline expiry, a write/read error, or a
+// response ID the demultiplexer cannot match — poisons the connection:
+// every pending call fails with an error matching ErrConnBroken, and every
+// later call fails fast the same way. Application errors from the peer
+// (RemoteError) leave the connection usable.
 type Conn struct {
+	nc net.Conn
+
 	mu      sync.Mutex
-	nc      net.Conn
 	nextID  uint64
 	timeout time.Duration // per-call deadline; 0 = wait forever
+	pending map[uint64]chan callResult
 	broken  bool
+	cause   error // first transport error; set once with broken
+	started bool
+
+	writeCh chan *Envelope
+	done    chan struct{} // closed when the conn is poisoned
+
+	// inflight counts registered calls not yet completed. The write loop
+	// uses it as a batching hint: when more calls are in flight than the
+	// current burst, it yields once before flushing so imminent enqueues
+	// share the syscall. Purely advisory — correctness never depends on it.
+	inflight atomic.Int32
 }
 
 // Dial connects to addr with the given dial timeout. Calls on the returned
@@ -64,11 +139,20 @@ func DialCall(addr string, dialTimeout, callTimeout time.Duration) (*Conn, error
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return &Conn{nc: nc, timeout: callTimeout}, nil
+	c := NewConn(nc)
+	c.timeout = callTimeout
+	return c, nil
 }
 
 // NewConn wraps an existing connection (tests, in-process pipes).
-func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc:      nc,
+		pending: make(map[uint64]chan callResult),
+		writeCh: make(chan *Envelope, 64),
+		done:    make(chan struct{}),
+	}
+}
 
 // SetCallTimeout arms every subsequent Call with a deadline (0 disarms).
 func (c *Conn) SetCallTimeout(d time.Duration) {
@@ -86,12 +170,8 @@ func (c *Conn) Broken() bool {
 }
 
 // Call sends one request and decodes the response into out (which may be
-// nil when only success/failure matters). A transport failure — deadline
-// expiry, write/read error, or a response/request ID mismatch — poisons the
-// connection: the stream may still carry the stale response, so every later
-// Call fails fast with ErrConnBroken instead of decoding the wrong frame.
-// Application errors from the peer are returned as *RemoteError and leave
-// the connection usable.
+// nil when only success/failure matters). Safe for concurrent use: calls
+// from many goroutines pipeline over the single connection.
 func (c *Conn) Call(msgType string, payload, out interface{}) error {
 	return c.CallTraced(msgType, "", "", payload, out)
 }
@@ -100,44 +180,82 @@ func (c *Conn) Call(msgType string, payload, out interface{}) error {
 // identifier stamped on the envelope and span names the calling hop. Both
 // may be empty (untraced traffic).
 func (c *Conn) CallTraced(msgType, reqID, span string, payload, out interface{}) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.broken {
-		return fmt.Errorf("wire: call %s: %w", msgType, ErrConnBroken)
-	}
-	c.nextID++
-	env, err := NewEnvelope(c.nextID, msgType, payload)
+	env, err := NewEnvelope(0, msgType, payload)
 	if err != nil {
 		return err
 	}
 	env.ReqID = reqID
 	env.Span = span
-	if c.timeout > 0 {
-		if err := c.nc.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			c.broken = true
-			return fmt.Errorf("wire: call %s: set deadline: %w", msgType, err)
+
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return fmt.Errorf("wire: call %s: %w", msgType, ErrConnBroken)
+	}
+	if !c.started {
+		c.started = true
+		go c.writeLoop()
+		go c.readLoop()
+	}
+	c.nextID++
+	env.ID = c.nextID
+	// Exactly one result is ever sent per registered call (the demultiplexer
+	// deletes the pending entry before sending; the poisoner takes the whole
+	// map once), so a channel that has delivered its result is empty and
+	// safe to recycle.
+	ch := resultChPool.Get().(chan callResult)
+	c.pending[env.ID] = ch
+	timeout := c.timeout
+	c.inflight.Add(1)
+	c.mu.Unlock()
+	defer c.inflight.Add(-1)
+
+	select {
+	case c.writeCh <- env:
+	case <-c.done:
+		// Poisoned while enqueueing; the poisoner already failed our pending
+		// entry, so the result is waiting.
+		res := <-ch
+		resultChPool.Put(ch)
+		return fmt.Errorf("wire: call %s: %w", msgType, res.err)
+	}
+
+	var expired <-chan time.Time
+	var timer *time.Timer
+	if timeout > 0 {
+		timer = getTimer(timeout)
+		expired = timer.C
+	}
+	select {
+	case res := <-ch:
+		resultChPool.Put(ch)
+		if timer != nil {
+			putTimer(timer)
 		}
+		return c.finish(msgType, res, out)
+	case <-expired:
+		putTimer(timer)
+		// The response may have raced the timer; prefer it if it is already
+		// here, otherwise the deadline has genuinely expired and the stream
+		// may still carry the stale response later — poison. The channel is
+		// NOT recycled on the timeout path: the poison fan-out owns it.
+		select {
+		case res := <-ch:
+			resultChPool.Put(ch)
+			return c.finish(msgType, res, out)
+		default:
+		}
+		c.poison(fmt.Errorf("call %s: %w", msgType, os.ErrDeadlineExceeded))
+		return fmt.Errorf("wire: call %s: %w", msgType, os.ErrDeadlineExceeded)
 	}
-	//d2vet:ignore lockheld Call serialises the whole request/response exchange under c.mu by design: one outstanding call per Conn keeps IDs matched on a single stream.
-	if err := WriteFrame(c.nc, env); err != nil {
-		c.broken = true
-		return fmt.Errorf("wire: call %s: %w", msgType, err)
+}
+
+// finish interprets one delivered call result.
+func (c *Conn) finish(msgType string, res callResult, out interface{}) error {
+	if res.err != nil {
+		return fmt.Errorf("wire: call %s: %w", msgType, res.err)
 	}
-	//d2vet:ignore lockheld the paired read of the same exchange; see the write above.
-	resp, err := ReadFrame(c.nc)
-	if err != nil {
-		c.broken = true
-		return fmt.Errorf("wire: call %s: %w", msgType, err)
-	}
-	if c.timeout > 0 {
-		// Disarm so an idle connection is not killed by a stale deadline.
-		_ = c.nc.SetDeadline(time.Time{})
-	}
-	if resp.ID != env.ID {
-		c.broken = true
-		return fmt.Errorf("wire: call %s: response id %d != request id %d: %w",
-			msgType, resp.ID, env.ID, ErrConnBroken)
-	}
+	resp := res.env
 	if resp.Error != "" {
 		return &RemoteError{MsgType: msgType, Msg: resp.Error}
 	}
@@ -147,40 +265,238 @@ func (c *Conn) CallTraced(msgType, reqID, span string, payload, out interface{})
 	return nil
 }
 
+// writeLoop serialises request frames onto the socket, draining whatever is
+// queued behind the first frame so a pipelined burst costs one syscall.
+// When more calls are in flight than the current burst covers, it yields the
+// processor once and re-drains before flushing: callers that were about to
+// enqueue get to run first and coalesce into the same write. Serial traffic
+// (one call in flight) never pays the yield.
+func (c *Conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.nc, connBufSize)
+	for {
+		select {
+		case env := <-c.writeCh:
+			if err := WriteFrame(bw, env); err != nil {
+				c.poison(err)
+				return
+			}
+			n := int32(1)
+			yielded := false
+		batch:
+			for {
+				select {
+				case env := <-c.writeCh:
+					if err := WriteFrame(bw, env); err != nil {
+						c.poison(err)
+						return
+					}
+					n++
+					yielded = false
+				default:
+					if yielded || c.inflight.Load() <= n || bw.Buffered() > connBufSize/2 {
+						break batch
+					}
+					runtime.Gosched()
+					yielded = true
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				c.poison(err)
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// readLoop is the demultiplexer: the only reader of the socket. It matches
+// each response frame to its pending call by ID; a frame it cannot match
+// means the stream is desynchronised, which poisons the connection.
+func (c *Conn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, connBufSize)
+	for {
+		env, err := ReadFrame(br)
+		if err != nil {
+			c.poison(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.ID]
+		if ok {
+			delete(c.pending, env.ID)
+		}
+		c.mu.Unlock()
+		if !ok {
+			c.poison(fmt.Errorf("response id %d matches no pending call", env.ID))
+			return
+		}
+		ch <- callResult{env: env}
+	}
+}
+
+// poison marks the connection broken, closes the socket (waking the reader
+// and writer), and fails every pending call with an error that matches
+// ErrConnBroken while preserving cause for classification (IsTimeout).
+// Only the first cause wins; later calls are no-ops.
+func (c *Conn) poison(cause error) {
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return
+	}
+	c.broken = true
+	c.cause = cause
+	pending := c.pending
+	c.pending = nil
+	close(c.done)
+	c.mu.Unlock()
+	_ = c.nc.Close()
+	res := callResult{err: &brokenError{cause: cause}}
+	for _, ch := range pending {
+		ch <- res // buffered; each pending call receives exactly one result
+	}
+}
+
 // SetDeadline applies a deadline to the underlying connection.
 func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
 
-// Close closes the underlying connection.
+// Close closes the underlying connection. In-flight calls fail as the
+// reader and writer observe the closed socket and poison the connection.
 func (c *Conn) Close() error { return c.nc.Close() }
 
 // Handler processes one request envelope and returns the response payload
 // or an error.
 type Handler func(env *Envelope) (interface{}, error)
 
-// Serve runs a per-connection read loop, dispatching each request to h and
-// writing the response. It returns when the peer disconnects or a transport
+// DefaultServeWorkers bounds concurrent handler executions per connection:
+// enough that a slow Readdir does not head-of-line-block a Lookup behind it
+// on the same connection, small enough that one connection cannot flood the
+// process with goroutines.
+const DefaultServeWorkers = 8
+
+// Serve runs a per-connection serving loop with DefaultServeWorkers
+// concurrent handlers. It returns when the peer disconnects or a transport
 // error occurs.
 func Serve(nc net.Conn, h Handler) {
+	ServeWorkers(nc, h, DefaultServeWorkers)
+}
+
+// ServeWorkers runs a per-connection serving loop dispatching up to workers
+// requests concurrently: a read loop feeds a bounded worker pool, and a
+// response-writer goroutine serialises replies — batching bursts into
+// single writes. Responses may be written in any order; the multiplexed
+// client matches them by frame ID. A single worker preserves the old
+// strictly-serial dispatch order.
+func ServeWorkers(nc net.Conn, h Handler, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	work := make(chan *Envelope, workers)
+	out := make(chan *Envelope, workers)
+	writerDone := make(chan struct{})
+	// queued counts requests read off the socket whose responses have not
+	// been written yet; the response writer uses it as a batching hint.
+	var queued atomic.Int64
+	go func() {
+		defer close(writerDone)
+		writeResponses(nc, out, &queued)
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for env := range work {
+				out <- respond(h, env)
+			}
+		}()
+	}
+	br := bufio.NewReaderSize(nc, connBufSize)
 	for {
-		env, err := ReadFrame(nc)
+		env, err := ReadFrame(br)
 		if err != nil {
+			break
+		}
+		queued.Add(1)
+		work <- env
+	}
+	close(work)
+	wg.Wait()
+	close(out)
+	<-writerDone
+}
+
+// respond runs the handler for one request and builds its response frame.
+// The response echoes both trace identifiers — ReqID ties it to the
+// end-to-end operation, Span names the hop that sent the request — so
+// single-connection packet captures correlate fully.
+func respond(h Handler, env *Envelope) *Envelope {
+	payload, herr := h(env)
+	var resp *Envelope
+	if herr != nil {
+		resp = ErrorEnvelope(env.ID, herr)
+	} else {
+		var err error
+		resp, err = NewEnvelope(env.ID, TypeOK, payload)
+		if err != nil {
+			resp = ErrorEnvelope(env.ID, err)
+		}
+	}
+	resp.ReqID = env.ReqID
+	resp.Span = env.Span
+	return resp
+}
+
+// writeResponses drains the response channel onto the socket, flushing once
+// per burst. While requests are still in the handler pipeline (queued > 0)
+// it yields the processor once and re-drains before flushing, so workers
+// finishing around the same time share a single write; a serial peer (one
+// request at a time) never pays the yield. On a write error it closes the
+// connection (unblocking the read loop) and keeps draining so no worker is
+// left blocked on the channel.
+func writeResponses(nc net.Conn, out <-chan *Envelope, queued *atomic.Int64) {
+	bw := bufio.NewWriterSize(nc, connBufSize)
+	for resp := range out {
+		if err := WriteFrame(bw, resp); err != nil {
+			drainResponses(nc, out)
 			return
 		}
-		payload, herr := h(env)
-		var resp *Envelope
-		if herr != nil {
-			resp = ErrorEnvelope(env.ID, herr)
-		} else {
-			resp, err = NewEnvelope(env.ID, TypeOK, payload)
-			if err != nil {
-				resp = ErrorEnvelope(env.ID, err)
+		queued.Add(-1)
+		yielded := false
+	batch:
+		for {
+			select {
+			case more, ok := <-out:
+				if !ok {
+					break batch
+				}
+				if err := WriteFrame(bw, more); err != nil {
+					drainResponses(nc, out)
+					return
+				}
+				queued.Add(-1)
+				yielded = false
+			default:
+				if yielded || queued.Load() == 0 || bw.Buffered() > connBufSize/2 {
+					break batch
+				}
+				runtime.Gosched()
+				yielded = true
 			}
 		}
-		// Echo the trace identifier so responses correlate in packet captures
-		// and single-connection debugging, not just by frame ID.
-		resp.ReqID = env.ReqID
-		if err := WriteFrame(nc, resp); err != nil {
+		if err := bw.Flush(); err != nil {
+			drainResponses(nc, out)
 			return
 		}
+	}
+	_ = bw.Flush()
+}
+
+// drainResponses force-closes the connection and consumes the rest of the
+// response stream after a write failure.
+func drainResponses(nc net.Conn, out <-chan *Envelope) {
+	_ = nc.Close()
+	for range out {
 	}
 }

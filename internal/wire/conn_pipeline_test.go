@@ -1,0 +1,253 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPipelinedConnConcurrent is the multiplexing soak: many goroutines
+// keep many calls in flight over one connection and every response must
+// come back to the caller that issued it. Run under -race this also proves
+// the pending-map/writer/demux handoffs are properly synchronised.
+func TestPipelinedConnConcurrent(t *testing.T) {
+	addr := startEcho(t)
+	c, err := DialCall(addr, time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	const (
+		goroutines = 32
+		calls      = 50
+	)
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				path := fmt.Sprintf("/g%d/call%d", g, i)
+				var resp LookupResponse
+				if err := c.Call(TypeLookup, &LookupRequest{Path: path}, &resp); err != nil {
+					errs <- err
+					return
+				}
+				if resp.Entry == nil || resp.Entry.Path != path {
+					errs <- fmt.Errorf("goroutine %d call %d got %+v", g, i, resp.Entry)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// startAbruptCloser accepts one connection, reads frames until it has seen
+// readFrames of them, then slams the connection shut without responding —
+// an injected transport failure under a pile of in-flight calls.
+func startAbruptCloser(t *testing.T, readFrames int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for i := 0; i < readFrames; i++ {
+			if _, err := ReadFrame(nc); err != nil {
+				break
+			}
+		}
+		_ = nc.Close()
+	}()
+	return ln.Addr().String()
+}
+
+// TestPoisonFailsAllPendingCalls injects a transport error while many
+// calls are in flight: every pending call must fail promptly with an error
+// matching ErrConnBroken, and the connection must stay poisoned for later
+// callers. No call may hang for its full timeout.
+func TestPoisonFailsAllPendingCalls(t *testing.T) {
+	const callers = 16
+	addr := startAbruptCloser(t, callers/2)
+	c, err := DialCall(addr, time.Second, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	start := time.Now()
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- c.Call(TypeLookup, &LookupRequest{Path: "/x"}, nil)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("pending calls took %v to fail, want prompt fan-out", elapsed)
+	}
+	for err := range errs {
+		if err == nil {
+			t.Error("call succeeded against a server that never responds")
+			continue
+		}
+		if !errors.Is(err, ErrConnBroken) {
+			t.Errorf("pending call failed with %v, want ErrConnBroken", err)
+		}
+	}
+	if !c.Broken() {
+		t.Error("conn not marked broken after transport error")
+	}
+	if err := c.Call(TypeLookup, &LookupRequest{Path: "/y"}, nil); !errors.Is(err, ErrConnBroken) {
+		t.Errorf("call on poisoned conn = %v, want fast ErrConnBroken", err)
+	}
+}
+
+// TestUnmatchedResponseIDPoisons: a response frame whose ID matches no
+// pending call means the stream is desynchronised — the connection must be
+// poisoned, not left to misdeliver.
+func TestUnmatchedResponseIDPoisons(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer func() { _ = nc.Close() }()
+		env, err := ReadFrame(nc)
+		if err != nil {
+			return
+		}
+		resp, _ := NewEnvelope(env.ID+1000, TypeOK, &LookupResponse{})
+		_ = WriteFrame(nc, resp)
+		// Hold the conn open: the client must fail via poisoning, not EOF.
+		time.Sleep(2 * time.Second)
+	}()
+	c, err := DialCall(ln.Addr().String(), time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	err = c.Call(TypeLookup, &LookupRequest{Path: "/x"}, nil)
+	if !errors.Is(err, ErrConnBroken) {
+		t.Errorf("call = %v, want ErrConnBroken", err)
+	}
+	if !c.Broken() {
+		t.Error("conn not marked broken after unmatched response ID")
+	}
+}
+
+// TestServeEchoesTraceIDs drives Serve with a raw frame exchange and
+// asserts the response carries back both trace identifiers: ReqID (the
+// end-to-end op) and Span (the hop that sent the request).
+func TestServeEchoesTraceIDs(t *testing.T) {
+	addr := startEcho(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = nc.Close() }()
+	env, err := NewEnvelope(7, TypeLookup, &LookupRequest{Path: "/traced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.ReqID = "req-0042"
+	env.Span = "client-9"
+	if err := WriteFrame(nc, env); err != nil {
+		t.Fatal(err)
+	}
+	_ = nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 7 {
+		t.Errorf("resp.ID = %d, want 7", resp.ID)
+	}
+	if resp.ReqID != "req-0042" {
+		t.Errorf("resp.ReqID = %q, want %q (dropped by Serve?)", resp.ReqID, "req-0042")
+	}
+	if resp.Span != "client-9" {
+		t.Errorf("resp.Span = %q, want %q (dropped by Serve?)", resp.Span, "client-9")
+	}
+}
+
+// TestServeWorkersOutOfOrder proves dispatch concurrency end to end: a slow
+// request pipelined ahead of a fast one must not head-of-line-block it —
+// the fast response arrives first, and the multiplexed client's ID matching
+// is what makes that legal.
+func TestServeWorkersOutOfOrder(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	block := make(chan struct{})
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer func() { _ = nc.Close() }()
+		Serve(nc, func(env *Envelope) (interface{}, error) {
+			var req LookupRequest
+			if err := env.Decode(&req); err != nil {
+				return nil, err
+			}
+			if req.Path == "/slow" {
+				<-block // parked until the fast response has been observed
+			}
+			return &LookupResponse{Entry: &Entry{Path: req.Path}}, nil
+		})
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = nc.Close() }()
+	slow, _ := NewEnvelope(1, TypeLookup, &LookupRequest{Path: "/slow"})
+	fast, _ := NewEnvelope(2, TypeLookup, &LookupRequest{Path: "/fast"})
+	if err := WriteFrame(nc, slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(nc, fast); err != nil {
+		t.Fatal(err)
+	}
+	_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	first, err := ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != 2 {
+		t.Errorf("first response ID = %d, want 2 (the fast request)", first.ID)
+	}
+	close(block)
+	second, err := ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != 1 {
+		t.Errorf("second response ID = %d, want 1 (the slow request)", second.ID)
+	}
+}

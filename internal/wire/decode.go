@@ -1,0 +1,433 @@
+package wire
+
+import (
+	"encoding/json"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// This file is the read-side twin of appendEnvelope: a reflection-free
+// parser for the flat envelope object every peer in this protocol emits.
+// encoding/json's generic decoder costs a scanner state machine, reflect
+// walks and several allocations per frame — the dominant CPU and allocation
+// line of the serving path. The fast path below parses the canonical shape
+// directly; anything it does not recognise (unknown keys, exotic inputs,
+// malformed JSON) falls back to encoding/json for the authoritative result,
+// so observable behaviour — including which frames are rejected — is
+// unchanged.
+
+// decodeEnvelope fills env from one frame body.
+func decodeEnvelope(body []byte, env *Envelope) error {
+	if fastDecodeEnvelope(body, env) {
+		return nil
+	}
+	*env = Envelope{}
+	return json.Unmarshal(body, env)
+}
+
+// fastDecodeEnvelope attempts the no-reflection parse. It reports false —
+// with env in an undefined state — whenever the input strays from the
+// canonical envelope form; the caller then re-parses with encoding/json.
+func fastDecodeEnvelope(body []byte, env *Envelope) bool {
+	*env = Envelope{}
+	c := cursor{b: body}
+	c.ws()
+	if !c.eat('{') {
+		return false
+	}
+	c.ws()
+	if c.eat('}') {
+		return c.end()
+	}
+	for {
+		c.ws()
+		key, ok := c.str()
+		if !ok {
+			return false
+		}
+		c.ws()
+		if !c.eat(':') {
+			return false
+		}
+		c.ws()
+		switch key {
+		case "id":
+			n, ok := c.uint()
+			if !ok {
+				return false
+			}
+			env.ID = n
+		case "type":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			env.Type = s
+		case "reqId":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			env.ReqID = s
+		case "span":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			env.Span = s
+		case "error":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			env.Error = s
+		case "payload":
+			raw, ok := c.value()
+			if !ok {
+				return false
+			}
+			// Copy: the frame body may live in a pooled buffer.
+			env.Payload = append(make([]byte, 0, len(raw)), raw...)
+		default:
+			return false
+		}
+		c.ws()
+		if c.eat(',') {
+			continue
+		}
+		return c.eat('}') && c.end()
+	}
+}
+
+// cursor is a zero-allocation scanner over one frame body.
+type cursor struct {
+	b []byte
+	i int
+}
+
+func (c *cursor) ws() {
+	for c.i < len(c.b) {
+		switch c.b[c.i] {
+		case ' ', '\t', '\n', '\r':
+			c.i++
+		default:
+			return
+		}
+	}
+}
+
+func (c *cursor) eat(ch byte) bool {
+	if c.i < len(c.b) && c.b[c.i] == ch {
+		c.i++
+		return true
+	}
+	return false
+}
+
+// end reports whether only trailing whitespace remains.
+func (c *cursor) end() bool {
+	c.ws()
+	return c.i == len(c.b)
+}
+
+// uint parses a non-negative JSON integer — the only number form the
+// protocol writes for frame IDs. Anything else defers to the fallback.
+func (c *cursor) uint() (uint64, bool) {
+	start := c.i
+	var n uint64
+	for c.i < len(c.b) {
+		d := c.b[c.i]
+		if d < '0' || d > '9' {
+			break
+		}
+		nn := n*10 + uint64(d-'0')
+		if nn < n || n > (1<<64-1)/10 {
+			return 0, false
+		}
+		n = nn
+		c.i++
+	}
+	if c.i == start {
+		return 0, false
+	}
+	if c.b[start] == '0' && c.i-start > 1 {
+		return 0, false // "01" is not valid JSON
+	}
+	return n, true
+}
+
+// str parses a JSON string literal into a Go string. The fast scan covers
+// the common escape-free case with one copy; escapes take the build-out
+// path below it.
+func (c *cursor) str() (string, bool) {
+	if !c.eat('"') {
+		return "", false
+	}
+	start := c.i
+	for c.i < len(c.b) {
+		ch := c.b[c.i]
+		if ch == '"' {
+			s := string(c.b[start:c.i])
+			c.i++
+			return s, true
+		}
+		if ch == '\\' || ch < 0x20 {
+			break
+		}
+		c.i++
+	}
+	if c.i >= len(c.b) || c.b[c.i] < 0x20 {
+		return "", false
+	}
+	sb := append(make([]byte, 0, len(c.b)-start), c.b[start:c.i]...)
+	for c.i < len(c.b) {
+		ch := c.b[c.i]
+		switch {
+		case ch == '"':
+			c.i++
+			return string(sb), true
+		case ch < 0x20:
+			return "", false
+		case ch == '\\':
+			c.i++
+			if c.i >= len(c.b) {
+				return "", false
+			}
+			e := c.b[c.i]
+			c.i++
+			switch e {
+			case '"', '\\', '/':
+				sb = append(sb, e)
+			case 'b':
+				sb = append(sb, '\b')
+			case 'f':
+				sb = append(sb, '\f')
+			case 'n':
+				sb = append(sb, '\n')
+			case 'r':
+				sb = append(sb, '\r')
+			case 't':
+				sb = append(sb, '\t')
+			case 'u':
+				r, ok := c.hex4()
+				if !ok {
+					return "", false
+				}
+				if utf16.IsSurrogate(rune(r)) {
+					// A high/low pair decodes to one rune; anything
+					// unpaired becomes U+FFFD, matching encoding/json.
+					if c.i+1 < len(c.b) && c.b[c.i] == '\\' && c.b[c.i+1] == 'u' {
+						save := c.i
+						c.i += 2
+						r2, ok := c.hex4()
+						if !ok {
+							return "", false
+						}
+						if dec := utf16.DecodeRune(rune(r), rune(r2)); dec != utf8.RuneError {
+							sb = utf8.AppendRune(sb, dec)
+							continue
+						}
+						c.i = save
+					}
+					sb = utf8.AppendRune(sb, utf8.RuneError)
+					continue
+				}
+				sb = utf8.AppendRune(sb, rune(r))
+			default:
+				return "", false
+			}
+		default:
+			sb = append(sb, ch)
+			c.i++
+		}
+	}
+	return "", false
+}
+
+// hex4 parses four hex digits of a \u escape.
+func (c *cursor) hex4() (uint32, bool) {
+	if c.i+4 > len(c.b) {
+		return 0, false
+	}
+	var r uint32
+	for k := 0; k < 4; k++ {
+		d := c.b[c.i+k]
+		switch {
+		case d >= '0' && d <= '9':
+			r = r<<4 | uint32(d-'0')
+		case d >= 'a' && d <= 'f':
+			r = r<<4 | uint32(d-'a'+10)
+		case d >= 'A' && d <= 'F':
+			r = r<<4 | uint32(d-'A'+10)
+		default:
+			return 0, false
+		}
+	}
+	c.i += 4
+	return r, true
+}
+
+// value captures the raw extent of one JSON value (the payload), validating
+// its structure as it scans so a malformed frame is still rejected at the
+// frame layer, exactly as the encoding/json path would.
+func (c *cursor) value() ([]byte, bool) {
+	start := c.i
+	if !c.skipValue(0) {
+		return nil, false
+	}
+	return c.b[start:c.i], true
+}
+
+// maxNestingDepth bounds recursion on hostile deeply-nested payloads (the
+// encoding/json scanner enforces its own limit of 10000 on the fallback).
+const maxNestingDepth = 1000
+
+func (c *cursor) skipValue(depth int) bool {
+	if depth > maxNestingDepth {
+		return false
+	}
+	c.ws()
+	if c.i >= len(c.b) {
+		return false
+	}
+	switch ch := c.b[c.i]; {
+	case ch == '{':
+		c.i++
+		c.ws()
+		if c.eat('}') {
+			return true
+		}
+		for {
+			c.ws()
+			if !c.rawstr() {
+				return false
+			}
+			c.ws()
+			if !c.eat(':') {
+				return false
+			}
+			if !c.skipValue(depth + 1) {
+				return false
+			}
+			c.ws()
+			if c.eat(',') {
+				continue
+			}
+			return c.eat('}')
+		}
+	case ch == '[':
+		c.i++
+		c.ws()
+		if c.eat(']') {
+			return true
+		}
+		for {
+			if !c.skipValue(depth + 1) {
+				return false
+			}
+			c.ws()
+			if c.eat(',') {
+				continue
+			}
+			return c.eat(']')
+		}
+	case ch == '"':
+		return c.rawstr()
+	case ch == 't':
+		return c.lit("true")
+	case ch == 'f':
+		return c.lit("false")
+	case ch == 'n':
+		return c.lit("null")
+	case ch == '-' || (ch >= '0' && ch <= '9'):
+		return c.number()
+	default:
+		return false
+	}
+}
+
+// rawstr validates a string literal without materialising it.
+func (c *cursor) rawstr() bool {
+	if !c.eat('"') {
+		return false
+	}
+	for c.i < len(c.b) {
+		ch := c.b[c.i]
+		switch {
+		case ch == '"':
+			c.i++
+			return true
+		case ch < 0x20:
+			return false
+		case ch == '\\':
+			c.i++
+			if c.i >= len(c.b) {
+				return false
+			}
+			switch c.b[c.i] {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				c.i++
+			case 'u':
+				c.i++
+				if _, ok := c.hex4(); !ok {
+					return false
+				}
+			default:
+				return false
+			}
+		default:
+			c.i++
+		}
+	}
+	return false
+}
+
+// number validates the full JSON number grammar, so a frame the fallback
+// would reject is rejected here too.
+func (c *cursor) number() bool {
+	b, i := c.b, c.i
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(b) && b[i] == '0':
+		i++
+	case i < len(b) && b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	c.i = i
+	return true
+}
+
+func (c *cursor) lit(s string) bool {
+	if len(c.b)-c.i < len(s) || string(c.b[c.i:c.i+len(s)]) != s {
+		return false
+	}
+	c.i += len(s)
+	return true
+}

@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+// checkDecodeAgreesWithJSON asserts the production decoder and a pure
+// encoding/json parse agree on body: same error-ness, same fields.
+func checkDecodeAgreesWithJSON(t *testing.T, body []byte) {
+	t.Helper()
+	var want Envelope
+	wantErr := json.Unmarshal(body, &want)
+	var got Envelope
+	gotErr := decodeEnvelope(body, &got)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Errorf("decode %q: err = %v, encoding/json err = %v", body, gotErr, wantErr)
+		return
+	}
+	if wantErr != nil {
+		return
+	}
+	if got.ID != want.ID || got.Type != want.Type || got.ReqID != want.ReqID ||
+		got.Span != want.Span || got.Error != want.Error || !bytes.Equal(got.Payload, want.Payload) {
+		t.Errorf("decode %q:\n  got  %+v\n  want %+v", body, got, want)
+	}
+}
+
+func TestDecodeEnvelopeEdgeCases(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"id":0,"type":""}`,
+		`{"id":18446744073709551615,"type":"lookup"}`,
+		`  {  "id" : 7 , "type" : "lookup" }  `,
+		`{"id":1,"type":"lookup","reqId":"r-1","span":"client-0","error":"boom","payload":{"path":"/a"}}`,
+		`{"id":1,"type":"a\"b\\c\/d\b\f\n\r\t"}`,
+		`{"id":1,"type":"\u0041\u00e9\u4e16"}`,
+		`{"id":1,"type":"\ud83d\ude00"}`, // surrogate pair (emoji)
+		`{"id":1,"type":"\ud800"}`,       // unpaired high surrogate → U+FFFD
+		`{"id":1,"type":"\ud800x"}`,      // unpaired then literal
+		`{"id":1,"payload":[1,-2.5,1e9,true,false,null,"s",{"k":[]}]}`,
+		`{"id":1,"payload":null}`,
+		`{"id":1,"payload":"just a string"}`,
+		`{"id":1,"payload":0.5}`,
+		`{"type":"dup","type":"wins"}`,      // duplicate key: last wins
+		`{"unknown":42,"id":3,"type":"x"}`,  // unknown key → fallback path
+		`{"id":1,"extra":{"nested":[{}]}}`,  // unknown key with nested value
+		`null`,                              // valid JSON, not an object
+		`{"id":-1,"type":"x"}`,              // negative ID → fallback (type error)
+		`{"id":1.5,"type":"x"}`,             // float ID → fallback (type error)
+		`{"id":01,"type":"x"}`,              // leading zero: invalid JSON
+		`{"id":1,"type":"x",}`,              // trailing comma: invalid
+		`{"id":1 "type":"x"}`,               // missing comma: invalid
+		`{"id":1,"type":"unterminated`,      // truncated string
+		`{"id":1,"payload":{"k":1,}}`,       // trailing comma in payload
+		`{"id":1,"payload":[1 2]}`,          // missing comma in payload array
+		`{"id":1,"payload":1.2.3}`,          // malformed number
+		`{"id":1,"payload":truth}`,          // malformed literal
+		`{"id":1,"type":"bad\qescape"}`,     // invalid escape
+		`{"id":1,"type":"\ud800\u0041"}`,    // high surrogate + non-surrogate
+		`{"id":1,"type":"x"} trailing`,      // trailing garbage
+		`{not json`,
+		``,
+	}
+	for _, c := range cases {
+		checkDecodeAgreesWithJSON(t, []byte(c))
+	}
+}
+
+// TestDecodeEnvelopeProperty round-trips random envelopes through BOTH
+// encoders (the hand-rolled appendEnvelope and encoding/json) and checks
+// the production decoder agrees with encoding/json on each form.
+func TestDecodeEnvelopeProperty(t *testing.T) {
+	prop := func(id uint64, typ, reqID, span, errStr, payloadStr string) bool {
+		payload, err := json.Marshal(payloadStr)
+		if err != nil {
+			return false
+		}
+		env := &Envelope{ID: id, Type: typ, ReqID: reqID, Span: span, Error: errStr, Payload: payload}
+		ours, err := appendEnvelope(nil, env)
+		if err != nil {
+			return false
+		}
+		theirs, err := json.Marshal(env)
+		if err != nil {
+			return false
+		}
+		ok := true
+		for _, body := range [][]byte{ours, theirs} {
+			var a, b Envelope
+			if err := decodeEnvelope(body, &a); err != nil {
+				t.Logf("decode %q: %v", body, err)
+				return false
+			}
+			if err := json.Unmarshal(body, &b); err != nil {
+				t.Logf("json %q: %v", body, err)
+				return false
+			}
+			if a.ID != b.ID || a.Type != b.Type || a.ReqID != b.ReqID ||
+				a.Span != b.Span || a.Error != b.Error || !bytes.Equal(a.Payload, b.Payload) {
+				t.Logf("mismatch on %q: %+v vs %+v", body, a, b)
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,270 @@
+package wire
+
+import (
+	"math"
+	"strconv"
+)
+
+// Fast-path codecs for the payload types that dominate serving-path traffic:
+// Lookup and Create requests and their Entry-carrying responses. The generic
+// encoding/json round trip for these tiny flat structs is the single largest
+// CPU line after syscalls (reflection walks, scanner state machine, interim
+// allocations), so the hot types are encoded and decoded by hand with the
+// same cursor machinery the envelope fast path uses. Every other payload
+// type — and any input these parsers do not recognise — takes the
+// encoding/json path, so observable behaviour is unchanged.
+
+// fastMarshalPayload encodes the hot request/response types. It reports
+// false for types it does not cover; NewEnvelope then falls back to
+// json.Marshal.
+func fastMarshalPayload(payload interface{}) ([]byte, bool) {
+	switch p := payload.(type) {
+	case *LookupRequest:
+		return appendPathObject(p.Path), true
+	case *ReaddirRequest:
+		return appendPathObject(p.Path), true
+	case *CreateRequest:
+		b := append(make([]byte, 0, len(p.Path)+32), `{"path":`...)
+		b = appendJSONString(b, p.Path)
+		b = append(b, `,"kind":`...)
+		b = strconv.AppendInt(b, int64(p.Kind), 10)
+		return append(b, '}'), true
+	case *LookupResponse:
+		return appendEntryRedirect(p.Entry, p.Redirect), true
+	case *CreateResponse:
+		return appendEntryRedirect(p.Entry, p.Redirect), true
+	}
+	return nil, false
+}
+
+func appendPathObject(path string) []byte {
+	b := append(make([]byte, 0, len(path)+16), `{"path":`...)
+	b = appendJSONString(b, path)
+	return append(b, '}')
+}
+
+// appendEntryRedirect encodes the shared {entry?, redirect?} response shape
+// with encoding/json's omitempty behaviour.
+func appendEntryRedirect(entry *Entry, redirect string) []byte {
+	b := make([]byte, 0, 96)
+	b = append(b, '{')
+	if entry != nil {
+		b = append(b, `"entry":`...)
+		b = appendEntry(b, entry)
+	}
+	if redirect != "" {
+		if entry != nil {
+			b = append(b, ',')
+		}
+		b = append(b, `"redirect":`...)
+		b = appendJSONString(b, redirect)
+	}
+	return append(b, '}')
+}
+
+func appendEntry(b []byte, e *Entry) []byte {
+	b = append(b, `{"path":`...)
+	b = appendJSONString(b, e.Path)
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendInt(b, int64(e.Kind), 10)
+	if e.Size != 0 {
+		b = append(b, `,"size":`...)
+		b = strconv.AppendInt(b, e.Size, 10)
+	}
+	if e.Mode != 0 {
+		b = append(b, `,"mode":`...)
+		b = strconv.AppendUint(b, uint64(e.Mode), 10)
+	}
+	b = append(b, `,"version":`...)
+	b = strconv.AppendInt(b, e.Version, 10)
+	return append(b, '}')
+}
+
+// fastUnmarshalPayload decodes the hot types. Like the envelope fast path it
+// only ever writes values parsed from data, so when it bails out mid-way the
+// json.Unmarshal fallback re-parses everything and the merge semantics match
+// a pure encoding/json decode.
+func fastUnmarshalPayload(data []byte, out interface{}) bool {
+	switch o := out.(type) {
+	case *LookupResponse:
+		return decodeEntryRedirect(data, &o.Entry, &o.Redirect)
+	case *CreateResponse:
+		return decodeEntryRedirect(data, &o.Entry, &o.Redirect)
+	case *LookupRequest:
+		return decodePathObject(data, &o.Path)
+	case *ReaddirRequest:
+		return decodePathObject(data, &o.Path)
+	case *CreateRequest:
+		return decodeCreateRequest(data, o)
+	}
+	return false
+}
+
+func decodePathObject(data []byte, path *string) bool {
+	c := cursor{b: data}
+	return c.object(func(c *cursor, key string) bool {
+		if key != "path" {
+			return false
+		}
+		s, ok := c.str()
+		if !ok {
+			return false
+		}
+		*path = s
+		return true
+	}) && c.end()
+}
+
+func decodeCreateRequest(data []byte, req *CreateRequest) bool {
+	c := cursor{b: data}
+	return c.object(func(c *cursor, key string) bool {
+		switch key {
+		case "path":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			req.Path = s
+		case "kind":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			req.Kind = EntryKind(n)
+		default:
+			return false
+		}
+		return true
+	}) && c.end()
+}
+
+// decodeEntryRedirect parses the shared {entry?, redirect?} response shape.
+func decodeEntryRedirect(data []byte, entry **Entry, redirect *string) bool {
+	c := cursor{b: data}
+	return c.object(func(c *cursor, key string) bool {
+		switch key {
+		case "entry":
+			if c.i < len(c.b) && c.b[c.i] == 'n' {
+				if !c.lit("null") {
+					return false
+				}
+				*entry = nil // JSON null sets the pointer to nil
+				return true
+			}
+			// encoding/json reuses an existing pointee; mirror that.
+			if *entry == nil {
+				*entry = new(Entry)
+			}
+			return c.entry(*entry)
+		case "redirect":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			*redirect = s
+		default:
+			return false
+		}
+		return true
+	}) && c.end()
+}
+
+func (c *cursor) entry(e *Entry) bool {
+	return c.object(func(c *cursor, key string) bool {
+		switch key {
+		case "path":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			e.Path = s
+		case "kind":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			e.Kind = EntryKind(n)
+		case "size":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			e.Size = n
+		case "mode":
+			n, ok := c.int()
+			if !ok || n < 0 || n > math.MaxUint32 {
+				return false
+			}
+			e.Mode = uint32(n)
+		case "version":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			e.Version = n
+		default:
+			return false
+		}
+		return true
+	})
+}
+
+// object walks one JSON object, invoking field for each key with the cursor
+// positioned at the value. field returns false to bail to the fallback
+// (unknown key, wrong value type). After the value, the cursor must sit on
+// ',' or '}' — a value field only partially consumed (e.g. the integer part
+// of a float) fails that check and falls back, exactly as intended.
+func (c *cursor) object(field func(*cursor, string) bool) bool {
+	c.ws()
+	if !c.eat('{') {
+		return false
+	}
+	c.ws()
+	if c.eat('}') {
+		return true
+	}
+	for {
+		c.ws()
+		key, ok := c.str()
+		if !ok {
+			return false
+		}
+		c.ws()
+		if !c.eat(':') {
+			return false
+		}
+		c.ws()
+		if !field(c, key) {
+			return false
+		}
+		c.ws()
+		if c.eat(',') {
+			continue
+		}
+		return c.eat('}')
+	}
+}
+
+// int parses a signed JSON integer. A number with a fraction or exponent
+// stops at the '.'/'e', which the caller's object walk then rejects — the
+// fallback produces the authoritative error for those.
+func (c *cursor) int() (int64, bool) {
+	neg := c.i < len(c.b) && c.b[c.i] == '-'
+	if neg {
+		c.i++
+	}
+	n, ok := c.uint()
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		if n > math.MaxInt64+1 {
+			return 0, false
+		}
+		return -int64(n), true
+	}
+	if n > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(n), true
+}

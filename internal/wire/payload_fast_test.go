@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestFastMarshalPayloadMatchesEncodingJSON checks the hand encoders against
+// json.Marshal by decoding both outputs with encoding/json: the bytes may
+// differ (encoding/json HTML-escapes), the decoded values may not.
+func TestFastMarshalPayloadMatchesEncodingJSON(t *testing.T) {
+	payloads := []interface{}{
+		&LookupRequest{Path: "/a/b"},
+		&LookupRequest{Path: ""},
+		&LookupRequest{Path: `quotes " back \ slash`},
+		&ReaddirRequest{Path: "/dir"},
+		&CreateRequest{Path: "/f", Kind: EntryFile},
+		&CreateRequest{Path: "/d", Kind: EntryDir},
+		&CreateRequest{},
+		&LookupResponse{},
+		&LookupResponse{Redirect: "127.0.0.1:9"},
+		&LookupResponse{Entry: &Entry{Path: "/a", Kind: EntryDir, Version: 3}},
+		&LookupResponse{Entry: &Entry{Path: "/f", Kind: EntryFile, Size: 4096, Mode: 0o644, Version: 1}},
+		&CreateResponse{Entry: &Entry{Path: "/x", Kind: EntryFile, Version: 1}, Redirect: "r"},
+		&CreateResponse{Entry: &Entry{Size: -1, Version: -9}},
+	}
+	for _, p := range payloads {
+		fast, ok := fastMarshalPayload(p)
+		if !ok {
+			t.Errorf("fastMarshalPayload(%+v): not covered", p)
+			continue
+		}
+		want, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := reflect.New(reflect.TypeOf(p).Elem()).Interface()
+		ref := reflect.New(reflect.TypeOf(p).Elem()).Interface()
+		if err := json.Unmarshal(fast, got); err != nil {
+			t.Errorf("fast output %q does not decode: %v", fast, err)
+			continue
+		}
+		if err := json.Unmarshal(want, ref); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("marshal %+v: fast %q decodes to %+v, json %q decodes to %+v", p, fast, got, want, ref)
+		}
+	}
+}
+
+// checkFastUnmarshal runs one input through the fast decoder and through
+// encoding/json into fresh values of the same type and compares outcomes.
+// When the fast path declines (returns false) the production code falls back
+// to encoding/json, so declining is always correct — only a successful fast
+// decode that disagrees with encoding/json is a bug.
+func checkFastUnmarshal(t *testing.T, data string, mk func() interface{}) {
+	t.Helper()
+	fastOut := mk()
+	if !fastUnmarshalPayload([]byte(data), fastOut) {
+		return
+	}
+	refOut := mk()
+	if err := json.Unmarshal([]byte(data), refOut); err != nil {
+		t.Errorf("fast decoder accepted %q but encoding/json rejects it: %v", data, err)
+		return
+	}
+	if !reflect.DeepEqual(fastOut, refOut) {
+		t.Errorf("decode %q: fast %+v, json %+v", data, fastOut, refOut)
+	}
+}
+
+func TestFastUnmarshalPayloadEdgeCases(t *testing.T) {
+	mks := map[string]func() interface{}{
+		"lookupReq":  func() interface{} { return &LookupRequest{} },
+		"readdirReq": func() interface{} { return &ReaddirRequest{} },
+		"createReq":  func() interface{} { return &CreateRequest{} },
+		"lookupResp": func() interface{} { return &LookupResponse{} },
+		"createResp": func() interface{} { return &CreateResponse{} },
+	}
+	cases := []string{
+		`{}`,
+		`{"path":"/a"}`,
+		`{"path":"/a","kind":2}`,
+		`{"path":"esc\"apedA"}`,
+		`{"kind":1,"path":"/later"}`,
+		`{"entry":{"path":"/a","kind":1,"version":2}}`,
+		`{"entry":{"path":"/f","kind":2,"size":10,"mode":420,"version":1},"redirect":"addr"}`,
+		`{"entry":null}`,
+		`{"entry":null,"redirect":"r"}`,
+		`{"redirect":""}`,
+		`{"entry":{"path":"/a","kind":1,"size":-5,"version":-1}}`,
+		`{"entry":{"version":9223372036854775807,"path":"","kind":0}}`,
+		`{"entry":{"size":-9223372036854775808,"kind":1,"version":0}}`,
+		`  { "path" : "/sp" }  `,
+		`{"path":"/a","path":"/b"}`, // duplicate key: last wins
+		`null`,                      // decline → fallback no-op
+		`{"unknown":1}`,             // decline → fallback ignores
+		`{"kind":1.5}`,              // float into int: decline → fallback errors
+		`{"kind":1e3}`,
+		`{"entry":{"mode":-1}}`,         // negative into uint32: decline
+		`{"entry":{"mode":4294967296}}`, // overflow uint32: decline
+		`{"entry":"nope"}`,              // wrong type: decline
+		`{"path":5}`,                    // wrong type: decline
+		`{"path":"/a",}`,                // trailing comma: decline
+		`{"path":"/a"} x`,               // trailing garbage: decline
+		`{"path"`,                       // truncated
+		``,
+	}
+	for name, mk := range mks {
+		for _, data := range cases {
+			t.Run(name, func(t *testing.T) { checkFastUnmarshal(t, data, mk) })
+		}
+	}
+}
+
+// TestFastPayloadRoundTripProperty drives random hot-type values through the
+// fast encoder and both decoders.
+func TestFastPayloadRoundTripProperty(t *testing.T) {
+	prop := func(path, redirect string, kind int8, size, version int64, mode uint32, hasEntry bool) bool {
+		resp := &LookupResponse{Redirect: redirect}
+		if hasEntry {
+			resp.Entry = &Entry{Path: path, Kind: EntryKind(kind), Size: size, Mode: mode, Version: version}
+		}
+		raw, ok := fastMarshalPayload(resp)
+		if !ok {
+			return false
+		}
+		var fast, ref LookupResponse
+		if !fastUnmarshalPayload(raw, &fast) {
+			t.Logf("fast decoder declined its own encoder's output %q", raw)
+			return false
+		}
+		if err := json.Unmarshal(raw, &ref); err != nil {
+			t.Logf("json rejects fast output %q: %v", raw, err)
+			return false
+		}
+		return reflect.DeepEqual(&fast, &ref) && reflect.DeepEqual(&fast, resp)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in: sync.Pool
+// deliberately drops items under -race, so allocation pins are meaningless
+// there and skip themselves.
+const raceEnabled = true

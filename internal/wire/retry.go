@@ -91,8 +91,9 @@ func (m *CallMetrics) Snapshot() MetricsSnapshot {
 // dials, poisons and drops the underlying Conn on any transport error, and
 // (for Call) retries with jittered exponential backoff on a fresh
 // connection. Application (remote) errors are never retried — the peer
-// already processed the request. Safe for concurrent use; calls are
-// serialised per underlying connection exactly like Conn.
+// already processed the request. Safe for concurrent use; concurrent calls
+// pipeline over the shared underlying Conn, and when a poisoned conn fails
+// several in-flight calls at once they independently redial and retry.
 type RetryingConn struct {
 	addr        string
 	dialTimeout time.Duration

@@ -98,9 +98,13 @@ func TestRetryingConnSurvivesServerRestart(t *testing.T) {
 	if resp.Entry == nil || resp.Entry.Path != "/b" {
 		t.Errorf("resp = %+v", resp)
 	}
+	// The multiplexed conn's demux reader observes the close asynchronously
+	// and marks the conn broken, so the next call usually redials before its
+	// first attempt rather than burning a retry: assert on Redials, which
+	// covers both orderings.
 	m := rc.Metrics().Snapshot()
-	if m.Retries == 0 {
-		t.Errorf("metrics = %+v, want at least one retry", m)
+	if m.Redials == 0 {
+		t.Errorf("metrics = %+v, want at least one redial", m)
 	}
 }
 

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
+	"sync"
 )
 
 // MaxFrameSize bounds a single frame (16 MiB) to stop a corrupt or
@@ -94,12 +96,23 @@ type Envelope struct {
 	Error string `json:"error,omitempty"`
 	// Payload is the type-specific body.
 	Payload json.RawMessage `json:"payload,omitempty"`
+
+	// trusted marks a Payload produced by our own json.Marshal (NewEnvelope),
+	// which WriteFrame need not re-validate. A hand-assembled envelope has it
+	// false and pays one json.Valid scan.
+	trusted bool
 }
 
-// NewEnvelope marshals payload into a fresh envelope.
+// NewEnvelope marshals payload into a fresh envelope. The payload bytes
+// come from json.Marshal, so the envelope is marked trusted: WriteFrame
+// skips re-validating them.
 func NewEnvelope(id uint64, msgType string, payload interface{}) (*Envelope, error) {
-	env := &Envelope{ID: id, Type: msgType}
+	env := &Envelope{ID: id, Type: msgType, trusted: true}
 	if payload != nil {
+		if raw, ok := fastMarshalPayload(payload); ok {
+			env.Payload = raw
+			return env, nil
+		}
 		raw, err := json.Marshal(payload)
 		if err != nil {
 			return nil, fmt.Errorf("wire: marshal %s payload: %w", msgType, err)
@@ -122,30 +135,122 @@ func (e *Envelope) Decode(out interface{}) error {
 	if len(e.Payload) == 0 {
 		return nil
 	}
+	if fastUnmarshalPayload(e.Payload, out) {
+		return nil
+	}
 	if err := json.Unmarshal(e.Payload, out); err != nil {
 		return fmt.Errorf("wire: decode %s payload: %w", e.Type, err)
 	}
 	return nil
 }
 
-// WriteFrame serialises one envelope onto w.
+// framePool recycles encode and decode buffers across frames. Buffers that
+// grew past readBodyChunk are dropped rather than pinned in the pool.
+var framePool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
+func putFrameBuf(bp *[]byte) {
+	if cap(*bp) <= readBodyChunk {
+		framePool.Put(bp)
+	}
+}
+
+// WriteFrame serialises one envelope onto w: length prefix and body are
+// encoded into a single pooled buffer and issued as one Write, so the
+// common small frame costs no per-call allocation and one syscall on an
+// unbuffered writer. The envelope is encoded by hand (appendEnvelope)
+// rather than re-marshalled through encoding/json, which would copy the
+// already-encoded Payload a second time.
 func WriteFrame(w io.Writer, env *Envelope) error {
-	body, err := json.Marshal(env)
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], 0, 0, 0, 0) // room for the length prefix
+	buf, err := appendEnvelope(buf, env)
+	if err == nil && len(buf)-4 > MaxFrameSize {
+		err = fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(buf)-4)
+	}
 	if err != nil {
-		return fmt.Errorf("wire: marshal envelope: %w", err)
+		*bp = buf[:0]
+		putFrameBuf(bp)
+		return err
 	}
-	if len(body) > MaxFrameSize {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write frame header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("wire: write frame body: %w", err)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	_, werr := w.Write(buf)
+	*bp = buf[:0]
+	putFrameBuf(bp)
+	if werr != nil {
+		return fmt.Errorf("wire: write frame: %w", werr)
 	}
 	return nil
+}
+
+// appendEnvelope encodes env as JSON onto buf. The output matches what
+// encoding/json produces for the Envelope struct tags (same field order,
+// omitempty behaviour) so either side may decode with json.Unmarshal; the
+// Payload is appended verbatim after a validity check instead of being
+// round-tripped through a second marshal.
+func appendEnvelope(buf []byte, env *Envelope) ([]byte, error) {
+	buf = append(buf, `{"id":`...)
+	buf = strconv.AppendUint(buf, env.ID, 10)
+	buf = append(buf, `,"type":`...)
+	buf = appendJSONString(buf, env.Type)
+	if env.ReqID != "" {
+		buf = append(buf, `,"reqId":`...)
+		buf = appendJSONString(buf, env.ReqID)
+	}
+	if env.Span != "" {
+		buf = append(buf, `,"span":`...)
+		buf = appendJSONString(buf, env.Span)
+	}
+	if env.Error != "" {
+		buf = append(buf, `,"error":`...)
+		buf = appendJSONString(buf, env.Error)
+	}
+	if len(env.Payload) > 0 {
+		if !env.trusted && !json.Valid(env.Payload) {
+			return buf, fmt.Errorf("wire: marshal envelope: payload is not valid JSON")
+		}
+		buf = append(buf, `,"payload":`...)
+		buf = append(buf, env.Payload...)
+	}
+	return append(buf, '}'), nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal. Quotes, backslashes
+// and control characters are escaped; everything else (including multi-byte
+// UTF-8) passes through verbatim, which json.Unmarshal accepts.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		buf = append(buf, s[start:i]...)
+		switch c {
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		case '\r':
+			buf = append(buf, '\\', 'r')
+		case '\t':
+			buf = append(buf, '\\', 't')
+		default:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
 }
 
 // ReadFrame reads one envelope from r.
@@ -161,16 +266,41 @@ func ReadFrame(r io.Reader) (*Envelope, error) {
 	if size > MaxFrameSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
 	}
-	// The length prefix is peer-controlled: grow the buffer as bytes actually
-	// arrive instead of trusting the header with an up-front allocation, so a
-	// corrupt or hostile 4-byte prefix cannot pin MaxFrameSize of memory on a
-	// connection that then stalls or closes.
-	body, err := readBody(r, int(size))
-	if err != nil {
-		return nil, fmt.Errorf("wire: read frame body: %w", err)
+	// Common-size bodies land in a pooled buffer: json.Unmarshal copies the
+	// Payload bytes out of it (json.RawMessage appends into its own backing
+	// array), so the buffer can be recycled as soon as decoding finishes.
+	var body []byte
+	var bp *[]byte
+	if int(size) <= readBodyChunk {
+		bp = framePool.Get().(*[]byte)
+		if cap(*bp) < int(size) {
+			*bp = make([]byte, 0, int(size))
+		}
+		body = (*bp)[:size]
+		if _, err := io.ReadFull(r, body); err != nil {
+			*bp = body[:0]
+			putFrameBuf(bp)
+			return nil, fmt.Errorf("wire: read frame body: %w", bodyEOF(err))
+		}
+	} else {
+		// The length prefix is peer-controlled: past the pooled-chunk size,
+		// grow the buffer as bytes actually arrive instead of trusting the
+		// header with an up-front allocation, so a corrupt or hostile 4-byte
+		// prefix cannot pin MaxFrameSize of memory on a connection that then
+		// stalls or closes.
+		var err error
+		body, err = readBody(r, int(size))
+		if err != nil {
+			return nil, fmt.Errorf("wire: read frame body: %w", err)
+		}
 	}
 	var env Envelope
-	if err := json.Unmarshal(body, &env); err != nil {
+	err := decodeEnvelope(body, &env)
+	if bp != nil {
+		*bp = body[:0]
+		putFrameBuf(bp)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	return &env, nil

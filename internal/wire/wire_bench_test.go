@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchEnvelope is a representative traced request frame: the shape every
+// loadgen/client op puts on the wire.
+func benchEnvelope(tb testing.TB) *Envelope {
+	tb.Helper()
+	env, err := NewEnvelope(7, TypeLookup, LookupRequest{Path: "/home/user0/project/src/main.go"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	env.ReqID = "c01-000042"
+	env.Span = "client-1"
+	return env
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	env := benchEnvelope(b)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, env); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWriteFrameAllocs pins the encode path's allocation budget: with the
+// pooled buffer and the hand-rolled envelope encoder, writing a frame must
+// not allocate at steady state. A regression here (an extra marshal, a
+// buffer that escapes) shows up as a hard failure, not a silent slowdown.
+func TestWriteFrameAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are not meaningful")
+	}
+	env := benchEnvelope(t)
+	var buf bytes.Buffer
+	buf.Grow(1 << 10)
+	allocs := testing.AllocsPerRun(500, func() {
+		buf.Reset()
+		if err := WriteFrame(&buf, env); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("WriteFrame allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestFrameRoundTripAllocs bounds the full encode+decode cycle. The decode
+// side necessarily allocates (the Envelope, its strings, the Payload copy)
+// but the pooled body buffer keeps it flat: the budget below has headroom
+// over the measured count, while still catching an accidental return to
+// per-frame body allocations or double-marshalling.
+func TestFrameRoundTripAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are not meaningful")
+	}
+	env := benchEnvelope(t)
+	var buf bytes.Buffer
+	buf.Grow(1 << 10)
+	allocs := testing.AllocsPerRun(500, func() {
+		buf.Reset()
+		if err := WriteFrame(&buf, env); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFrame(&buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 12 {
+		t.Errorf("frame round trip allocates %.1f objects/op, want <= 12", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"io"
 	"testing"
@@ -35,11 +36,16 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameRoundTripProperty(t *testing.T) {
-	prop := func(id uint64, path string, size int64) bool {
+	// reqID and span route arbitrary strings through the hand-rolled
+	// envelope encoder's escaper (not only through json.Marshal'd payload),
+	// so quoting, backslashes and control characters are all property-tested.
+	prop := func(id uint64, path, reqID, span string, size int64) bool {
 		env, err := NewEnvelope(id, TypeSetAttr, SetAttrRequest{Path: path, Size: size})
 		if err != nil {
 			return false
 		}
+		env.ReqID = reqID
+		env.Span = span
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, env); err != nil {
 			return false
@@ -52,10 +58,52 @@ func TestFrameRoundTripProperty(t *testing.T) {
 		if err := got.Decode(&req); err != nil {
 			return false
 		}
-		return got.ID == id && req.Path == path && req.Size == size
+		return got.ID == id && got.ReqID == reqID && got.Span == span &&
+			req.Path == path && req.Size == size
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestAppendEnvelopeMatchesEncodingJSON(t *testing.T) {
+	envs := []*Envelope{
+		{ID: 1, Type: TypeLookup},
+		{ID: 42, Type: TypeSetAttr, ReqID: "req-1", Span: "client-0",
+			Payload: []byte(`{"path":"/a\t\"b\"","size":7}`)},
+		{ID: 9, Type: TypeError, Error: "boom:\nline2 \\ \"quoted\" \x01"},
+		{ID: 0, Type: "", ReqID: "héllo→世界", Span: "s\x00pan"},
+	}
+	for _, env := range envs {
+		want, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := appendEnvelope(nil, env)
+		if err != nil {
+			t.Fatalf("appendEnvelope(%+v): %v", env, err)
+		}
+		// encoding/json additionally escapes HTML characters; compare by
+		// decoding both forms back to structs instead of comparing bytes.
+		var a, b Envelope
+		if err := json.Unmarshal(want, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(got, &b); err != nil {
+			t.Fatalf("appendEnvelope output %q does not parse: %v", got, err)
+		}
+		if a.ID != b.ID || a.Type != b.Type || a.ReqID != b.ReqID ||
+			a.Span != b.Span || a.Error != b.Error || !bytes.Equal(a.Payload, b.Payload) {
+			t.Errorf("appendEnvelope mismatch:\n  json: %s\n  ours: %s", want, got)
+		}
+	}
+}
+
+func TestWriteFrameRejectsInvalidPayload(t *testing.T) {
+	env := &Envelope{ID: 1, Type: TypeOK, Payload: []byte("{not json")}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, env); err == nil {
+		t.Error("invalid payload accepted")
 	}
 }
 
