@@ -14,13 +14,15 @@ go run ./cmd/d2vet ./...
 go test -race -count=1 ./internal/obs/ ./internal/stats/ ./internal/cache/
 
 # Race pass over the concurrent RPC serving path: multiplexed client conn,
-# worker-pool server dispatch, pipelined loadgen clients.
+# worker-pool server dispatch, pipelined loadgen clients, and the client
+# cache coherence protocol (TestConcurrentCacheCoherence).
 go test -race -count=1 ./internal/wire/ ./internal/server/ ./internal/client/ ./internal/loadgen/
 
 go test -race ./...
 
 # Benchmark smoke runs: prove the tracked replay-tier and live-cluster
 # suites execute and emit well-formed JSON without paying for calibrated
-# timing or full-scale load.
+# timing or full-scale load. The clusterbench smoke covers the client
+# entry cache both off and on (one row pair per pipeline depth).
 go run ./cmd/d2bench -bench -benchsmoke -benchlabel ci-smoke > /dev/null
 go run ./cmd/d2bench -clusterbench -benchsmoke -benchlabel ci-smoke > /dev/null

@@ -22,10 +22,12 @@ import (
 // counterpart of BENCH_replay.json, so RPC/server perf PRs carry measured
 // before/after evidence for the paper's Sec. V throughput experiment.
 
-// ClusterMeasurement is one load run at a given pipeline depth.
+// ClusterMeasurement is one load run at a given pipeline depth, measured
+// with the client entry cache off and on (a row pair per depth).
 type ClusterMeasurement struct {
 	Name          string  `json:"name"`
 	InFlight      int     `json:"inFlight"`
+	Cache         bool    `json:"cache,omitempty"`
 	Ops           uint64  `json:"ops"`
 	Errors        uint64  `json:"errors"`
 	ElapsedMS     float64 `json:"elapsedMs"`
@@ -33,6 +35,7 @@ type ClusterMeasurement struct {
 	MeanUS        int64   `json:"meanUs"`
 	P50US         int64   `json:"p50Us"`
 	P99US         int64   `json:"p99Us"`
+	CacheHitRatio float64 `json:"cacheHitRatio,omitempty"`
 }
 
 // ClusterEntry is one labelled run of the cluster suite.
@@ -115,40 +118,53 @@ func runClusterBench(label string, smoke bool) (ClusterEntry, error) {
 		Nodes:      cfg.nodes,
 	}
 	for _, depth := range cfg.depths {
-		var best *loadgen.Report
-		for a := 0; a < cfg.attempts; a++ {
-			rep, err := loadgen.Run(context.Background(), loadgen.Config{
-				MonitorAddr: mon.Addr(),
-				Clients:     cfg.clients,
-				InFlight:    depth,
-				Tree:        w.Tree,
-				Events:      w.Events,
-				Timeout:     5 * time.Minute,
-				Seed:        1,
+		for _, cached := range []bool{false, true} {
+			var cacheEntries int
+			if cached {
+				cacheEntries = 4096
+			}
+			var best *loadgen.Report
+			for a := 0; a < cfg.attempts; a++ {
+				rep, err := loadgen.Run(context.Background(), loadgen.Config{
+					MonitorAddr:  mon.Addr(),
+					Clients:      cfg.clients,
+					InFlight:     depth,
+					Tree:         w.Tree,
+					Events:       w.Events,
+					Timeout:      5 * time.Minute,
+					Seed:         1,
+					CacheEntries: cacheEntries,
+				})
+				if err != nil {
+					return ClusterEntry{}, fmt.Errorf("inflight %d: %w", depth, err)
+				}
+				if rep.Errors > 0 {
+					return ClusterEntry{}, fmt.Errorf("inflight %d: %d/%d ops failed: %s",
+						depth, rep.Errors, rep.Ops, rep.ErrorSample)
+				}
+				if best == nil || rep.ThroughputOps > best.ThroughputOps {
+					best = rep
+				}
+			}
+			state := "off"
+			if cached {
+				state = "on"
+			}
+			entry.Runs = append(entry.Runs, ClusterMeasurement{
+				Name: fmt.Sprintf("Cluster/%s/mds=%d/clients=%d/inflight=%d/cache=%s",
+					profile.Name, cfg.servers, cfg.clients, depth, state),
+				InFlight:      depth,
+				Cache:         cached,
+				Ops:           best.Ops,
+				Errors:        best.Errors,
+				ElapsedMS:     float64(best.Elapsed.Nanoseconds()) / 1e6,
+				ThroughputOps: best.ThroughputOps,
+				MeanUS:        best.Latency.Mean.Microseconds(),
+				P50US:         best.Latency.P50.Microseconds(),
+				P99US:         best.Latency.P99.Microseconds(),
+				CacheHitRatio: best.Cache.HitRatio,
 			})
-			if err != nil {
-				return ClusterEntry{}, fmt.Errorf("inflight %d: %w", depth, err)
-			}
-			if rep.Errors > 0 {
-				return ClusterEntry{}, fmt.Errorf("inflight %d: %d/%d ops failed: %s",
-					depth, rep.Errors, rep.Ops, rep.ErrorSample)
-			}
-			if best == nil || rep.ThroughputOps > best.ThroughputOps {
-				best = rep
-			}
 		}
-		entry.Runs = append(entry.Runs, ClusterMeasurement{
-			Name: fmt.Sprintf("Cluster/%s/mds=%d/clients=%d/inflight=%d",
-				profile.Name, cfg.servers, cfg.clients, depth),
-			InFlight:      depth,
-			Ops:           best.Ops,
-			Errors:        best.Errors,
-			ElapsedMS:     float64(best.Elapsed.Nanoseconds()) / 1e6,
-			ThroughputOps: best.ThroughputOps,
-			MeanUS:        best.Latency.Mean.Microseconds(),
-			P50US:         best.Latency.P50.Microseconds(),
-			P99US:         best.Latency.P99.Microseconds(),
-		})
 	}
 	return entry, nil
 }

@@ -257,6 +257,8 @@ func printServerStats(w io.Writer, st *wire.StatsResponse) {
 	fmt.Fprintf(w, "  hb_rtt n=%d mean=%dµs p50=%dµs p90=%dµs p99=%dµs max=%dµs\n",
 		st.HeartbeatRTT.Count, st.HeartbeatRTT.MeanUS, st.HeartbeatRTT.P50US,
 		st.HeartbeatRTT.P90US, st.HeartbeatRTT.P99US, st.HeartbeatRTT.MaxUS)
+	fmt.Fprintf(w, "  leases granted=%d revalidate hits=%d misses=%d\n",
+		st.LeasesGranted, st.RevalidateHits, st.RevalidateMisses)
 }
 
 func printEntry(w io.Writer, e *wire.Entry) {

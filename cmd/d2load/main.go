@@ -10,6 +10,10 @@
 // -inflight sets each client's pipeline depth: how many operations a client
 // keeps outstanding at once (default 1, the paper's closed loop).
 //
+// -cache N gives every client an N-entry lease cache (Sec. IV-A2); the
+// report then carries hit/miss/renew counters and a hit ratio. -cache-lease
+// is only the fallback lease — servers normally dictate the duration.
+//
 // The namespace parameters must match the ones the Monitor was started
 // with, so both sides resolve the same paths.
 package main
@@ -42,6 +46,8 @@ func run(args []string) error {
 		clients  = fs.Int("clients", 200, "closed-loop client population")
 		inflight = fs.Int("inflight", 1, "per-client pipeline depth (operations kept outstanding)")
 		privconn = fs.Bool("private-conns", false, "give every client private sockets instead of the shared per-process transport")
+		cacheN   = fs.Int("cache", 0, "per-client entry cache capacity (0 = cache off)")
+		cacheTTL = fs.Duration("cache-lease", 2*time.Second, "fallback entry lease when the server grants none")
 		seed     = fs.Int64("seed", 1, "seed (must match the monitor)")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "overall run timeout")
 	)
@@ -63,6 +69,8 @@ func run(args []string) error {
 		Clients:      *clients,
 		InFlight:     *inflight,
 		PrivateConns: *privconn,
+		CacheEntries: *cacheN,
+		CacheLease:   *cacheTTL,
 		Tree:         w.Tree,
 		Events:       w.Events,
 		Timeout:      *timeout,

@@ -35,6 +35,7 @@ func run(args []string) error {
 		heartbeat = fs.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval")
 		dialTO    = fs.Duration("dial-timeout", 2*time.Second, "connection establishment deadline")
 		callTO    = fs.Duration("call-timeout", 2*time.Second, "per-RPC deadline")
+		lease     = fs.Duration("lease", 2*time.Second, "entry lease granted to client caches (negative = no grants)")
 		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof + expvar + /debug/d2/* on this address (empty = off)")
 		eventLog  = fs.String("event-log", "", "append this node's trace events as JSONL to a file (empty = off)")
 	)
@@ -47,6 +48,7 @@ func run(args []string) error {
 		HeartbeatInterval: *heartbeat,
 		DialTimeout:       *dialTO,
 		CallTimeout:       *callTO,
+		EntryLease:        *lease,
 	})
 	if err := srv.Start(); err != nil {
 		return err

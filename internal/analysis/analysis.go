@@ -138,7 +138,7 @@ func Default() []Analyzer {
 		&LockHeld{},
 		&Determinism{Packages: DeterministicPackages},
 		&WireCheck{WirePackage: "internal/wire", MessagesFile: "messages.go", EnvelopeStruct: "Envelope"},
-		&StatCheck{Packages: []string{"internal/stats", "internal/core", "internal/obs"}},
+		&StatCheck{Packages: []string{"internal/stats", "internal/core", "internal/obs", "internal/cache"}},
 	}
 }
 

@@ -1,0 +1,36 @@
+// LeaseCache mirrors the client entry cache's shape: an epoch and counters
+// all owned by one mutex, with lease expiry decided under it.
+package stats
+
+import "sync"
+
+type LeaseCache struct {
+	mu      sync.Mutex
+	epoch   uint64
+	hits    uint64
+	expired uint64
+}
+
+// Invalidate advances the epoch under the lock: clean.
+func (c *LeaseCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+}
+
+// Hit counts under the lock: clean.
+func (c *LeaseCache) Hit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+// Epoch forgets the lock on its fast path.
+func (c *LeaseCache) Epoch() uint64 {
+	return c.epoch // want: accessed without holding c.mu
+}
+
+// expireLocked runs under the caller's lock by convention: clean.
+func (c *LeaseCache) expireLocked() {
+	c.expired++
+}

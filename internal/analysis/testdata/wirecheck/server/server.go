@@ -9,6 +9,8 @@ func handle(op string) {
 		handlePing()
 	case wire.TypeStatus, wire.TypeGossip:
 		handleStatus()
+	case wire.TypeRenew:
+		handlePing()
 	}
 }
 

@@ -23,3 +23,10 @@ type StatusResponse struct {
 type DropRequest struct {
 	Path string `json:"path"`
 }
+
+// RenewResponse satisfies TypeRenew's schema on the Response side alone;
+// every exported field is tagged, so the op stays clean.
+type RenewResponse struct {
+	Match   bool  `json:"match,omitempty"`
+	LeaseMS int64 `json:"leaseMs,omitempty"`
+}

@@ -8,6 +8,7 @@ package cache
 import (
 	"container/list"
 	"errors"
+	"strings"
 	"sync"
 	"time"
 )
@@ -24,6 +25,22 @@ type Entry struct {
 	Value interface{}
 	// Version is the origin's version number at fetch time.
 	Version int64
+	// Gen is the generation (cluster index version) the entry's lease was
+	// granted under; InvalidateOlderGen drops entries from generations
+	// before a given one when the holder observes the partition move.
+	Gen int64
+}
+
+// Counters is a snapshot of the cache's accounting. Hits include renewed
+// leases (the cached body was served without a body refetch); Expired counts
+// Peek/Get probes that found the entry past its lease; Invalidations counts
+// entries removed by the Invalidate* family.
+type Counters struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Expired       uint64 `json:"expired"`
+	Renewed       uint64 `json:"renewed"`
+	Invalidations uint64 `json:"invalidations"`
 }
 
 type item struct {
@@ -42,7 +59,12 @@ type Cache struct {
 	lru      *list.List // front = most recent
 	now      func() time.Time
 
-	hits, misses, expired uint64
+	// epoch advances on every Invalidate* call; PutLeased rejects inserts
+	// whose fetch began before the last invalidation, so an in-flight fetch
+	// can never resurrect an entry over a newer invalidation.
+	epoch uint64
+
+	hits, misses, expired, renewed, invalidations uint64
 }
 
 // New builds a cache holding at most capacity entries, each valid for the
@@ -70,14 +92,49 @@ func (c *Cache) SetClock(now func() time.Time) {
 	c.now = now
 }
 
-// Put stores an entry under a fresh lease, evicting the least recently used
-// entry if full.
+// Put stores an entry under a fresh default lease, evicting the least
+// recently used entry if full.
 func (c *Cache) Put(key string, e Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, e, c.lease)
+}
+
+// Epoch observes the current invalidation epoch. A fetcher reads it before
+// issuing the fetch and passes it to PutLeased; any invalidation in between
+// makes the insert a no-op.
+func (c *Cache) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// PutLeased stores an entry under an explicit lease (0 = the default),
+// guarded two ways against resurrecting stale state: the insert is dropped
+// when any invalidation happened since epoch was observed (the fetched body
+// may predate it), or when a resident entry for the key carries a newer
+// version (a concurrent fetch already landed fresher data — versions only
+// grow at the origin). It reports whether the entry was stored.
+func (c *Cache) PutLeased(key string, e Entry, lease time.Duration, epoch uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		return false
+	}
+	if it, ok := c.items[key]; ok && it.entry.Version > e.Version {
+		return false
+	}
+	if lease <= 0 {
+		lease = c.lease
+	}
+	c.putLocked(key, e, lease)
+	return true
+}
+
+func (c *Cache) putLocked(key string, e Entry, lease time.Duration) {
 	if it, ok := c.items[key]; ok {
 		it.entry = e
-		it.expires = c.now().Add(c.lease)
+		it.expires = c.now().Add(lease)
 		c.lru.MoveToFront(it.elem)
 		return
 	}
@@ -93,7 +150,7 @@ func (c *Cache) Put(key string, e Entry) {
 		c.lru.Remove(oldest)
 		delete(c.items, victim.key)
 	}
-	it := &item{key: key, entry: e, expires: c.now().Add(c.lease)}
+	it := &item{key: key, entry: e, expires: c.now().Add(lease)}
 	it.elem = c.lru.PushFront(it)
 	c.items[key] = it
 }
@@ -145,10 +202,17 @@ func (c *Cache) Peek(key string) (e Entry, live bool, ok bool) {
 }
 
 // Renew extends the lease of a cached entry whose version the origin just
-// confirmed. It reports whether the key was present with that version. A
-// successful renewal is a hit (the cached body was served without a
-// refetch); a version mismatch or absent key is a miss.
+// confirmed, by the default lease.
 func (c *Cache) Renew(key string, version int64) bool {
+	return c.RenewFor(key, version, 0)
+}
+
+// RenewFor extends the lease of a cached entry whose version the origin
+// just confirmed, by an explicit lease (0 = the default). It reports
+// whether the key was present with that version. A successful renewal is a
+// hit (the cached body was served without a refetch) and counts as renewed;
+// a version mismatch or absent key is a miss.
+func (c *Cache) RenewFor(key string, version int64, lease time.Duration) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	it, ok := c.items[key]
@@ -156,18 +220,61 @@ func (c *Cache) Renew(key string, version int64) bool {
 		c.misses++
 		return false
 	}
-	it.expires = c.now().Add(c.lease)
+	if lease <= 0 {
+		lease = c.lease
+	}
+	it.expires = c.now().Add(lease)
 	c.lru.MoveToFront(it.elem)
 	c.hits++
+	c.renewed++
 	return true
 }
 
-// Invalidate removes one key (e.g. after a local update).
+// Invalidate removes one key (e.g. after a local update). The invalidation
+// epoch advances even when the key is absent: a fetch of it may be in
+// flight, and its eventual PutLeased must not land.
 func (c *Cache) Invalidate(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.epoch++
 	if it, ok := c.items[key]; ok {
 		c.removeLocked(it)
+		c.invalidations++
+	}
+}
+
+// InvalidatePrefix removes path itself and every cached descendant
+// (path + "/..."): the rename case, where the whole subtree's cached names
+// die at once. "/" clears everything.
+func (c *Cache) InvalidatePrefix(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	prefix := path + "/"
+	if path == "/" {
+		prefix = "/"
+	}
+	for key, it := range c.items {
+		if key == path || strings.HasPrefix(key, prefix) {
+			c.removeLocked(it)
+			c.invalidations++
+		}
+	}
+}
+
+// InvalidateOlderGen removes entries whose lease was granted under a
+// generation before gen — the migration/GL-re-evaluation case: when the
+// observed cluster index version advances, leases keyed to older index
+// versions may name entries that moved.
+func (c *Cache) InvalidateOlderGen(gen int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	for _, it := range c.items {
+		if it.entry.Gen < gen {
+			c.removeLocked(it)
+			c.invalidations++
+		}
 	}
 }
 
@@ -175,6 +282,8 @@ func (c *Cache) Invalidate(key string) {
 func (c *Cache) InvalidateAll() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.epoch++
+	c.invalidations += uint64(len(c.items))
 	c.items = make(map[string]*item, c.capacity)
 	c.lru.Init()
 }
@@ -192,6 +301,19 @@ func (c *Cache) Stats() (hits, misses, expired uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.expired
+}
+
+// Counters snapshots the full counter set.
+func (c *Cache) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Counters{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Expired:       c.expired,
+		Renewed:       c.renewed,
+		Invalidations: c.invalidations,
+	}
 }
 
 func (c *Cache) removeLocked(it *item) {

@@ -224,6 +224,122 @@ func TestPeekRenewStats(t *testing.T) {
 	}
 }
 
+func TestInvalidatePrefix(t *testing.T) {
+	c, _ := newTest(t, 8)
+	for _, k := range []string{"/a", "/a/b", "/a/b/c", "/ab", "/z"} {
+		c.Put(k, Entry{Version: 1})
+	}
+	c.InvalidatePrefix("/a")
+	for _, k := range []string{"/a", "/a/b", "/a/b/c"} {
+		if _, _, ok := c.Peek(k); ok {
+			t.Errorf("%s survived InvalidatePrefix(/a)", k)
+		}
+	}
+	// A sibling that merely shares the byte prefix is not a descendant.
+	for _, k := range []string{"/ab", "/z"} {
+		if _, _, ok := c.Peek(k); !ok {
+			t.Errorf("%s lost to InvalidatePrefix(/a)", k)
+		}
+	}
+	if got := c.Counters().Invalidations; got != 3 {
+		t.Errorf("invalidations = %d, want 3", got)
+	}
+	c.InvalidatePrefix("/")
+	if c.Len() != 0 {
+		t.Errorf("InvalidatePrefix(/) left %d entries", c.Len())
+	}
+}
+
+func TestInvalidateOlderGen(t *testing.T) {
+	c, _ := newTest(t, 8)
+	c.Put("/old", Entry{Version: 1, Gen: 3})
+	c.Put("/cur", Entry{Version: 1, Gen: 5})
+	c.InvalidateOlderGen(5)
+	if _, _, ok := c.Peek("/old"); ok {
+		t.Error("gen-3 entry survived InvalidateOlderGen(5)")
+	}
+	if _, _, ok := c.Peek("/cur"); !ok {
+		t.Error("gen-5 entry dropped by InvalidateOlderGen(5)")
+	}
+}
+
+func TestPutLeasedEpochGuard(t *testing.T) {
+	c, _ := newTest(t, 4)
+	epoch := c.Epoch()
+	// An invalidation lands between the fetch start and its insert: the
+	// insert must not resurrect the (possibly stale) body — even though the
+	// invalidated key was never resident.
+	c.Invalidate("/a")
+	if c.PutLeased("/a", Entry{Version: 1}, 0, epoch) {
+		t.Fatal("PutLeased landed across an invalidation")
+	}
+	if _, _, ok := c.Peek("/a"); ok {
+		t.Fatal("stale insert resident")
+	}
+	// A fetch begun after the invalidation inserts normally.
+	if !c.PutLeased("/a", Entry{Version: 1}, 0, c.Epoch()) {
+		t.Fatal("PutLeased with current epoch rejected")
+	}
+}
+
+func TestPutLeasedVersionGuard(t *testing.T) {
+	c, _ := newTest(t, 4)
+	epoch := c.Epoch()
+	c.Put("/a", Entry{Version: 5})
+	// A slower fetch carrying an older body loses to the resident entry.
+	if c.PutLeased("/a", Entry{Version: 4}, 0, epoch) {
+		t.Fatal("older version overwrote newer resident entry")
+	}
+	if e, _ := c.Get("/a"); e.Version != 5 {
+		t.Fatalf("resident version = %d, want 5", e.Version)
+	}
+	// Same or newer versions land (same version: lease refresh).
+	if !c.PutLeased("/a", Entry{Version: 5}, 0, epoch) {
+		t.Fatal("equal version rejected")
+	}
+	if !c.PutLeased("/a", Entry{Version: 6}, 0, epoch) {
+		t.Fatal("newer version rejected")
+	}
+}
+
+func TestPutLeasedExplicitLease(t *testing.T) {
+	c, now := newTest(t, 4) // default lease 10s
+	if !c.PutLeased("/short", Entry{Version: 1}, time.Second, c.Epoch()) {
+		t.Fatal("insert rejected")
+	}
+	*now = now.Add(2 * time.Second)
+	if _, live, _ := c.Peek("/short"); live {
+		t.Error("1s lease still live after 2s")
+	}
+	if !c.PutLeased("/dflt", Entry{Version: 1}, 0, c.Epoch()) {
+		t.Fatal("insert rejected")
+	}
+	*now = now.Add(2 * time.Second)
+	if _, live, _ := c.Peek("/dflt"); !live {
+		t.Error("default lease expired after 2s")
+	}
+}
+
+func TestRenewForExplicitLease(t *testing.T) {
+	c, now := newTest(t, 4)
+	c.Put("/a", Entry{Version: 7})
+	*now = now.Add(11 * time.Second)
+	if !c.RenewFor("/a", 7, time.Minute) {
+		t.Fatal("RenewFor rejected matching version")
+	}
+	*now = now.Add(30 * time.Second)
+	if _, live, _ := c.Peek("/a"); !live {
+		t.Error("minute-long renewal expired after 30s")
+	}
+	cc := c.Counters()
+	if cc.Renewed != 1 {
+		t.Errorf("renewed = %d, want 1", cc.Renewed)
+	}
+	if cc.Hits < 2 { // the renewal plus the live Peek
+		t.Errorf("hits = %d, want >= 2", cc.Hits)
+	}
+}
+
 func TestPeekTouchesLRU(t *testing.T) {
 	c, err := New(2, time.Minute)
 	if err != nil {

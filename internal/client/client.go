@@ -33,11 +33,14 @@ type Config struct {
 	// Seed drives random GL server selection (0 = time-based).
 	Seed int64
 	// CacheEntries enables the Sec. IV-A2 client entry cache when > 0:
-	// lookups within CacheLease of a previous fetch are served locally.
+	// lookups within the lease of a previous fetch are served locally, and
+	// expired entries are revalidated with a body-less version check.
 	// Staleness is bounded by the lease, exactly as in the paper's
 	// version/timeout/lease design.
 	CacheEntries int
-	// CacheLease is the entry lease (default 2s when the cache is enabled).
+	// CacheLease is the fallback entry lease used when the server grants
+	// none on a response (default 2s when the cache is enabled); normally
+	// the MDS chooses the lease and stamps it on each entry it returns.
 	CacheLease time.Duration
 	// Name identifies this client in trace spans and event logs (default
 	// "client"; the load generator names its workers "client-<n>").
@@ -163,6 +166,9 @@ func (c *Client) CacheMisses() int64 {
 }
 
 // refreshClusterInfo re-fetches membership and the index from the Monitor.
+// When the index version advanced, cache entries leased under older index
+// versions are dropped: a migration commit or GL re-evaluation may have
+// moved the paths they name.
 func (c *Client) refreshClusterInfo() error {
 	c.mu.Lock()
 	mon := c.mon
@@ -175,19 +181,30 @@ func (c *Client) refreshClusterInfo() error {
 		return fmt.Errorf("client: cluster info: %w", err)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	advanced := info.IndexVer > c.indexVer
 	c.servers = info.Servers
 	c.indexVer = info.IndexVer
 	c.index = make(map[string]string, len(info.Index))
 	for k, v := range info.Index {
 		c.index[k] = v
 	}
+	c.mu.Unlock()
+	if advanced && c.entries != nil {
+		c.entries.InvalidateOlderGen(info.IndexVer)
+	}
 	return nil
 }
 
+// errNoCandidates reports that routing excluded every server (all known
+// addresses failed to dial during this operation). The caller surfaces the
+// underlying dial error instead.
+var errNoCandidates = errors.New("client: no dialable server")
+
 // route picks the MDS address for a path: longest indexed prefix, else a
-// random server (global layer).
-func (c *Client) route(path string) (string, error) {
+// random server (global layer). Addresses in skip — this operation's failed
+// dials — are not candidates; when nothing else remains, errNoCandidates is
+// returned.
+func (c *Client) route(path string, skip map[string]bool) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.servers) == 0 {
@@ -196,6 +213,11 @@ func (c *Client) route(path string) (string, error) {
 	cur := path
 	for {
 		if a, ok := c.index[cur]; ok {
+			if skip[a] {
+				// The subtree's one owner is unreachable; no other server
+				// can serve the path.
+				return "", errNoCandidates
+			}
 			return a, nil
 		}
 		i := strings.LastIndexByte(cur, '/')
@@ -204,7 +226,19 @@ func (c *Client) route(path string) (string, error) {
 		}
 		cur = cur[:i]
 	}
-	return c.servers[c.rng.Intn(len(c.servers))], nil
+	if len(skip) == 0 {
+		return c.servers[c.rng.Intn(len(c.servers))], nil
+	}
+	candidates := make([]string, 0, len(c.servers))
+	for _, s := range c.servers {
+		if !skip[s] {
+			candidates = append(candidates, s)
+		}
+	}
+	if len(candidates) == 0 {
+		return "", errNoCandidates
+	}
+	return candidates[c.rng.Intn(len(candidates))], nil
 }
 
 // conn returns a pooled connection to addr.
@@ -219,29 +253,50 @@ func (c *Client) dropConn(addr string, conn *wire.Conn) {
 	c.tr.drop(addr, conn)
 }
 
+// maxDialFailures is a safety valve bounding dial attempts per operation:
+// re-routing never retries an address that already failed, so the loop
+// terminates on its own unless membership keeps churning in fresh addresses
+// that are also dead.
+const maxDialFailures = 32
+
 // call performs one routed request, following redirects and refreshing the
 // cache when the route was stale. attempt runs the RPC against one server
 // with a fresh response value and reports any redirect address.
+//
+// Only redirects (and transport failures mid-call) are charged against
+// MaxRedirects. A dial failure is not a hop: the dead address is excluded
+// from re-routing, and when no reachable candidate remains the dial error
+// itself surfaces — not a misleading ErrTooManyHops.
 func (c *Client) call(path, msgType string,
 	attempt func(conn *wire.Conn) (redirect string, err error)) error {
 	if path == "" || path[0] != '/' {
 		return fmt.Errorf("%w: %q", ErrBadPath, path)
 	}
-	addr, err := c.route(path)
+	addr, err := c.route(path, nil)
 	if err != nil {
 		return err
 	}
-	for hop := 0; hop <= c.cfg.MaxRedirects; hop++ {
-		conn, err := c.conn(addr)
-		if err != nil {
-			// Server may be down: refresh membership and retry once per hop.
+	var dead map[string]bool // addresses that failed to dial this operation
+	hops, dials := 0, 0
+	for {
+		conn, cerr := c.conn(addr)
+		if cerr != nil {
+			// Server may be down: refresh membership and route around it.
+			if dead == nil {
+				dead = make(map[string]bool)
+			}
+			dead[addr] = true
+			if dials++; dials > maxDialFailures {
+				return cerr
+			}
 			if rerr := c.refreshClusterInfo(); rerr != nil {
-				return err
+				return cerr
 			}
-			addr, err = c.route(path)
-			if err != nil {
-				return err
+			next, rerr := c.route(path, dead)
+			if rerr != nil {
+				return cerr
 			}
+			addr = next
 			continue
 		}
 		redirect, err := attempt(conn)
@@ -252,12 +307,15 @@ func (c *Client) call(path, msgType string,
 				return err
 			}
 			c.dropConn(addr, conn)
+			if hops++; hops > c.cfg.MaxRedirects {
+				return err
+			}
 			if rerr := c.refreshClusterInfo(); rerr != nil {
 				return err
 			}
-			next, rerr := c.route(path)
+			next, rerr := c.route(path, dead)
 			if rerr != nil {
-				return rerr
+				return err
 			}
 			addr = next
 			continue
@@ -268,10 +326,12 @@ func (c *Client) call(path, msgType string,
 		c.mu.Lock()
 		c.cacheMisses++
 		c.mu.Unlock()
+		if hops++; hops > c.cfg.MaxRedirects {
+			return fmt.Errorf("%w: %s %s", ErrTooManyHops, msgType, path)
+		}
 		_ = c.refreshClusterInfo()
 		addr = redirect
 	}
-	return fmt.Errorf("%w: %s %s", ErrTooManyHops, msgType, path)
 }
 
 // record logs one client-side op event under the request's identifier.
@@ -287,40 +347,115 @@ func (c *Client) record(op, reqID, path, detail string, start time.Time, err err
 	})
 }
 
+// leaseOf converts a server-granted lease (milliseconds on the response) to
+// a duration, falling back to the configured CacheLease when the server
+// granted none.
+func (c *Client) leaseOf(ms int64) time.Duration {
+	if ms <= 0 {
+		return c.cfg.CacheLease
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
 // Lookup resolves a path to its metadata entry. With the entry cache
 // enabled, a lease-live cached copy is returned without touching the
-// cluster; staleness is bounded by the configured lease. Every call mints a
-// request identifier that rides the wire envelope to the serving MDS (and
-// any hop it forwards to), so the whole operation shares one trace.
+// cluster; an expired copy is revalidated with a body-less version check
+// (the body is resent only when the version moved); staleness is bounded by
+// the server-granted lease. Every call mints a request identifier that
+// rides the wire envelope to the serving MDS (and any hop it forwards to),
+// so the whole operation shares one trace.
 func (c *Client) Lookup(path string) (*wire.Entry, error) {
 	reqID := c.ids.Next()
 	start := time.Now()
 	if c.entries != nil {
-		if cached, ok := c.entries.Get(path); ok {
-			if e, ok := cached.Value.(wire.Entry); ok {
-				cp := e
-				c.record(wire.TypeLookup, reqID, path, "cache", start, nil)
-				return &cp, nil
+		if cached, live, ok := c.entries.Peek(path); ok {
+			if e, isEntry := cached.Value.(wire.Entry); isEntry {
+				if live {
+					cp := e
+					c.record(wire.TypeLookup, reqID, path, "cache", start, nil)
+					return &cp, nil
+				}
+				if entry, done, err := c.revalidate(path, reqID, start, e); done {
+					return entry, err
+				}
 			}
 		}
 	}
 	var entry *wire.Entry
+	var leaseMS, grantVer int64
+	var epoch uint64
+	if c.entries != nil {
+		epoch = c.entries.Epoch()
+	}
 	err := c.call(path, wire.TypeLookup, func(conn *wire.Conn) (string, error) {
 		var resp wire.LookupResponse
 		if err := conn.CallTraced(wire.TypeLookup, reqID, c.cfg.Name, &wire.LookupRequest{Path: path}, &resp); err != nil {
 			return "", err
 		}
 		entry = resp.Entry
+		leaseMS, grantVer = resp.LeaseMS, resp.IndexVer
 		return resp.Redirect, nil
 	})
 	c.record(wire.TypeLookup, reqID, path, "", start, err)
 	if err != nil {
+		if c.entries != nil && wire.IsRemote(err) {
+			// The origin rejected the path (gone, renamed away): drop any
+			// expired body still resident for revalidation.
+			c.entries.Invalidate(path)
+		}
 		return nil, err
 	}
 	if c.entries != nil && entry != nil {
-		c.entries.Put(path, cache.Entry{Value: *entry, Version: entry.Version})
+		c.entries.PutLeased(path,
+			cache.Entry{Value: *entry, Version: entry.Version, Gen: grantVer},
+			c.leaseOf(leaseMS), epoch)
 	}
 	return entry, nil
+}
+
+// revalidate settles an expired cached entry with one body-less version
+// check against the owning MDS. done reports whether the lookup was fully
+// answered here (served, refreshed, or rejected by the origin); done=false
+// sends the caller down the regular full-fetch path (transport trouble, or
+// the cached entry changed under us mid-flight).
+func (c *Client) revalidate(path, reqID string, start time.Time, cached wire.Entry) (*wire.Entry, bool, error) {
+	epoch := c.entries.Epoch()
+	var resp wire.RevalidateResponse
+	err := c.call(path, wire.TypeRevalidate, func(conn *wire.Conn) (string, error) {
+		resp = wire.RevalidateResponse{}
+		req := &wire.RevalidateRequest{Path: path, Version: cached.Version}
+		if err := conn.CallTraced(wire.TypeRevalidate, reqID, c.cfg.Name, req, &resp); err != nil {
+			return "", err
+		}
+		return resp.Redirect, nil
+	})
+	if err != nil {
+		if wire.IsRemote(err) {
+			c.entries.Invalidate(path)
+			c.record(wire.TypeRevalidate, reqID, path, "", start, err)
+			return nil, true, err
+		}
+		return nil, false, nil
+	}
+	if resp.Match {
+		if c.entries.RenewFor(path, cached.Version, c.leaseOf(resp.LeaseMS)) {
+			cp := cached
+			c.record(wire.TypeRevalidate, reqID, path, "renewed", start, nil)
+			return &cp, true, nil
+		}
+		// Invalidated between the probe and the renewal (a rename or update
+		// raced us): the peeked body may be dead — refetch it.
+		return nil, false, nil
+	}
+	if resp.Entry == nil {
+		return nil, false, nil
+	}
+	c.entries.PutLeased(path,
+		cache.Entry{Value: *resp.Entry, Version: resp.Entry.Version, Gen: resp.IndexVer},
+		c.leaseOf(resp.LeaseMS), epoch)
+	cp := *resp.Entry
+	c.record(wire.TypeRevalidate, reqID, path, "refreshed", start, nil)
+	return &cp, true, nil
 }
 
 // Create makes a file or directory.
@@ -345,14 +480,22 @@ func (c *Client) Create(path string, kind wire.EntryKind) (*wire.Entry, error) {
 }
 
 // SetAttr updates a path's attributes (an "update" operation). The cached
-// copy, if any, is replaced by the committed entry.
+// copy, if any, is replaced by the committed entry under a fresh lease, so
+// the writer's own next lookup is served locally and current.
 func (c *Client) SetAttr(path string, size int64, mode uint32) (*wire.Entry, error) {
 	reqID := c.ids.Next()
 	start := time.Now()
+	var epoch uint64
 	if c.entries != nil {
+		// Drop the old copy before the wire call, then note the epoch: if
+		// anything else invalidates the path while the update is in flight,
+		// the committed entry below stays out rather than landing over the
+		// newer invalidation.
 		c.entries.Invalidate(path)
+		epoch = c.entries.Epoch()
 	}
 	var entry *wire.Entry
+	var leaseMS, grantVer int64
 	err := c.call(path, wire.TypeSetAttr, func(conn *wire.Conn) (string, error) {
 		var resp wire.SetAttrResponse
 		req := &wire.SetAttrRequest{Path: path, Size: size, Mode: mode}
@@ -360,24 +503,33 @@ func (c *Client) SetAttr(path string, size int64, mode uint32) (*wire.Entry, err
 			return "", err
 		}
 		entry = resp.Entry
+		leaseMS, grantVer = resp.LeaseMS, resp.IndexVer
 		return resp.Redirect, nil
 	})
 	c.record(wire.TypeSetAttr, reqID, path, "", start, err)
 	if err != nil {
 		return nil, err
 	}
+	if c.entries != nil && entry != nil {
+		c.entries.PutLeased(path,
+			cache.Entry{Value: *entry, Version: entry.Version, Gen: grantVer},
+			c.leaseOf(leaseMS), epoch)
+	}
 	return entry, nil
 }
 
-// Rename renames a local-layer node (carrying its subtree) in place. The
-// cached entry for the old path, if any, is invalidated.
+// Rename renames a local-layer node (carrying its subtree) in place. Cached
+// entries under the old path — the node and every descendant — are
+// invalidated (their paths die with the rename), and the committed entry is
+// cached under its new path.
 func (c *Client) Rename(path, newName string) (*wire.Entry, error) {
 	reqID := c.ids.Next()
 	start := time.Now()
 	if c.entries != nil {
-		c.entries.Invalidate(path)
+		c.entries.InvalidatePrefix(path)
 	}
 	var entry *wire.Entry
+	var leaseMS, grantVer int64
 	err := c.call(path, wire.TypeRename, func(conn *wire.Conn) (string, error) {
 		var resp wire.RenameResponse
 		req := &wire.RenameRequest{Path: path, NewName: newName}
@@ -385,11 +537,24 @@ func (c *Client) Rename(path, newName string) (*wire.Entry, error) {
 			return "", err
 		}
 		entry = resp.Entry
+		leaseMS, grantVer = resp.LeaseMS, resp.IndexVer
 		return resp.Redirect, nil
 	})
 	c.record(wire.TypeRename, reqID, path, "", start, err)
 	if err != nil {
 		return nil, err
+	}
+	if c.entries != nil && entry != nil {
+		// Again after the commit: a concurrent lookup may have re-cached an
+		// old-name path while the rename was in flight, and stale residents
+		// under the new name predate the subtree-wide version bump. Then pin
+		// the committed entry under its new path.
+		c.entries.InvalidatePrefix(path)
+		c.entries.InvalidatePrefix(entry.Path)
+		epoch := c.entries.Epoch()
+		c.entries.PutLeased(entry.Path,
+			cache.Entry{Value: *entry, Version: entry.Version, Gen: grantVer},
+			c.leaseOf(leaseMS), epoch)
 	}
 	return entry, nil
 }
@@ -503,6 +668,26 @@ func (c *Client) MonitorObsDump(since uint64) (*wire.ObsDumpResponse, error) {
 
 // Obs returns the client's own event recorder.
 func (c *Client) Obs() *obs.Recorder { return c.rec }
+
+// CacheCounters snapshots the entry cache's hit/miss/expiry/renewal
+// counters (zero-valued when the cache is disabled).
+func (c *Client) CacheCounters() cache.Counters {
+	if c.entries == nil {
+		return cache.Counters{}
+	}
+	return c.entries.Counters()
+}
+
+// Index returns a copy of the cached subtree index (tests, tools).
+func (c *Client) Index() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.index))
+	for k, v := range c.index {
+		out[k] = v
+	}
+	return out
+}
 
 // Servers returns the cached MDS address list.
 func (c *Client) Servers() []string {

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"d2tree/internal/cache"
 	"d2tree/internal/client"
 	"d2tree/internal/namespace"
 	"d2tree/internal/obs"
@@ -87,8 +88,23 @@ type Report struct {
 	// Queries/Updates split latency by the paper's op classification.
 	Queries stats.Summary `json:"queries"`
 	Updates stats.Summary `json:"updates"`
+	// Cache aggregates the per-client entry-cache counters across the
+	// population (all zero when the cache is disabled).
+	Cache CacheStats `json:"cache"`
 	// ErrorSample holds one representative error message when Errors > 0.
 	ErrorSample string `json:"errorSample,omitempty"`
+}
+
+// CacheStats sums client entry-cache counters over the population. HitRatio
+// is hits/(hits+misses): the fraction of decided cache probes served from
+// local memory (renewed leases count as hits — the body never refetched).
+type CacheStats struct {
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Expired       uint64  `json:"expired"`
+	Renewed       uint64  `json:"renewed"`
+	Invalidations uint64  `json:"invalidations"`
+	HitRatio      float64 `json:"hitRatio"`
 }
 
 // Run replays the configured trace against the cluster and reports
@@ -129,6 +145,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	results := make([]workerResult, cfg.Clients*inFlight)
 	clientErrs := make([]error, cfg.Clients)
 	clientEvents := make([][]obs.Event, cfg.Clients)
+	clientCaches := make([]cache.Counters, cfg.Clients)
 	// All clients share one multiplexed connection per MDS unless the run
 	// models fully independent hosts.
 	var shared *client.Transport
@@ -156,6 +173,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				return
 			}
 			defer func() { _ = cl.Close() }()
+			defer func() { clientCaches[w] = cl.CacheCounters() }()
 			if cfg.EventLog != nil {
 				defer func() { clientEvents[w] = cl.Obs().Snapshot() }()
 			}
@@ -236,6 +254,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			break
 		}
 	}
+	var cc CacheStats
+	for i := range clientCaches {
+		cc.Hits += clientCaches[i].Hits
+		cc.Misses += clientCaches[i].Misses
+		cc.Expired += clientCaches[i].Expired
+		cc.Renewed += clientCaches[i].Renewed
+		cc.Invalidations += clientCaches[i].Invalidations
+	}
+	if n := cc.Hits + cc.Misses; n > 0 {
+		cc.HitRatio = float64(cc.Hits) / float64(n)
+	}
 	rep := &Report{
 		ErrorSample: sample,
 		Ops:         ops,
@@ -244,6 +273,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Latency:     all.Summarize(),
 		Queries:     queries.Summarize(),
 		Updates:     updates.Summarize(),
+		Cache:       cc,
 	}
 	if elapsed > 0 {
 		rep.ThroughputOps = float64(ops) / elapsed.Seconds()
@@ -271,6 +301,12 @@ func (r *Report) Format() string {
 		r.Latency.Mean, r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max,
 		r.Queries.Count, r.Queries.P50, r.Queries.P99,
 		r.Updates.Count, r.Updates.P50, r.Updates.P99)
+	if r.Cache.Hits+r.Cache.Misses+r.Cache.Expired > 0 {
+		out += fmt.Sprintf(
+			"\ncache: hits=%d misses=%d expired=%d renewed=%d invalidations=%d hit_ratio=%.1f%%",
+			r.Cache.Hits, r.Cache.Misses, r.Cache.Expired, r.Cache.Renewed,
+			r.Cache.Invalidations, 100*r.Cache.HitRatio)
+	}
 	if r.ErrorSample != "" {
 		out += "\nerror sample: " + r.ErrorSample
 	}

@@ -593,6 +593,80 @@ func TestClusterRenameGlobalLayerRejected(t *testing.T) {
 	}
 }
 
+// TestClusterRevalidate exercises the lease-coherence probe end to end
+// against the owning MDS: a version match renews without shipping the body,
+// a mismatch ships the current entry, a foreign local-layer path redirects
+// instead of false-confirming, an unknown path errors, and the server-side
+// lease/revalidate counters account for all of it.
+func TestClusterRevalidate(t *testing.T) {
+	_, servers, tree := startCluster(t, 3, 800)
+	p, owner := findLocalPath(t, tree, servers)
+	conn := directConn(t, owner)
+
+	var lr wire.LookupResponse
+	if err := conn.Call(wire.TypeLookup, &wire.LookupRequest{Path: p}, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Entry == nil {
+		t.Fatalf("no entry for %s on its owner", p)
+	}
+	if lr.LeaseMS <= 0 || lr.IndexVer <= 0 {
+		t.Errorf("lookup granted leaseMs=%d indexVer=%d, want both > 0", lr.LeaseMS, lr.IndexVer)
+	}
+
+	var match wire.RevalidateResponse
+	if err := conn.Call(wire.TypeRevalidate,
+		&wire.RevalidateRequest{Path: p, Version: lr.Entry.Version}, &match); err != nil {
+		t.Fatal(err)
+	}
+	if !match.Match || match.Entry != nil {
+		t.Errorf("current-version probe = %+v, want a body-less match", match)
+	}
+	if match.LeaseMS <= 0 {
+		t.Errorf("matching probe renewed no lease: leaseMs=%d", match.LeaseMS)
+	}
+
+	var stale wire.RevalidateResponse
+	if err := conn.Call(wire.TypeRevalidate,
+		&wire.RevalidateRequest{Path: p, Version: lr.Entry.Version + 7}, &stale); err != nil {
+		t.Fatal(err)
+	}
+	if stale.Match || stale.Entry == nil || stale.Entry.Version != lr.Entry.Version {
+		t.Errorf("stale-version probe = %+v, want the current entry resent", stale)
+	}
+
+	for _, srv := range servers {
+		if srv.Addr() == owner {
+			continue
+		}
+		var foreign wire.RevalidateResponse
+		err := directConn(t, srv.Addr()).Call(wire.TypeRevalidate,
+			&wire.RevalidateRequest{Path: p, Version: lr.Entry.Version}, &foreign)
+		if err != nil {
+			t.Fatalf("foreign revalidate: %v", err)
+		}
+		if foreign.Redirect == "" || foreign.Match {
+			t.Errorf("non-owner answered the probe itself: %+v", foreign)
+		}
+		break
+	}
+
+	var gone wire.RevalidateResponse
+	if err := conn.Call(wire.TypeRevalidate,
+		&wire.RevalidateRequest{Path: "/no/such/path", Version: 1}, &gone); err == nil {
+		t.Error("revalidate of a nonexistent path succeeded")
+	}
+
+	var st wire.StatsResponse
+	if err := conn.Call(wire.TypeStats, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.LeasesGranted < 2 || st.RevalidateHits < 1 || st.RevalidateMisses < 1 {
+		t.Errorf("counters leases=%d hits=%d misses=%d, want >=2/>=1/>=1",
+			st.LeasesGranted, st.RevalidateHits, st.RevalidateMisses)
+	}
+}
+
 // directConn opens a deadline-armed connection straight to one MDS.
 func directConn(t *testing.T, addr string) *wire.Conn {
 	t.Helper()

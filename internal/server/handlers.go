@@ -45,6 +45,13 @@ func (s *Server) dispatch(env *wire.Envelope) (interface{}, string, error) {
 		}
 		resp, err := s.handleLookup(&req)
 		return resp, req.Path, err
+	case wire.TypeRevalidate:
+		var req wire.RevalidateRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, "", err
+		}
+		resp, err := s.handleRevalidate(&req)
+		return resp, req.Path, err
 	case wire.TypeCreate:
 		var req wire.CreateRequest
 		if err := env.Decode(&req); err != nil {
@@ -112,6 +119,17 @@ func (s *Server) ownerLocked(path string) (addr string, global bool) {
 	}
 }
 
+// leaseLocked returns the cache lease to stamp on an entry-carrying
+// response and the index version it is keyed to. Callers hold s.mu (either
+// side); counting the grant is left to the caller so redirects and errors
+// never count.
+func (s *Server) leaseLocked() (leaseMS, indexVer int64) {
+	if s.cfg.EntryLease > 0 {
+		leaseMS = s.cfg.EntryLease.Milliseconds()
+	}
+	return leaseMS, s.indexVer
+}
+
 func (s *Server) handleLookup(req *wire.LookupRequest) (*wire.LookupResponse, error) {
 	s.lookups.Add(1)
 	s.hot.Add(req.Path, 1)
@@ -119,12 +137,42 @@ func (s *Server) handleLookup(req *wire.LookupRequest) (*wire.LookupResponse, er
 	defer s.mu.RUnlock()
 	if e, ok := s.store[req.Path]; ok {
 		cp := *e
-		return &wire.LookupResponse{Entry: &cp}, nil
+		leaseMS, ver := s.leaseLocked()
+		s.leases.Add(1)
+		return &wire.LookupResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
 	}
 	addr, global := s.ownerLocked(req.Path)
 	if !global && addr != s.Addr() {
 		s.redirects.Add(1)
 		return &wire.LookupResponse{Redirect: addr}, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
+}
+
+// handleRevalidate answers the client cache's coherence probe: a version
+// match renews the lease without resending the body (the common case — one
+// small frame each way), a mismatch ships the current entry, and ownership
+// is re-checked exactly like a lookup so a migrated path redirects instead
+// of false-confirming.
+func (s *Server) handleRevalidate(req *wire.RevalidateRequest) (*wire.RevalidateResponse, error) {
+	s.hot.Add(req.Path, 1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.store[req.Path]; ok {
+		leaseMS, ver := s.leaseLocked()
+		s.leases.Add(1)
+		if e.Version == req.Version {
+			s.revalidateHits.Add(1)
+			return &wire.RevalidateResponse{Match: true, LeaseMS: leaseMS, IndexVer: ver}, nil
+		}
+		s.revalidateMisses.Add(1)
+		cp := *e
+		return &wire.RevalidateResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
+	}
+	addr, global := s.ownerLocked(req.Path)
+	if !global && addr != s.Addr() {
+		s.redirects.Add(1)
+		return &wire.RevalidateResponse{Redirect: addr}, nil
 	}
 	return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
 }
@@ -202,8 +250,10 @@ func (s *Server) handleSetAttr(env *wire.Envelope, req *wire.SetAttrRequest) (*w
 		e.Mode = req.Mode
 		e.Version++
 		cp := *e
+		leaseMS, ver := s.leaseLocked()
 		s.mu.Unlock()
-		return &wire.SetAttrResponse{Entry: &cp}, nil
+		s.leases.Add(1)
+		return &wire.SetAttrResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
 	}
 	mon := s.mon
 	id := s.id
@@ -224,9 +274,11 @@ func (s *Server) handleSetAttr(env *wire.Envelope, req *wire.SetAttrRequest) (*w
 	if resp.GLVersion > s.glVersion {
 		s.glVersion = resp.GLVersion
 	}
+	leaseMS, ver := s.leaseLocked()
 	s.mu.Unlock()
+	s.leases.Add(1)
 	cp := ne
-	return &wire.SetAttrResponse{Entry: &cp}, nil
+	return &wire.SetAttrResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
 }
 
 func (s *Server) handleReaddir(req *wire.ReaddirRequest) (*wire.ReaddirResponse, error) {
@@ -314,7 +366,9 @@ func (s *Server) handleRename(req *wire.RenameRequest) (*wire.RenameResponse, er
 	newPath := req.Path[:slash+1] + req.NewName
 	if newPath == req.Path {
 		cp := *e
-		return &wire.RenameResponse{Entry: &cp}, nil
+		leaseMS, ver := s.leaseLocked()
+		s.leases.Add(1)
+		return &wire.RenameResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
 	}
 	if _, exists := s.store[newPath]; exists {
 		return nil, fmt.Errorf("%w: %s", ErrExists, newPath)
@@ -340,7 +394,9 @@ func (s *Server) handleRename(req *wire.RenameRequest) (*wire.RenameResponse, er
 		s.store[entry.Path] = entry
 	}
 	cp := *s.store[newPath]
-	return &wire.RenameResponse{Entry: &cp}, nil
+	leaseMS, ver := s.leaseLocked()
+	s.leases.Add(1)
+	return &wire.RenameResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
 }
 
 func (s *Server) handleInstall(env *wire.Envelope, req *wire.InstallRequest) (*wire.LockResponse, error) {
@@ -397,9 +453,12 @@ func (s *Server) handleStats() (*wire.StatsResponse, error) {
 			P99US:  rtt.P99.Microseconds(),
 			MaxUS:  rtt.Max.Microseconds(),
 		},
-		TransferOK:      s.transferOK.Load(),
-		TransferFail:    s.transferFail.Load(),
-		HeartbeatMisses: s.hbMisses.Load(),
+		TransferOK:       s.transferOK.Load(),
+		TransferFail:     s.transferFail.Load(),
+		HeartbeatMisses:  s.hbMisses.Load(),
+		LeasesGranted:    s.leases.Load(),
+		RevalidateHits:   s.revalidateHits.Load(),
+		RevalidateMisses: s.revalidateMisses.Load(),
 	}, nil
 }
 

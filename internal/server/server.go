@@ -44,6 +44,12 @@ type Config struct {
 	CallTimeout time.Duration
 	// Retry bounds redial/backoff on Monitor and transfer channels.
 	Retry wire.RetryPolicy
+	// EntryLease is the cache lease granted to clients on entry-carrying
+	// responses (Lookup, SetAttr, Rename, Revalidate): how long a client
+	// may serve the entry locally before revalidating, and therefore the
+	// bound on cross-client staleness for reads. Default 2s; negative
+	// disables lease grants (clients then fall back to their own default).
+	EntryLease time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -55,6 +61,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 2 * time.Second
+	}
+	if c.EntryLease == 0 {
+		c.EntryLease = 2 * time.Second
 	}
 }
 
@@ -94,14 +103,17 @@ type Server struct {
 	// hot counts recent per-path accesses on its own sharded locks, so the
 	// hot-path increment neither takes nor extends s.mu; the heartbeat
 	// drains it and merges it back if the Monitor was unreachable.
-	hot          stats.ShardedCounter
-	lookups      atomic.Int64
+	hot              stats.ShardedCounter
+	lookups          atomic.Int64
 	creates          atomic.Int64
 	setattrs         atomic.Int64
 	redirects        atomic.Int64
 	transferOK       atomic.Int64
 	transferFail     atomic.Int64
 	hbMisses         atomic.Int64
+	leases           atomic.Int64 // cache leases granted on responses
+	revalidateHits   atomic.Int64 // version matched: lease renewed bodiless
+	revalidateMisses atomic.Int64 // version stale: entry resent
 
 	monMetrics wire.CallMetrics // Monitor-channel RPC outcomes
 	hbRTT      stats.Histogram  // successful heartbeat round-trip latency

@@ -44,23 +44,23 @@ func TestDecodeEnvelopeEdgeCases(t *testing.T) {
 		`{"id":1,"payload":null}`,
 		`{"id":1,"payload":"just a string"}`,
 		`{"id":1,"payload":0.5}`,
-		`{"type":"dup","type":"wins"}`,      // duplicate key: last wins
-		`{"unknown":42,"id":3,"type":"x"}`,  // unknown key → fallback path
-		`{"id":1,"extra":{"nested":[{}]}}`,  // unknown key with nested value
-		`null`,                              // valid JSON, not an object
-		`{"id":-1,"type":"x"}`,              // negative ID → fallback (type error)
-		`{"id":1.5,"type":"x"}`,             // float ID → fallback (type error)
-		`{"id":01,"type":"x"}`,              // leading zero: invalid JSON
-		`{"id":1,"type":"x",}`,              // trailing comma: invalid
-		`{"id":1 "type":"x"}`,               // missing comma: invalid
-		`{"id":1,"type":"unterminated`,      // truncated string
-		`{"id":1,"payload":{"k":1,}}`,       // trailing comma in payload
-		`{"id":1,"payload":[1 2]}`,          // missing comma in payload array
-		`{"id":1,"payload":1.2.3}`,          // malformed number
-		`{"id":1,"payload":truth}`,          // malformed literal
-		`{"id":1,"type":"bad\qescape"}`,     // invalid escape
-		`{"id":1,"type":"\ud800\u0041"}`,    // high surrogate + non-surrogate
-		`{"id":1,"type":"x"} trailing`,      // trailing garbage
+		`{"type":"dup","type":"wins"}`,     // duplicate key: last wins
+		`{"unknown":42,"id":3,"type":"x"}`, // unknown key → fallback path
+		`{"id":1,"extra":{"nested":[{}]}}`, // unknown key with nested value
+		`null`,                             // valid JSON, not an object
+		`{"id":-1,"type":"x"}`,             // negative ID → fallback (type error)
+		`{"id":1.5,"type":"x"}`,            // float ID → fallback (type error)
+		`{"id":01,"type":"x"}`,             // leading zero: invalid JSON
+		`{"id":1,"type":"x",}`,             // trailing comma: invalid
+		`{"id":1 "type":"x"}`,              // missing comma: invalid
+		`{"id":1,"type":"unterminated`,     // truncated string
+		`{"id":1,"payload":{"k":1,}}`,      // trailing comma in payload
+		`{"id":1,"payload":[1 2]}`,         // missing comma in payload array
+		`{"id":1,"payload":1.2.3}`,         // malformed number
+		`{"id":1,"payload":truth}`,         // malformed literal
+		`{"id":1,"type":"bad\qescape"}`,    // invalid escape
+		`{"id":1,"type":"\ud800\u0041"}`,   // high surrogate + non-surrogate
+		`{"id":1,"type":"x"} trailing`,     // trailing garbage
 		`{not json`,
 		``,
 	}

@@ -24,10 +24,37 @@ type LookupRequest struct {
 }
 
 // LookupResponse carries the entry, or a redirect when the serving MDS does
-// not hold the path (stale client cache).
+// not hold the path (stale client cache). Entry-carrying responses also
+// grant a cache lease: the client may serve the entry locally for LeaseMS
+// milliseconds, keyed to the granting server's IndexVer so index-version
+// bumps (migration commits, GL re-evaluations) invalidate it.
 type LookupResponse struct {
 	Entry    *Entry `json:"entry,omitempty"`
 	Redirect string `json:"redirect,omitempty"` // address of the owning MDS
+	// LeaseMS is the server-chosen cache lease in milliseconds (0 = the
+	// server grants no lease; the client falls back to its own default).
+	LeaseMS int64 `json:"leaseMs,omitempty"`
+	// IndexVer is the serving MDS's cluster index version at grant time.
+	IndexVer int64 `json:"indexVer,omitempty"`
+}
+
+// RevalidateRequest asks the owning MDS whether a cached entry is still
+// current: the cheap coherence probe of the client cache. Only the path and
+// the cached version travel; no body is resent when they still agree.
+type RevalidateRequest struct {
+	Path    string `json:"path"`
+	Version int64  `json:"version"`
+}
+
+// RevalidateResponse renews the lease (Match, no Entry) or carries the
+// current entry when the cached version is stale. Redirect as in
+// LookupResponse.
+type RevalidateResponse struct {
+	Match    bool   `json:"match,omitempty"`
+	Entry    *Entry `json:"entry,omitempty"`
+	LeaseMS  int64  `json:"leaseMs,omitempty"`
+	IndexVer int64  `json:"indexVer,omitempty"`
+	Redirect string `json:"redirect,omitempty"`
 }
 
 // CreateRequest creates a file or directory.
@@ -50,10 +77,14 @@ type SetAttrRequest struct {
 	Mode uint32 `json:"mode"`
 }
 
-// SetAttrResponse returns the updated entry or a redirect.
+// SetAttrResponse returns the updated entry or a redirect. The committed
+// entry carries a cache lease like LookupResponse, so the updating client
+// can pin its own write.
 type SetAttrResponse struct {
 	Entry    *Entry `json:"entry,omitempty"`
 	Redirect string `json:"redirect,omitempty"`
+	LeaseMS  int64  `json:"leaseMs,omitempty"`
+	IndexVer int64  `json:"indexVer,omitempty"`
 }
 
 // ReaddirRequest lists a directory.
@@ -76,10 +107,13 @@ type RenameRequest struct {
 	NewName string `json:"newName"`
 }
 
-// RenameResponse returns the renamed entry or a redirect.
+// RenameResponse returns the renamed entry or a redirect, with a cache
+// lease on the committed entry as in SetAttrResponse.
 type RenameResponse struct {
 	Entry    *Entry `json:"entry,omitempty"`
 	Redirect string `json:"redirect,omitempty"`
+	LeaseMS  int64  `json:"leaseMs,omitempty"`
+	IndexVer int64  `json:"indexVer,omitempty"`
 }
 
 // LatencySummary reports a latency histogram's percentiles in microseconds.
@@ -115,6 +149,14 @@ type StatsResponse struct {
 	// HeartbeatMisses counts heartbeat ticks whose Monitor call failed (the
 	// load sample is merged back and re-shipped on the next success).
 	HeartbeatMisses int64 `json:"heartbeatMisses"`
+
+	// Client-cache coherence traffic served by this MDS: leases granted on
+	// entry-carrying responses, and revalidation probes split by outcome
+	// (hit = version matched, lease renewed without a body; miss = stale
+	// version, current entry resent).
+	LeasesGranted    int64 `json:"leasesGranted"`
+	RevalidateHits   int64 `json:"revalidateHits"`
+	RevalidateMisses int64 `json:"revalidateMisses"`
 }
 
 // MonitorStatsResponse reports coordinator-side counters and membership.

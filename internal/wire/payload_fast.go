@@ -30,9 +30,17 @@ func fastMarshalPayload(payload interface{}) ([]byte, bool) {
 		b = strconv.AppendInt(b, int64(p.Kind), 10)
 		return append(b, '}'), true
 	case *LookupResponse:
-		return appendEntryRedirect(p.Entry, p.Redirect), true
+		return appendLeasedEntry(p.Entry, p.Redirect, p.LeaseMS, p.IndexVer), true
 	case *CreateResponse:
 		return appendEntryRedirect(p.Entry, p.Redirect), true
+	case *RevalidateRequest:
+		b := append(make([]byte, 0, len(p.Path)+40), `{"path":`...)
+		b = appendJSONString(b, p.Path)
+		b = append(b, `,"version":`...)
+		b = strconv.AppendInt(b, p.Version, 10)
+		return append(b, '}'), true
+	case *RevalidateResponse:
+		return appendRevalidateResponse(p), true
 	}
 	return nil, false
 }
@@ -46,18 +54,78 @@ func appendPathObject(path string) []byte {
 // appendEntryRedirect encodes the shared {entry?, redirect?} response shape
 // with encoding/json's omitempty behaviour.
 func appendEntryRedirect(entry *Entry, redirect string) []byte {
-	b := make([]byte, 0, 96)
+	return appendLeasedEntry(entry, redirect, 0, 0)
+}
+
+// appendLeasedEntry encodes the lease-granting response shape
+// {entry?, redirect?, leaseMs?, indexVer?} with omitempty behaviour; the
+// plain {entry?, redirect?} responses pass zero lease fields.
+func appendLeasedEntry(entry *Entry, redirect string, leaseMS, indexVer int64) []byte {
+	b := make([]byte, 0, 128)
 	b = append(b, '{')
 	if entry != nil {
 		b = append(b, `"entry":`...)
 		b = appendEntry(b, entry)
 	}
 	if redirect != "" {
-		if entry != nil {
+		if len(b) > 1 {
 			b = append(b, ',')
 		}
 		b = append(b, `"redirect":`...)
 		b = appendJSONString(b, redirect)
+	}
+	if leaseMS != 0 {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"leaseMs":`...)
+		b = strconv.AppendInt(b, leaseMS, 10)
+	}
+	if indexVer != 0 {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"indexVer":`...)
+		b = strconv.AppendInt(b, indexVer, 10)
+	}
+	return append(b, '}')
+}
+
+// appendRevalidateResponse encodes {match?, entry?, leaseMs?, indexVer?,
+// redirect?} in struct tag order with omitempty behaviour.
+func appendRevalidateResponse(p *RevalidateResponse) []byte {
+	b := make([]byte, 0, 128)
+	b = append(b, '{')
+	if p.Match {
+		b = append(b, `"match":true`...)
+	}
+	if p.Entry != nil {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"entry":`...)
+		b = appendEntry(b, p.Entry)
+	}
+	if p.LeaseMS != 0 {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"leaseMs":`...)
+		b = strconv.AppendInt(b, p.LeaseMS, 10)
+	}
+	if p.IndexVer != 0 {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"indexVer":`...)
+		b = strconv.AppendInt(b, p.IndexVer, 10)
+	}
+	if p.Redirect != "" {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"redirect":`...)
+		b = appendJSONString(b, p.Redirect)
 	}
 	return append(b, '}')
 }
@@ -87,15 +155,19 @@ func appendEntry(b []byte, e *Entry) []byte {
 func fastUnmarshalPayload(data []byte, out interface{}) bool {
 	switch o := out.(type) {
 	case *LookupResponse:
-		return decodeEntryRedirect(data, &o.Entry, &o.Redirect)
+		return decodeLeasedEntry(data, &o.Entry, &o.Redirect, &o.LeaseMS, &o.IndexVer)
 	case *CreateResponse:
-		return decodeEntryRedirect(data, &o.Entry, &o.Redirect)
+		return decodeLeasedEntry(data, &o.Entry, &o.Redirect, nil, nil)
 	case *LookupRequest:
 		return decodePathObject(data, &o.Path)
 	case *ReaddirRequest:
 		return decodePathObject(data, &o.Path)
 	case *CreateRequest:
 		return decodeCreateRequest(data, o)
+	case *RevalidateRequest:
+		return decodeRevalidateRequest(data, o)
+	case *RevalidateResponse:
+		return decodeRevalidateResponse(data, o)
 	}
 	return false
 }
@@ -138,8 +210,12 @@ func decodeCreateRequest(data []byte, req *CreateRequest) bool {
 	}) && c.end()
 }
 
-// decodeEntryRedirect parses the shared {entry?, redirect?} response shape.
-func decodeEntryRedirect(data []byte, entry **Entry, redirect *string) bool {
+// decodeLeasedEntry parses the shared {entry?, redirect?} response shape,
+// optionally extended with the lease-grant fields: types without them pass
+// nil pointers, so a leaseMs/indexVer key in their input bails to the
+// fallback (which then reports the unknown-field behaviour of
+// encoding/json — silently ignoring it — with authority).
+func decodeLeasedEntry(data []byte, entry **Entry, redirect *string, leaseMS, indexVer *int64) bool {
 	c := cursor{b: data}
 	return c.object(func(c *cursor, key string) bool {
 		switch key {
@@ -162,11 +238,112 @@ func decodeEntryRedirect(data []byte, entry **Entry, redirect *string) bool {
 				return false
 			}
 			*redirect = s
+		case "leaseMs":
+			if leaseMS == nil {
+				return false
+			}
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			*leaseMS = n
+		case "indexVer":
+			if indexVer == nil {
+				return false
+			}
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			*indexVer = n
 		default:
 			return false
 		}
 		return true
 	}) && c.end()
+}
+
+func decodeRevalidateRequest(data []byte, req *RevalidateRequest) bool {
+	c := cursor{b: data}
+	return c.object(func(c *cursor, key string) bool {
+		switch key {
+		case "path":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			req.Path = s
+		case "version":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			req.Version = n
+		default:
+			return false
+		}
+		return true
+	}) && c.end()
+}
+
+func decodeRevalidateResponse(data []byte, resp *RevalidateResponse) bool {
+	c := cursor{b: data}
+	return c.object(func(c *cursor, key string) bool {
+		switch key {
+		case "match":
+			v, ok := c.boolVal()
+			if !ok {
+				return false
+			}
+			resp.Match = v
+		case "entry":
+			if c.i < len(c.b) && c.b[c.i] == 'n' {
+				if !c.lit("null") {
+					return false
+				}
+				resp.Entry = nil
+				return true
+			}
+			if resp.Entry == nil {
+				resp.Entry = new(Entry)
+			}
+			return c.entry(resp.Entry)
+		case "leaseMs":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			resp.LeaseMS = n
+		case "indexVer":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			resp.IndexVer = n
+		case "redirect":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			resp.Redirect = s
+		default:
+			return false
+		}
+		return true
+	}) && c.end()
+}
+
+// boolVal parses a JSON true/false literal.
+func (c *cursor) boolVal() (bool, bool) {
+	if c.i < len(c.b) {
+		switch c.b[c.i] {
+		case 't':
+			return true, c.lit("true")
+		case 'f':
+			return false, c.lit("false")
+		}
+	}
+	return false, false
 }
 
 func (c *cursor) entry(e *Entry) bool {

@@ -23,8 +23,18 @@ func TestFastMarshalPayloadMatchesEncodingJSON(t *testing.T) {
 		&LookupResponse{Redirect: "127.0.0.1:9"},
 		&LookupResponse{Entry: &Entry{Path: "/a", Kind: EntryDir, Version: 3}},
 		&LookupResponse{Entry: &Entry{Path: "/f", Kind: EntryFile, Size: 4096, Mode: 0o644, Version: 1}},
+		&LookupResponse{Entry: &Entry{Path: "/a", Kind: EntryDir, Version: 3}, LeaseMS: 2000, IndexVer: 7},
+		&LookupResponse{LeaseMS: -1, IndexVer: -2},
 		&CreateResponse{Entry: &Entry{Path: "/x", Kind: EntryFile, Version: 1}, Redirect: "r"},
 		&CreateResponse{Entry: &Entry{Size: -1, Version: -9}},
+		&RevalidateRequest{Path: "/a/b", Version: 12},
+		&RevalidateRequest{},
+		&RevalidateRequest{Path: `quo"te`, Version: -3},
+		&RevalidateResponse{},
+		&RevalidateResponse{Match: true, LeaseMS: 2000, IndexVer: 4},
+		&RevalidateResponse{Entry: &Entry{Path: "/a", Kind: EntryFile, Size: 7, Version: 9}, LeaseMS: 1500, IndexVer: 2},
+		&RevalidateResponse{Redirect: "127.0.0.1:9"},
+		&RevalidateResponse{Match: true, Entry: &Entry{Path: "/odd", Kind: EntryDir, Version: 1}, Redirect: "r"},
 	}
 	for _, p := range payloads {
 		fast, ok := fastMarshalPayload(p)
@@ -74,11 +84,13 @@ func checkFastUnmarshal(t *testing.T, data string, mk func() interface{}) {
 
 func TestFastUnmarshalPayloadEdgeCases(t *testing.T) {
 	mks := map[string]func() interface{}{
-		"lookupReq":  func() interface{} { return &LookupRequest{} },
-		"readdirReq": func() interface{} { return &ReaddirRequest{} },
-		"createReq":  func() interface{} { return &CreateRequest{} },
-		"lookupResp": func() interface{} { return &LookupResponse{} },
-		"createResp": func() interface{} { return &CreateResponse{} },
+		"lookupReq":      func() interface{} { return &LookupRequest{} },
+		"readdirReq":     func() interface{} { return &ReaddirRequest{} },
+		"createReq":      func() interface{} { return &CreateRequest{} },
+		"lookupResp":     func() interface{} { return &LookupResponse{} },
+		"createResp":     func() interface{} { return &CreateResponse{} },
+		"revalidateReq":  func() interface{} { return &RevalidateRequest{} },
+		"revalidateResp": func() interface{} { return &RevalidateResponse{} },
 	}
 	cases := []string{
 		`{}`,
@@ -94,6 +106,17 @@ func TestFastUnmarshalPayloadEdgeCases(t *testing.T) {
 		`{"entry":{"path":"/a","kind":1,"size":-5,"version":-1}}`,
 		`{"entry":{"version":9223372036854775807,"path":"","kind":0}}`,
 		`{"entry":{"size":-9223372036854775808,"kind":1,"version":0}}`,
+		`{"entry":{"path":"/a","kind":1,"version":2},"leaseMs":2000,"indexVer":3}`,
+		`{"leaseMs":-7,"indexVer":-1}`,
+		`{"indexVer":5,"leaseMs":1,"redirect":"r"}`,
+		`{"leaseMs":1.5}`, // float into int: decline → fallback errors
+		`{"path":"/v","version":41}`,
+		`{"version":-12,"path":"/v"}`,
+		`{"match":true,"leaseMs":2000,"indexVer":9}`,
+		`{"match":false,"entry":{"path":"/a","kind":2,"version":3}}`,
+		`{"match":"yes"}`, // wrong type: decline
+		`{"match":tru}`,   // bad literal: decline
+		`{"match":true,"entry":null,"redirect":"r"}`,
 		`  { "path" : "/sp" }  `,
 		`{"path":"/a","path":"/b"}`, // duplicate key: last wins
 		`null`,                      // decline → fallback no-op
@@ -119,8 +142,8 @@ func TestFastUnmarshalPayloadEdgeCases(t *testing.T) {
 // TestFastPayloadRoundTripProperty drives random hot-type values through the
 // fast encoder and both decoders.
 func TestFastPayloadRoundTripProperty(t *testing.T) {
-	prop := func(path, redirect string, kind int8, size, version int64, mode uint32, hasEntry bool) bool {
-		resp := &LookupResponse{Redirect: redirect}
+	prop := func(path, redirect string, kind int8, size, version int64, mode uint32, hasEntry bool, leaseMS, indexVer int64) bool {
+		resp := &LookupResponse{Redirect: redirect, LeaseMS: leaseMS, IndexVer: indexVer}
 		if hasEntry {
 			resp.Entry = &Entry{Path: path, Kind: EntryKind(kind), Size: size, Mode: mode, Version: version}
 		}
@@ -140,6 +163,39 @@ func TestFastPayloadRoundTripProperty(t *testing.T) {
 		return reflect.DeepEqual(&fast, &ref) && reflect.DeepEqual(&fast, resp)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	reval := func(path string, kind int8, version, cachedVer, leaseMS, indexVer int64, match, hasEntry bool, redirect string) bool {
+		resp := &RevalidateResponse{Match: match, LeaseMS: leaseMS, IndexVer: indexVer, Redirect: redirect}
+		if hasEntry {
+			resp.Entry = &Entry{Path: path, Kind: EntryKind(kind), Version: version}
+		}
+		raw, ok := fastMarshalPayload(resp)
+		if !ok {
+			return false
+		}
+		var fast, ref RevalidateResponse
+		if !fastUnmarshalPayload(raw, &fast) {
+			t.Logf("fast decoder declined its own encoder's output %q", raw)
+			return false
+		}
+		if err := json.Unmarshal(raw, &ref); err != nil {
+			t.Logf("json rejects fast output %q: %v", raw, err)
+			return false
+		}
+		req := &RevalidateRequest{Path: path, Version: cachedVer}
+		rawReq, ok := fastMarshalPayload(req)
+		if !ok {
+			return false
+		}
+		var fastReq, refReq RevalidateRequest
+		if !fastUnmarshalPayload(rawReq, &fastReq) || json.Unmarshal(rawReq, &refReq) != nil {
+			return false
+		}
+		return reflect.DeepEqual(&fast, &ref) && reflect.DeepEqual(&fast, resp) &&
+			reflect.DeepEqual(&fastReq, &refReq) && reflect.DeepEqual(&fastReq, req)
+	}
+	if err := quick.Check(reval, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }

@@ -28,6 +28,11 @@ const (
 	TypeRename  = "rename"
 	TypeStats   = "stats"
 
+	// Client → MDS: body-less version check on an expired cache lease. A
+	// matching version renews the lease without resending the entry; a
+	// mismatch ships the current entry in the response.
+	TypeRevalidate = "revalidate"
+
 	// MDS → Monitor.
 	TypeJoin      = "join"
 	TypeHeartbeat = "heartbeat"
