@@ -28,7 +28,9 @@ vet:
 	$(GO) vet ./...
 
 # go vet plus the project-specific analyzers (lockheld, determinism,
-# wirecheck, statcheck). See DESIGN.md "Invariants as lint rules".
+# wirecheck, statcheck, codeccheck, leasecheck, goroutinecheck). See
+# DESIGN.md "Invariants as lint rules". Use `d2vet -rule <name>` to run one
+# rule and `-json` for machine-readable findings (what ci.sh parses).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/d2vet ./...

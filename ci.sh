@@ -7,7 +7,16 @@ cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
-go run ./cmd/d2vet ./...
+
+# Project analyzers (make lint), machine-readable: on findings, re-render
+# the JSONL stream as GitHub-style file:line: rule: msg annotations.
+d2vet_out=$(mktemp)
+if ! go run ./cmd/d2vet -json ./... > "$d2vet_out"; then
+    sed -E 's/^\{"file":"([^"]*)","line":([0-9]+),"col":([0-9]+),"rule":"([^"]*)","msg":"(.*)"\}$/\1:\2: \4: \5/' "$d2vet_out" >&2
+    rm -f "$d2vet_out"
+    exit 1
+fi
+rm -f "$d2vet_out"
 
 # Fast-failing race pass over the observability and accounting packages
 # (event ring, histograms, cache counters) before the full suite.

@@ -3,23 +3,31 @@
 //
 // Usage:
 //
-//	d2vet [-rules lockheld,wirecheck] [-v] [path]
+//	d2vet [-rules lockheld,wirecheck] [-json] [-v] [path]
 //
 // The path argument is a module root (default "."); the Go-style "./..."
 // suffix is accepted and stripped, since the analyzers always walk the whole
-// module. Findings can be suppressed in source with
+// module. -rule is an alias of -rules (both accept comma-separated names and
+// may be combined). With -json each finding is printed as one JSON object
+// per line — {"file":…,"line":…,"col":…,"rule":…,"msg":…} — for CI to parse
+// into annotations; human summaries are suppressed.
+//
+// Findings can be suppressed in source with
 //
 //	//d2vet:ignore <rule> <reason>
 //
 // on the flagged line or the line directly above it; the rule may be "all"
 // and the reason is mandatory. Suppressed findings are counted and shown
-// with -v.
+// with -v. Directives that no longer suppress anything are reported as
+// stale-ignore warnings on stderr (scoped to the rules that actually ran);
+// they never affect the exit status — delete them.
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 on usage or
 // load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +37,15 @@ import (
 	"d2tree/internal/analysis"
 )
 
+// jsonDiag is the machine-readable finding shape emitted under -json.
+type jsonDiag struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -37,6 +54,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("d2vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	rule := fs.String("rule", "", "alias of -rules")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding (for CI annotation)")
 	verbose := fs.Bool("v", false, "list suppressed findings and per-analyzer counts")
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	fs.Usage = func() {
@@ -54,15 +73,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *rules != "" {
+	selection := strings.Trim(strings.Join([]string{*rules, *rule}, ","), ",")
+	complete := selection == ""
+	if selection != "" {
 		byName := map[string]analysis.Analyzer{}
 		for _, a := range analyzers {
 			byName[a.Name()] = a
 		}
 		var selected []analysis.Analyzer
-		for _, name := range strings.Split(*rules, ",") {
+		seen := map[string]bool{}
+		for _, name := range strings.Split(selection, ",") {
 			name = strings.TrimSpace(name)
-			if name == "" {
+			if name == "" || seen[name] {
 				continue
 			}
 			a, ok := byName[name]
@@ -70,9 +92,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "d2vet: unknown rule %q (use -list to see available rules)\n", name)
 				return 2
 			}
+			seen[name] = true
 			selected = append(selected, a)
 		}
 		analyzers = selected
+		complete = len(selected) == len(byName)
 	}
 
 	root := "."
@@ -107,6 +131,32 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	kept, suppressed := analysis.Filter(diags, directives)
 	analysis.SortDiagnostics(kept)
 	analysis.SortDiagnostics(suppressed)
+
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name()] = true
+	}
+	for _, dir := range analysis.Stale(directives, suppressed, ran, complete) {
+		fmt.Fprintf(stderr, "d2vet: stale ignore at %s:%d: rule %s suppressed nothing — delete the directive\n",
+			dir.File, dir.Line, dir.Rule)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, d := range kept {
+			_ = enc.Encode(jsonDiag{
+				File: d.Pos.Filename,
+				Line: d.Pos.Line,
+				Col:  d.Pos.Column,
+				Rule: d.Rule,
+				Msg:  d.Message,
+			})
+		}
+		if len(kept) > 0 {
+			return 1
+		}
+		return 0
+	}
 
 	for _, d := range kept {
 		fmt.Fprintln(stdout, d.String())

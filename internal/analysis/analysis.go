@@ -11,7 +11,16 @@
 //     wire op constant has a registered handler plus request/response
 //     structs;
 //   - statcheck: fields of mutex-guarded stats/counter structs are only
-//     touched while the owning mutex is held.
+//     touched while the owning mutex is held (fields declared before the
+//     mutex, and fields of self-synchronised types, are exempt);
+//   - codeccheck: the hand payload codecs in payload_fast.go emit and
+//     accept exactly the json-tagged fields of their message structs, in
+//     declared order — codec drift becomes a build break;
+//   - leasecheck: every entry-carrying wire response declares and stamps
+//     the §8b lease fields, and mutating client calls reconcile the entry
+//     cache;
+//   - goroutinecheck: goroutines in the concurrent serving path have a
+//     reachable termination path, and RPC connections are deadline-armed.
 //
 // The suite is purely syntactic (go/ast + go/parser + go/token): it needs no
 // type information, no build, and no dependencies outside the standard
@@ -132,13 +141,26 @@ var DeterministicPackages = []string{
 	"internal/trace",
 }
 
+// ConcurrentPackages are the packages of the concurrent serving path whose
+// goroutine lifecycles and state blocks the suite checks.
+var ConcurrentPackages = []string{
+	"internal/wire",
+	"internal/server",
+	"internal/monitor",
+	"internal/client",
+	"internal/obs",
+}
+
 // Default returns the analyzer suite configured for this repository.
 func Default() []Analyzer {
 	return []Analyzer{
 		&LockHeld{},
 		&Determinism{Packages: DeterministicPackages},
 		&WireCheck{WirePackage: "internal/wire", MessagesFile: "messages.go", EnvelopeStruct: "Envelope"},
-		&StatCheck{Packages: []string{"internal/stats", "internal/core", "internal/obs", "internal/cache"}},
+		&StatCheck{Packages: []string{"internal/stats", "internal/core", "internal/obs", "internal/cache", "internal/server", "internal/monitor"}},
+		&CodecCheck{WirePackage: "internal/wire", CodecFile: "payload_fast.go", MessagesFile: "messages.go"},
+		&LeaseCheck{WirePackage: "internal/wire", ServerPackage: "internal/server", ClientPackage: "internal/client"},
+		&GoroutineCheck{Packages: ConcurrentPackages},
 	}
 }
 

@@ -30,6 +30,9 @@ func TestGolden(t *testing.T) {
 		{name: "determinism", analyzers: []Analyzer{&Determinism{Packages: []string{"det"}}}},
 		{name: "wirecheck", analyzers: []Analyzer{&WireCheck{WirePackage: "wire", MessagesFile: "messages.go", EnvelopeStruct: "Envelope"}}},
 		{name: "statcheck", analyzers: []Analyzer{&StatCheck{Packages: []string{"stats"}}}},
+		{name: "codeccheck", analyzers: []Analyzer{&CodecCheck{WirePackage: "wire", CodecFile: "payload_fast.go", MessagesFile: "messages.go"}}},
+		{name: "leasecheck", analyzers: []Analyzer{&LeaseCheck{WirePackage: "wire", ServerPackage: "server", ClientPackage: "client"}}},
+		{name: "goroutinecheck", analyzers: []Analyzer{&GoroutineCheck{Packages: []string{"wire", "server"}}}},
 		{name: "ignore", analyzers: []Analyzer{&LockHeld{}}, withIgnores: true},
 	}
 	for _, tc := range cases {
@@ -92,8 +95,8 @@ func relDiag(root string, d Diagnostic) string {
 
 func TestDefaultAnalyzers(t *testing.T) {
 	all := Default()
-	if len(all) != 4 {
-		t.Fatalf("Default() returned %d analyzers, want 4", len(all))
+	if len(all) != 7 {
+		t.Fatalf("Default() returned %d analyzers, want 7", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

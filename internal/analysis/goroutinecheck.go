@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoroutineCheck guards the goroutine lifecycles of the concurrent serving
+// path (the PR 5 multiplexer/worker-pool layer and everything built on it):
+//
+//   - every goroutine started in the checked packages must be able to
+//     terminate: an unconditional `for {}` loop in the goroutine's body
+//     with no return and no break is a leak — such loops must exit via a
+//     stop-channel select, a poisoned-connection error return, or a
+//     ranged channel that closes;
+//   - every RPC connection must be deadline-armed: wire.Dial (which arms
+//     no per-call deadline) and DialCall with a literal zero call timeout
+//     are flagged, because an un-deadlined Call blocks its goroutine
+//     forever when the peer wedges — the failure mode PR 1 introduced
+//     deadlines to kill.
+//
+// Goroutine bodies are resolved syntactically: function literals directly,
+// named functions and methods by name within the same package. Loops inside
+// nested function literals are not attributed to the outer goroutine (each
+// `go` statement is checked at its own site). Test files are never analysed
+// (Load skips them), so test helpers may spawn freely.
+type GoroutineCheck struct {
+	// Packages lists root-relative package paths to check.
+	Packages []string
+}
+
+// Name implements Analyzer.
+func (*GoroutineCheck) Name() string { return "goroutinecheck" }
+
+// Doc implements Analyzer.
+func (*GoroutineCheck) Doc() string {
+	return "goroutines have a reachable termination path and RPC calls are deadline-armed"
+}
+
+// Run implements Analyzer.
+func (a *GoroutineCheck) Run(m *Module) []Diagnostic {
+	r := &reporter{fset: m.Fset, rule: a.Name()}
+	for _, pkg := range m.Pkgs {
+		if !pathMatches(pkg.Path, a.Packages) {
+			continue
+		}
+		funcs := map[string]*ast.FuncDecl{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					funcs[fd.Name.Name] = fd
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.GoStmt:
+					a.checkGoroutine(r, v, funcs, pkg)
+				case *ast.CallExpr:
+					a.checkDeadline(r, v, pkg)
+				}
+				return true
+			})
+		}
+	}
+	return r.diags
+}
+
+// checkGoroutine resolves the spawned body and flags unconditional loops
+// with no exit.
+func (a *GoroutineCheck) checkGoroutine(r *reporter, g *ast.GoStmt, funcs map[string]*ast.FuncDecl, pkg *Package) {
+	var body *ast.BlockStmt
+	name := "goroutine"
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		if fd := funcs[fun.Name]; fd != nil {
+			body = fd.Body
+			name = fun.Name
+		}
+	case *ast.SelectorExpr:
+		if fd := funcs[fun.Sel.Name]; fd != nil {
+			body = fd.Body
+			name = fun.Sel.Name
+		}
+	}
+	if body == nil {
+		// Spawning a function from another package: out of syntactic reach.
+		return
+	}
+	for _, loop := range endlessLoops(body) {
+		r.reportf(loop.Pos(), "goroutine %s (started line %d) loops unconditionally with no return or break: no termination path",
+			name, r.line(g.Go))
+	}
+}
+
+// endlessLoops returns the unconditional for-loops in body (not inside
+// nested function literals) that contain no exit.
+func endlessLoops(body *ast.BlockStmt) []*ast.ForStmt {
+	var out []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if v.Cond == nil && !loopExits(v.Body.List, true) {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// loopExits reports whether the statement list can leave the enclosing
+// unconditional loop: a return, a goto, a labeled break, or a bare break
+// whose innermost breakable construct is that loop. breakable tracks
+// whether a bare break here still targets the loop (false once inside a
+// nested for/switch/select).
+func loopExits(stmts []ast.Stmt, breakable bool) bool {
+	for _, s := range stmts {
+		switch v := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			switch v.Tok.String() {
+			case "break":
+				if breakable || v.Label != nil {
+					return true
+				}
+			case "goto":
+				return true
+			}
+		case *ast.BlockStmt:
+			if loopExits(v.List, breakable) {
+				return true
+			}
+		case *ast.IfStmt:
+			if loopExits(v.Body.List, breakable) {
+				return true
+			}
+			if v.Else != nil && loopExits([]ast.Stmt{v.Else}, breakable) {
+				return true
+			}
+		case *ast.LabeledStmt:
+			if loopExits([]ast.Stmt{v.Stmt}, breakable) {
+				return true
+			}
+		case *ast.ForStmt:
+			if loopExits(v.Body.List, false) {
+				return true
+			}
+		case *ast.RangeStmt:
+			if loopExits(v.Body.List, false) {
+				return true
+			}
+		case *ast.SwitchStmt:
+			if clausesExit(v.Body) {
+				return true
+			}
+		case *ast.TypeSwitchStmt:
+			if clausesExit(v.Body) {
+				return true
+			}
+		case *ast.SelectStmt:
+			for _, cl := range v.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && loopExits(cc.Body, false) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func clausesExit(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && loopExits(cc.Body, false) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDeadline flags un-deadlined connection constructors: wire.Dial (no
+// call timeout at all) and DialCall with a literal zero call timeout.
+func (a *GoroutineCheck) checkDeadline(r *reporter, call *ast.CallExpr, pkg *Package) {
+	name := ""
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if pkg.Name == "wire" {
+			name = fun.Name
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok && id.Name == "wire" {
+			name = fun.Sel.Name
+		}
+	}
+	switch name {
+	case "Dial":
+		r.reportf(call.Pos(), "Dial arms no per-call deadline: use DialCall with a call timeout (or SetCallTimeout) so a wedged peer cannot block this goroutine forever")
+	case "DialCall":
+		if len(call.Args) == 3 {
+			if lit, ok := call.Args[2].(*ast.BasicLit); ok && lit.Value == "0" {
+				r.reportf(call.Pos(), "DialCall with a zero call timeout: calls on this connection never time out")
+			}
+		}
+	}
+}

@@ -74,17 +74,51 @@ func Filter(diags []Diagnostic, dirs []Directive) (kept, suppressed []Diagnostic
 
 func matchDirective(d Diagnostic, dirs []Directive) bool {
 	for _, dir := range dirs {
-		if dir.File != d.Pos.Filename {
-			continue
-		}
-		if dir.Rule != "all" && dir.Rule != d.Rule {
-			continue
-		}
-		if dir.Line == d.Pos.Line || dir.Line == d.Pos.Line-1 {
+		if directiveMatches(dir, d) {
 			return true
 		}
 	}
 	return false
+}
+
+func directiveMatches(dir Directive, d Diagnostic) bool {
+	if dir.File != d.Pos.Filename {
+		return false
+	}
+	if dir.Rule != "all" && dir.Rule != d.Rule {
+		return false
+	}
+	return dir.Line == d.Pos.Line || dir.Line == d.Pos.Line-1
+}
+
+// Stale returns the directives that suppressed nothing in this run. A stale
+// directive is dead weight — the finding it once silenced has been fixed or
+// moved — so the driver warns about it (never an exit-code failure). The
+// check is scoped to ran, the set of rule names actually executed: a partial
+// -rules run legitimately leaves other rules' directives unused, and "all"
+// directives are only judged when complete is true (every default rule ran).
+func Stale(dirs []Directive, suppressed []Diagnostic, ran map[string]bool, complete bool) []Directive {
+	var out []Directive
+	for _, dir := range dirs {
+		if dir.Rule == "all" {
+			if !complete {
+				continue
+			}
+		} else if !ran[dir.Rule] {
+			continue
+		}
+		used := false
+		for _, d := range suppressed {
+			if directiveMatches(dir, d) {
+				used = true
+				break
+			}
+		}
+		if !used {
+			out = append(out, dir)
+		}
+	}
+	return out
 }
 
 // position is a tiny helper for analyzers that need a Position directly.

@@ -7,12 +7,25 @@ import (
 )
 
 // StatCheck enforces the ownership discipline of the stats/counter structs
-// (stats.Histogram, stats.CounterSet, core.Counters): a struct with a
-// mutex field named "mu" owns its other fields, and within the declaring
-// package those fields may only be read or written while that mutex is
-// held. Snapshots and merges must copy under the lock — an unlocked read
-// "just for reporting" is exactly the data race the race detector only
-// catches when a test happens to interleave it.
+// (stats.Histogram, stats.CounterSet, core.Counters) and, since the serving
+// path went concurrent, of the Server/Monitor state blocks: a struct with a
+// mutex field named "mu" owns the fields declared after it, and within the
+// declaring package those fields may only be read or written while that
+// mutex is held. Snapshots and merges must copy under the lock — an
+// unlocked read "just for reporting" is exactly the data race the race
+// detector only catches when a test happens to interleave it.
+//
+// Three field classes are exempt from guarding:
+//
+//   - fields declared BEFORE the mu field: by convention these are set at
+//     construction time and immutable afterwards (cfg, injected deps, the
+//     listener), so the declaration order is itself the documentation;
+//   - fields of inherently synchronised types: atomic.*, sync.* (WaitGroup
+//     etc.), channels and funcs;
+//   - fields whose type resolves, module-wide by package and type name, to
+//     a self-synchronised struct — one with its own "mu" mutex, or one all
+//     of whose fields are themselves exempt (recursively: a [16]shard array
+//     of mutex-guarded shards, an all-atomic metrics block).
 //
 // The check is syntactic: it tracks the method receiver and any parameters
 // declared with a guarded struct type (e.g. Merge(other *Histogram)), and
@@ -34,21 +47,23 @@ func (*StatCheck) Doc() string {
 	return "fields of mutex-guarded stats structs accessed only under the owning mutex"
 }
 
-// guardedStruct is a struct with a "mu" mutex field guarding its others.
+// guardedStruct is a struct with a "mu" mutex field guarding the non-exempt
+// fields declared after it.
 type guardedStruct struct {
 	name    string
 	muField string
-	fields  map[string]bool // guarded (non-mutex) field names
+	fields  map[string]bool // guarded field names
 }
 
 // Run implements Analyzer.
 func (a *StatCheck) Run(m *Module) []Diagnostic {
 	r := &reporter{fset: m.Fset, rule: a.Name()}
+	res := newSelfSyncResolver(m)
 	for _, pkg := range m.Pkgs {
 		if !pathMatches(pkg.Path, a.Packages) {
 			continue
 		}
-		guarded := collectGuardedStructs(pkg)
+		guarded := collectGuardedStructs(pkg, res)
 		if len(guarded) == 0 {
 			continue
 		}
@@ -66,8 +81,9 @@ func (a *StatCheck) Run(m *Module) []Diagnostic {
 }
 
 // collectGuardedStructs finds structs with a sync.Mutex/RWMutex field named
-// mu (or lock/Mutex variants are not used in this codebase).
-func collectGuardedStructs(pkg *Package) map[string]*guardedStruct {
+// mu and records the fields it guards: those declared after the mutex whose
+// types are not inherently synchronised (see StatCheck doc).
+func collectGuardedStructs(pkg *Package, res *selfSyncResolver) map[string]*guardedStruct {
 	out := make(map[string]*guardedStruct)
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -81,13 +97,24 @@ func collectGuardedStructs(pkg *Package) map[string]*guardedStruct {
 			}
 			gs := &guardedStruct{name: ts.Name.Name, fields: map[string]bool{}}
 			for _, field := range st.Fields.List {
-				isMutex := isSyncMutexType(field.Type)
-				for _, fn := range field.Names {
-					if isMutex && fn.Name == "mu" {
-						gs.muField = fn.Name
-						continue
+				if isSyncMutexType(field.Type) {
+					for _, fn := range field.Names {
+						if fn.Name == "mu" {
+							gs.muField = fn.Name
+						}
 					}
-					gs.fields[fn.Name] = true
+					continue
+				}
+				// Fields declared before mu are construction-time/immutable
+				// by convention; fields of self-synchronised types carry
+				// their own discipline.
+				if gs.muField == "" || res.exemptFieldType(pkg.Name, field.Type) {
+					continue
+				}
+				for _, fn := range field.Names {
+					if fn.Name != "_" {
+						gs.fields[fn.Name] = true
+					}
 				}
 			}
 			if gs.muField != "" && len(gs.fields) > 0 {
@@ -113,6 +140,140 @@ func isSyncMutexType(e ast.Expr) bool {
 		return false
 	}
 	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+// selfSyncResolver answers "is this field type inherently synchronised?"
+// across the whole module, resolving named struct types by package name +
+// type name (the suite is syntactic; package names are unique here).
+type selfSyncResolver struct {
+	// structs: package name → type name → struct type.
+	structs map[string]map[string]*ast.StructType
+	// pkgOf remembers which package name declared each struct, for
+	// resolving its own field types during recursion.
+	pkgOf map[*ast.StructType]string
+	memo  map[*ast.StructType]selfSyncState
+}
+
+type selfSyncState int
+
+const (
+	selfSyncUnknown selfSyncState = iota
+	selfSyncPending
+	selfSyncYes
+	selfSyncNo
+)
+
+func newSelfSyncResolver(m *Module) *selfSyncResolver {
+	res := &selfSyncResolver{
+		structs: map[string]map[string]*ast.StructType{},
+		pkgOf:   map[*ast.StructType]string{},
+		memo:    map[*ast.StructType]selfSyncState{},
+	}
+	for _, pkg := range m.Pkgs {
+		tbl := res.structs[pkg.Name]
+		if tbl == nil {
+			tbl = map[string]*ast.StructType{}
+			res.structs[pkg.Name] = tbl
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					tbl[ts.Name.Name] = st
+					res.pkgOf[st] = pkg.Name
+				}
+				return true
+			})
+		}
+	}
+	return res
+}
+
+// exemptFieldType reports whether a field of this type needs no external
+// mutex: atomics, sync primitives, channels, funcs, and (arrays of)
+// self-synchronised structs. pkgName is the package the field is declared
+// in, for resolving unqualified type names.
+func (res *selfSyncResolver) exemptFieldType(pkgName string, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.StarExpr:
+		return res.exemptFieldType(pkgName, v.X)
+	case *ast.ParenExpr:
+		return res.exemptFieldType(pkgName, v.X)
+	case *ast.ArrayType:
+		return res.exemptFieldType(pkgName, v.Elt)
+	case *ast.ChanType, *ast.FuncType:
+		return true
+	case *ast.SelectorExpr:
+		id, ok := v.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if id.Name == "atomic" || id.Name == "sync" {
+			return true
+		}
+		return res.selfSyncNamed(id.Name, v.Sel.Name)
+	case *ast.Ident:
+		return res.selfSyncNamed(pkgName, v.Name)
+	}
+	return false
+}
+
+func (res *selfSyncResolver) selfSyncNamed(pkgName, typeName string) bool {
+	tbl := res.structs[pkgName]
+	if tbl == nil {
+		return false
+	}
+	st := tbl[typeName]
+	if st == nil {
+		return false
+	}
+	return res.selfSync(st)
+}
+
+// selfSync reports whether a struct synchronises itself: it has its own
+// "mu" mutex, or every field is exempt (all-atomic blocks, arrays of
+// mutex-guarded shards). Cycles resolve conservatively to false.
+func (res *selfSyncResolver) selfSync(st *ast.StructType) bool {
+	switch res.memo[st] {
+	case selfSyncYes:
+		return true
+	case selfSyncNo, selfSyncPending:
+		return false
+	}
+	res.memo[st] = selfSyncPending
+	ok := res.selfSyncUncached(st)
+	if ok {
+		res.memo[st] = selfSyncYes
+	} else {
+		res.memo[st] = selfSyncNo
+	}
+	return ok
+}
+
+func (res *selfSyncResolver) selfSyncUncached(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if !isSyncMutexType(field.Type) {
+			continue
+		}
+		for _, fn := range field.Names {
+			if fn.Name == "mu" {
+				return true
+			}
+		}
+	}
+	pkgName := res.pkgOf[st]
+	for _, field := range st.Fields.List {
+		if isSyncMutexType(field.Type) {
+			continue
+		}
+		if !res.exemptFieldType(pkgName, field.Type) {
+			return false
+		}
+	}
+	return true
 }
 
 func (a *StatCheck) checkFunc(r *reporter, guarded map[string]*guardedStruct, fd *ast.FuncDecl) {

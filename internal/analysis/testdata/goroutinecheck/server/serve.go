@@ -1,0 +1,83 @@
+// Package server exercises the goroutinecheck lifecycle clause: every
+// spawned goroutine needs a reachable way out of its loops.
+package server
+
+import (
+	"time"
+
+	"example.com/wire"
+)
+
+type Server struct {
+	stop chan struct{}
+	jobs chan int
+}
+
+// acceptLoop exits through the stop-channel select: clean.
+func (s *Server) acceptLoop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.jobs:
+			_ = j
+		}
+	}
+}
+
+// pump spins with no exit; flagged when spawned by name in Start.
+func (s *Server) pump() {
+	for {
+		s.tick()
+	}
+}
+
+func (s *Server) tick() {}
+
+func (s *Server) Start() {
+	go s.acceptLoop() // clean: select-based exit
+
+	go s.pump() // flagged at pump's loop
+
+	// Orphan literal: unconditional loop, nothing leaves it.
+	go func() {
+		for {
+			s.tick()
+		}
+	}()
+
+	// Ranged channel worker: ends when jobs closes, clean.
+	go func() {
+		for j := range s.jobs {
+			_ = j
+		}
+	}()
+
+	// An inner bare break does not leave the outer loop: flagged.
+	go func() {
+		for {
+			for i := 0; i < 3; i++ {
+				break
+			}
+		}
+	}()
+
+	// Error-return exit inside the loop: clean.
+	go func() {
+		for {
+			if err := s.step(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func (s *Server) step() error { return nil }
+
+// dialMonitor exercises the deadline clause at call sites.
+func (s *Server) dialMonitor(addr string) {
+	c, _ := wire.Dial(addr, time.Second) // flagged: no per-call deadline
+	_ = c
+	c2, _ := wire.DialCall(addr, time.Second, time.Second) // clean
+	_ = c2
+}

@@ -1,0 +1,39 @@
+// Package client exercises the leasecheck client clause: a function that
+// issues a namespace-mutating call must reconcile the entry cache.
+package client
+
+import "example.com/wire"
+
+type conn struct{}
+
+func (conn) Call(op string, req, resp interface{}) error { return nil }
+
+type entryCache struct{}
+
+func (entryCache) Invalidate(path string)                 {}
+func (entryCache) PutLeased(path string, v interface{})   {}
+
+// Client mirrors the real client's conn + entry-cache shape.
+type Client struct {
+	c       conn
+	entries entryCache
+}
+
+// Create mutates the namespace and never touches the cache.
+func (cl *Client) Create(path string) error {
+	return cl.c.Call(wire.TypeCreate, path, nil)
+}
+
+// SetAttr reconciles via Invalidate: clean.
+func (cl *Client) SetAttr(path string) error {
+	if err := cl.c.Call(wire.TypeSetAttr, path, nil); err != nil {
+		return err
+	}
+	cl.entries.Invalidate(path)
+	return nil
+}
+
+// Lookup is read-only: exempt.
+func (cl *Client) Lookup(path string) error {
+	return cl.c.Call(wire.TypeLookup, path, nil)
+}

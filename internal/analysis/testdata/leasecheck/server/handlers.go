@@ -1,0 +1,21 @@
+// Package server exercises the leasecheck server clause: lease-carrying
+// response literals that set an entry body must stamp the lease fields.
+package server
+
+import "example.com/wire"
+
+// handleLookup grants correctly on the hit path and returns a bare redirect
+// on the miss path: both clean.
+func handleLookup(hit bool, leaseMS, ver int64) *wire.LookupResponse {
+	if !hit {
+		return &wire.LookupResponse{Redirect: "mds-2"}
+	}
+	e := &wire.Entry{Path: "/a", Version: 1}
+	return &wire.LookupResponse{Entry: e, LeaseMS: leaseMS, IndexVer: ver}
+}
+
+// handleReaddir sets the entry body but forgets the lease stamp.
+func handleReaddir() *wire.LookupResponse {
+	e := &wire.Entry{Path: "/a", Version: 1}
+	return &wire.LookupResponse{Entry: e}
+}

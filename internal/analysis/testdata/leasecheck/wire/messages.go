@@ -1,0 +1,36 @@
+// Package wire is a miniature protocol for the leasecheck goldens.
+package wire
+
+// Entry is the cached namespace object.
+type Entry struct {
+	Path    string `json:"path"`
+	Version int64  `json:"version"`
+}
+
+// Op constants the client fixtures dispatch on.
+const (
+	TypeLookup  = "lookup"
+	TypeCreate  = "create"
+	TypeSetAttr = "setattr"
+)
+
+// LookupResponse declares the lease grant: clean, and enters the leased set
+// the server clause polices.
+type LookupResponse struct {
+	Entry    *Entry `json:"entry,omitempty"`
+	Redirect string `json:"redirect,omitempty"`
+	LeaseMS  int64  `json:"leaseMs,omitempty"`
+	IndexVer int64  `json:"indexVer,omitempty"`
+}
+
+// CreateResponse ships an entry body with no lease fields: the protocol gap
+// the wire clause flags.
+type CreateResponse struct {
+	Entry    *Entry `json:"entry,omitempty"`
+	Redirect string `json:"redirect,omitempty"`
+}
+
+// StatsResponse carries no entry: exempt.
+type StatsResponse struct {
+	Ops int64 `json:"ops"`
+}

@@ -1,0 +1,19 @@
+// Package ext exercises module-wide self-sync resolution: stats.Server
+// embeds ext.Counter, whose own mutex makes it exempt from the embedding
+// struct's guard even though ext is not itself a checked package.
+package ext
+
+import "sync"
+
+// Counter owns its field via its own mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Inc is the canonical pattern.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}

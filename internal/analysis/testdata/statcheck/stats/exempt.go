@@ -1,0 +1,66 @@
+// exempt.go exercises the three exemption classes the position/type rules
+// grant: fields declared before mu (construction-time config), fields of
+// self-synchronising types (atomics, channels, funcs, structs with their
+// own mutex), and nested self-sync resolution across packages.
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"example.com/ext"
+)
+
+// Server mirrors the server/monitor shape: config and listener-style fields
+// precede mu and are set once before concurrency starts; atomics and
+// self-sync struct fields follow the guarded block.
+type Server struct {
+	name string // pre-mu: construction-time, exempt
+	port int    // pre-mu: exempt
+
+	mu      sync.Mutex
+	pending int // guarded
+
+	ops   atomic.Int64  // atomic: exempt
+	stop  chan struct{} // channel: exempt
+	hook  func()        // func: exempt
+	inner LeaseCache    // self-sync (own mu): exempt
+	gauge Gauge         // self-sync via all-atomic fields: exempt
+	tally Tally         // self-sync (own mu): exempt
+	extc  ext.Counter   // self-sync resolved in a sibling package: exempt
+}
+
+// Gauge is self-synchronised because every field is exempt on its own.
+type Gauge struct {
+	val atomic.Int64
+	max atomic.Int64
+}
+
+// Configure runs before Start by contract: pre-mu fields are clean unlocked.
+func (s *Server) Configure(name string, port int) {
+	s.name = name
+	s.port = port
+}
+
+// Touch exercises every exempt field without the lock: all clean.
+func (s *Server) Touch() {
+	s.ops.Add(1)
+	close(s.stop)
+	s.hook()
+	s.inner.Hit()
+	s.gauge.val.Store(1)
+	s.tally.Add(1)
+	s.extc.Inc()
+}
+
+// Queue reads the guarded field without the lock.
+func (s *Server) Queue() int {
+	return s.pending // want: accessed without holding s.mu
+}
+
+// Enqueue is the canonical pattern: clean.
+func (s *Server) Enqueue() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending++
+}

@@ -458,11 +458,22 @@ func (c *Client) revalidate(path, reqID string, start time.Time, cached wire.Ent
 	return &cp, true, nil
 }
 
-// Create makes a file or directory.
+// Create makes a file or directory. The committed entry is cached under
+// its server-granted lease, so the creator's own follow-up lookup is served
+// locally instead of refetching what it just wrote.
 func (c *Client) Create(path string, kind wire.EntryKind) (*wire.Entry, error) {
 	reqID := c.ids.Next()
 	start := time.Now()
+	var epoch uint64
+	if c.entries != nil {
+		// Note the epoch before the wire call: if anything invalidates the
+		// path while the create is in flight (a racing rename of an
+		// ancestor), the committed entry below stays out rather than landing
+		// over the newer invalidation.
+		epoch = c.entries.Epoch()
+	}
 	var entry *wire.Entry
+	var leaseMS, grantVer int64
 	err := c.call(path, wire.TypeCreate, func(conn *wire.Conn) (string, error) {
 		var resp wire.CreateResponse
 		req := &wire.CreateRequest{Path: path, Kind: kind}
@@ -470,11 +481,17 @@ func (c *Client) Create(path string, kind wire.EntryKind) (*wire.Entry, error) {
 			return "", err
 		}
 		entry = resp.Entry
+		leaseMS, grantVer = resp.LeaseMS, resp.IndexVer
 		return resp.Redirect, nil
 	})
 	c.record(wire.TypeCreate, reqID, path, "", start, err)
 	if err != nil {
 		return nil, err
+	}
+	if c.entries != nil && entry != nil {
+		c.entries.PutLeased(path,
+			cache.Entry{Value: *entry, Version: entry.Version, Gen: grantVer},
+			c.leaseOf(leaseMS), epoch)
 	}
 	return entry, nil
 }

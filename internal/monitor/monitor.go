@@ -87,6 +87,10 @@ type Monitor struct {
 	tree  *namespace.Tree
 	d2    *core.D2Tree
 	locks *locksvc.Service
+	// ln is set once in Start before any goroutine can observe it and is
+	// read-only thereafter (Close's ln.Close is safe concurrently with
+	// Accept), so it lives outside mu's guard.
+	ln net.Listener
 
 	mu           sync.Mutex
 	members      []*member
@@ -125,7 +129,6 @@ type Monitor struct {
 	opStats obs.OpStats   // per-op monitor-side latency histograms
 	ids     *obs.IDGen    // migration trace-identifier mint
 
-	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	stop   chan struct{}
 	wg     sync.WaitGroup
@@ -201,9 +204,21 @@ type walOwner struct {
 }
 
 // recoverFromWAL replays journalled state changes over the freshly computed
-// initial partition (which is deterministic given the same namespace).
+// initial partition (which is deterministic given the same namespace). The
+// records are read first and applied under m.mu afterwards: Replay's
+// callback is its own function scope, so mutating coordinator state from
+// inside it would race with any concurrently started serving goroutine.
 func (m *Monitor) recoverFromWAL(path string) error {
-	return wal.Replay(path, func(rec wal.Record) error {
+	var recs []wal.Record
+	if err := wal.Replay(path, func(rec wal.Record) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range recs {
 		switch rec.Type {
 		case "gl_update":
 			var u walGLUpdate
@@ -232,8 +247,8 @@ func (m *Monitor) recoverFromWAL(path string) error {
 		default:
 			// Unknown record types are skipped for forward compatibility.
 		}
-		return nil
-	})
+	}
+	return nil
 }
 
 // journalLocked appends a record, degrading to in-memory operation on

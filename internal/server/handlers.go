@@ -195,12 +195,16 @@ func (s *Server) handleCreate(env *wire.Envelope, req *wire.CreateRequest) (*wir
 			s.redirects.Add(1)
 			return &wire.CreateResponse{Redirect: addr}, nil
 		}
-		// Local-layer create: no cluster coordination needed.
+		// Local-layer create: no cluster coordination needed. The committed
+		// entry carries a lease so the creator can serve its own create from
+		// cache (§8b).
 		e := &wire.Entry{Path: req.Path, Kind: req.Kind, Version: 1}
 		s.store[req.Path] = e
 		cp := *e
+		leaseMS, ver := s.leaseLocked()
 		s.mu.Unlock()
-		return &wire.CreateResponse{Entry: &cp}, nil
+		s.leases.Add(1)
+		return &wire.CreateResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
 	}
 	mon := s.mon
 	id := s.id
@@ -225,9 +229,11 @@ func (s *Server) handleCreate(env *wire.Envelope, req *wire.CreateRequest) (*wir
 	if resp.GLVersion > s.glVersion {
 		s.glVersion = resp.GLVersion
 	}
+	leaseMS, ver := s.leaseLocked()
 	s.mu.Unlock()
+	s.leases.Add(1)
 	cp := e
-	return &wire.CreateResponse{Entry: &cp}, nil
+	return &wire.CreateResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
 }
 
 func (s *Server) handleSetAttr(env *wire.Envelope, req *wire.SetAttrRequest) (*wire.SetAttrResponse, error) {

@@ -76,6 +76,10 @@ var (
 // Server is one MDS process. Construct with New, then Start, then Close.
 type Server struct {
 	cfg Config
+	// ln is set once in Start before any goroutine can observe it and is
+	// read-only thereafter (Close's ln.Close is safe concurrently with
+	// Accept), so it lives outside mu's guard.
+	ln net.Listener
 
 	// mu is a read/write lock over the entry store and cluster-state maps:
 	// the read-mostly handlers (Lookup, Readdir, Stats) take the read side
@@ -121,7 +125,6 @@ type Server struct {
 	rec     *obs.Recorder // event ring; renamed to "mds-<id>" on join
 	opStats obs.OpStats   // per-op server-side latency histograms
 
-	ln     net.Listener
 	mon    *wire.RetryingConn // heartbeat/GL-update channel to the Monitor
 	conns  map[net.Conn]struct{}
 	stop   chan struct{}

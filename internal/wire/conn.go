@@ -129,6 +129,7 @@ type Conn struct {
 // Dial connects to addr with the given dial timeout. Calls on the returned
 // connection have no deadline; see DialCall or SetCallTimeout.
 func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	//d2vet:ignore goroutinecheck Dial is the documented un-deadlined constructor; serving-path callers use DialCall
 	return DialCall(addr, timeout, 0)
 }
 

@@ -167,6 +167,11 @@ func (c *cursor) str() (string, bool) {
 	for c.i < len(c.b) {
 		ch := c.b[c.i]
 		if ch == '"' {
+			if !utf8.Valid(c.b[start:c.i]) {
+				// encoding/json coerces invalid UTF-8 to U+FFFD; decline so
+				// the fallback performs that rewrite with authority.
+				return "", false
+			}
 			s := string(c.b[start:c.i])
 			c.i++
 			return s, true
@@ -184,6 +189,9 @@ func (c *cursor) str() (string, bool) {
 		ch := c.b[c.i]
 		switch {
 		case ch == '"':
+			if !utf8.Valid(sb) {
+				return "", false // invalid raw UTF-8: fall back (see above)
+			}
 			c.i++
 			return string(sb), true
 		case ch < 0x20:

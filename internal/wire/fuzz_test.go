@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"io"
 	"runtime"
@@ -54,6 +55,42 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		if again.ID != env.ID || again.Type != env.Type || again.Error != env.Error {
 			t.Fatalf("round trip changed envelope: %+v vs %+v", env, again)
+		}
+	})
+}
+
+// FuzzFastDecodeEnvelope differentially fuzzes the hand envelope parser
+// against encoding/json: whenever the fast path accepts an input, the
+// resulting envelope must match what a json.Unmarshal of the same bytes
+// produces, field for field. Declining is always safe — production code
+// falls back — so only accept-and-disagree (or a panic) is a finding.
+func FuzzFastDecodeEnvelope(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"id":7,"type":"heartbeat"}`))
+	f.Add([]byte(`{"id":7,"type":"lookup","reqId":"c0-42","span":"mds-1","payload":{"path":"/a"}}`))
+	f.Add([]byte(`{"id":1,"type":"error","error":"server: path not found"}`))
+	f.Add([]byte("{\"id\":18446744073709551615,\"type\":\"\\u0000\"}"))
+	f.Add([]byte(`{"type":"ok","id":3,"payload":[1,2,{"k":"v"}]}`))
+	f.Add([]byte(`{"id":2,"type":"ok","payload":"quoted \"string\" payload"}`))
+	f.Add([]byte(`{"id":3,"unknownKey":1}`))
+	f.Add([]byte(` { "id" : 4 , "type" : "ok" } `))
+	f.Add([]byte(`{"id":-1,"type":"ok"}`))
+	f.Add([]byte(`{"id":5,"type":"ok","payload":{"nested":{"deep":[null,true,1.5]}}}`))
+	f.Add([]byte(`{"id":6,"type":"ok"`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fast Envelope
+		if !fastDecodeEnvelope(data, &fast) {
+			return
+		}
+		var ref Envelope
+		if err := json.Unmarshal(data, &ref); err != nil {
+			t.Fatalf("fast path accepted %q but encoding/json rejects it: %v", data, err)
+		}
+		if fast.ID != ref.ID || fast.Type != ref.Type || fast.ReqID != ref.ReqID ||
+			fast.Span != ref.Span || fast.Error != ref.Error ||
+			!bytes.Equal(fast.Payload, ref.Payload) {
+			t.Fatalf("decode %q: fast %+v, json %+v", data, fast, ref)
 		}
 	})
 }

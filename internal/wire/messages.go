@@ -63,10 +63,14 @@ type CreateRequest struct {
 	Kind EntryKind `json:"kind"`
 }
 
-// CreateResponse returns the created entry or a redirect.
+// CreateResponse returns the created entry or a redirect. The committed
+// entry carries a cache lease like SetAttrResponse, so the creating client
+// can serve its own create locally instead of refetching it.
 type CreateResponse struct {
 	Entry    *Entry `json:"entry,omitempty"`
 	Redirect string `json:"redirect,omitempty"`
+	LeaseMS  int64  `json:"leaseMs,omitempty"`
+	IndexVer int64  `json:"indexVer,omitempty"`
 }
 
 // SetAttrRequest updates metadata attributes (an "update" op in the paper's

@@ -32,7 +32,7 @@ func fastMarshalPayload(payload interface{}) ([]byte, bool) {
 	case *LookupResponse:
 		return appendLeasedEntry(p.Entry, p.Redirect, p.LeaseMS, p.IndexVer), true
 	case *CreateResponse:
-		return appendEntryRedirect(p.Entry, p.Redirect), true
+		return appendLeasedEntry(p.Entry, p.Redirect, p.LeaseMS, p.IndexVer), true
 	case *RevalidateRequest:
 		b := append(make([]byte, 0, len(p.Path)+40), `{"path":`...)
 		b = appendJSONString(b, p.Path)
@@ -51,15 +51,8 @@ func appendPathObject(path string) []byte {
 	return append(b, '}')
 }
 
-// appendEntryRedirect encodes the shared {entry?, redirect?} response shape
-// with encoding/json's omitempty behaviour.
-func appendEntryRedirect(entry *Entry, redirect string) []byte {
-	return appendLeasedEntry(entry, redirect, 0, 0)
-}
-
 // appendLeasedEntry encodes the lease-granting response shape
-// {entry?, redirect?, leaseMs?, indexVer?} with omitempty behaviour; the
-// plain {entry?, redirect?} responses pass zero lease fields.
+// {entry?, redirect?, leaseMs?, indexVer?} with omitempty behaviour.
 func appendLeasedEntry(entry *Entry, redirect string, leaseMS, indexVer int64) []byte {
 	b := make([]byte, 0, 128)
 	b = append(b, '{')
@@ -157,7 +150,7 @@ func fastUnmarshalPayload(data []byte, out interface{}) bool {
 	case *LookupResponse:
 		return decodeLeasedEntry(data, &o.Entry, &o.Redirect, &o.LeaseMS, &o.IndexVer)
 	case *CreateResponse:
-		return decodeLeasedEntry(data, &o.Entry, &o.Redirect, nil, nil)
+		return decodeLeasedEntry(data, &o.Entry, &o.Redirect, &o.LeaseMS, &o.IndexVer)
 	case *LookupRequest:
 		return decodePathObject(data, &o.Path)
 	case *ReaddirRequest:
@@ -210,11 +203,11 @@ func decodeCreateRequest(data []byte, req *CreateRequest) bool {
 	}) && c.end()
 }
 
-// decodeLeasedEntry parses the shared {entry?, redirect?} response shape,
-// optionally extended with the lease-grant fields: types without them pass
-// nil pointers, so a leaseMs/indexVer key in their input bails to the
-// fallback (which then reports the unknown-field behaviour of
-// encoding/json — silently ignoring it — with authority).
+// decodeLeasedEntry parses the shared {entry?, redirect?, leaseMs?,
+// indexVer?} response shape. A future lease-less caller may pass nil for
+// the lease fields, in which case those keys bail to the fallback (which
+// then reports the unknown-field behaviour of encoding/json — silently
+// ignoring them — with authority).
 func decodeLeasedEntry(data []byte, entry **Entry, redirect *string, leaseMS, indexVer *int64) bool {
 	c := cursor{b: data}
 	return c.object(func(c *cursor, key string) bool {
