@@ -20,9 +20,10 @@ race-obs:
 	$(GO) test -race -count=1 ./internal/obs/ ./internal/stats/ ./internal/cache/
 
 # Targeted race pass over the concurrent RPC serving path: the multiplexed
-# client conn, the worker-pool server dispatch, and the loadgen pipeline.
+# client conn, the worker-pool server dispatch, the loadgen pipeline, and
+# the WAL group-commit batcher + crash-consistency property test.
 race-rpc:
-	$(GO) test -race -count=1 ./internal/wire/ ./internal/server/ ./internal/client/ ./internal/loadgen/
+	$(GO) test -race -count=1 ./internal/wire/ ./internal/server/ ./internal/client/ ./internal/loadgen/ ./internal/wal/
 
 vet:
 	$(GO) vet ./...

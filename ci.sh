@@ -25,7 +25,7 @@ go test -race -count=1 ./internal/obs/ ./internal/stats/ ./internal/cache/
 # Race pass over the concurrent RPC serving path: multiplexed client conn,
 # worker-pool server dispatch, pipelined loadgen clients, and the client
 # cache coherence protocol (TestConcurrentCacheCoherence).
-go test -race -count=1 ./internal/wire/ ./internal/server/ ./internal/client/ ./internal/loadgen/
+go test -race -count=1 ./internal/wire/ ./internal/server/ ./internal/client/ ./internal/loadgen/ ./internal/wal/
 
 go test -race ./...
 
@@ -35,3 +35,75 @@ go test -race ./...
 # entry cache both off and on (one row pair per pipeline depth).
 go run ./cmd/d2bench -bench -benchsmoke -benchlabel ci-smoke > /dev/null
 go run ./cmd/d2bench -clusterbench -benchsmoke -benchlabel ci-smoke > /dev/null
+
+# --- Crash-recovery scenario -------------------------------------------
+# Boot a durable 2-MDS cluster, create entries on both servers, kill -9
+# one MDS, let the Monitor's pending-pool failover re-home its subtrees,
+# restart the victim from its WAL directory, and gate on d2fsck walking
+# the whole namespace with zero lost paths and zero double-owned subtrees.
+tmp=$(mktemp -d)
+bin="$tmp/bin"
+mkdir -p "$bin"
+go build -o "$bin" ./cmd/d2monitor ./cmd/d2mds ./cmd/d2ctl ./cmd/d2fsck
+
+MON=127.0.0.1:7470
+MDS0=127.0.0.1:7481
+MDS1=127.0.0.1:7482
+monpid=; mds0pid=; mds1pid=; mds0pid2=
+cleanup() {
+    kill $monpid $mds0pid $mds1pid $mds0pid2 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+# poll retries a command until it succeeds (10s budget), then fails loudly.
+poll() {
+    i=0
+    while ! "$@" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "ci.sh: timed out waiting for: $*" >&2
+            "$@" || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+"$bin/d2monitor" -addr $MON -servers 2 -nodes 800 -events 4000 \
+    -hb-timeout 1s -wal "$tmp/monitor.wal" > "$tmp/monitor.log" 2>&1 &
+monpid=$!
+"$bin/d2mds" -addr $MDS0 -monitor $MON -heartbeat 100ms \
+    -wal-dir "$tmp/mds0" -snapshot-interval 500ms > "$tmp/mds0.log" 2>&1 &
+mds0pid=$!
+"$bin/d2mds" -addr $MDS1 -monitor $MON -heartbeat 100ms \
+    -wal-dir "$tmp/mds1" -snapshot-interval 500ms > "$tmp/mds1.log" 2>&1 &
+mds1pid=$!
+poll "$bin/d2ctl" -monitor $MON stats $MDS0
+poll "$bin/d2ctl" -monitor $MON stats $MDS1
+
+# Journaled creates under one subtree root of each server.
+root0=$("$bin/d2ctl" -monitor $MON stats $MDS0 | awk '/^  subtree /{print $2; exit}')
+root1=$("$bin/d2ctl" -monitor $MON stats $MDS1 | awk '/^  subtree /{print $2; exit}')
+test -n "$root0"
+test -n "$root1"
+"$bin/d2ctl" -monitor $MON create "$root0/ci-crash-a.txt" file
+"$bin/d2ctl" -monitor $MON create "$root0/ci-crash-b.txt" file
+"$bin/d2ctl" -monitor $MON create "$root1/ci-crash-c.txt" file
+sleep 0.5 # let heartbeat CreatedPaths deltas reach the Monitor
+
+kill -9 $mds0pid
+# Wait for the Monitor to declare the victim dead, then restart it from
+# the same WAL directory (recovery claims + snapshot/WAL replay).
+poll sh -c "\"$bin/d2ctl\" -monitor $MON stats | grep -q \"$MDS0 dead\""
+"$bin/d2mds" -addr $MDS0 -monitor $MON -heartbeat 100ms \
+    -wal-dir "$tmp/mds0" -snapshot-interval 500ms > "$tmp/mds0-restart.log" 2>&1 &
+mds0pid2=$!
+poll "$bin/d2ctl" -monitor $MON stats $MDS0
+
+# Every pre-crash entry must still resolve, and the verification walk must
+# be clean.
+poll "$bin/d2ctl" -monitor $MON lookup "$root0/ci-crash-a.txt"
+"$bin/d2ctl" -monitor $MON lookup "$root0/ci-crash-b.txt"
+"$bin/d2ctl" -monitor $MON lookup "$root1/ci-crash-c.txt"
+"$bin/d2fsck" -monitor $MON -v

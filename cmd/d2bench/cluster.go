@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -23,11 +24,14 @@ import (
 // before/after evidence for the paper's Sec. V throughput experiment.
 
 // ClusterMeasurement is one load run at a given pipeline depth, measured
-// with the client entry cache off and on (a row pair per depth).
+// with the client entry cache off and on (a row pair per depth) and — with
+// the cache off — against a WAL-backed cluster (durable=true), so the
+// group-commit write path carries a measured cost relative to memory-only.
 type ClusterMeasurement struct {
 	Name          string  `json:"name"`
 	InFlight      int     `json:"inFlight"`
 	Cache         bool    `json:"cache,omitempty"`
+	Durable       bool    `json:"durable,omitempty"`
 	Ops           uint64  `json:"ops"`
 	Errors        uint64  `json:"errors"`
 	ElapsedMS     float64 `json:"elapsedMs"`
@@ -69,42 +73,120 @@ func clusterConfig(smoke bool) clusterBenchConfig {
 	return clusterBenchConfig{servers: 3, clients: 48, nodes: 5000, events: 40000, depths: []int{1, 8}, attempts: 2}
 }
 
-// runClusterBench boots the cluster and measures throughput per depth.
+// benchCluster is one booted Monitor + MDS fleet plus its teardown.
+type benchCluster struct {
+	mon     *monitor.Monitor
+	servers []*server.Server
+}
+
+func (c *benchCluster) close() {
+	for _, s := range c.servers {
+		_ = s.Close()
+	}
+	if c.mon != nil {
+		_ = c.mon.Close()
+	}
+}
+
+// bootBenchCluster starts a Monitor and cfg.servers MDS processes over
+// loopback. A non-empty walRoot puts every MDS in durable mode with a WAL
+// directory under it; snapshots are pushed out past the run so the rows
+// measure the group-commit append path, not truncation cycles.
+func bootBenchCluster(cfg clusterBenchConfig, w *trace.Workload, walRoot string) (*benchCluster, error) {
+	mon, err := monitor.New(w.Tree, monitor.Config{
+		Addr:    "127.0.0.1:0",
+		Servers: cfg.servers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := mon.Start(); err != nil {
+		return nil, err
+	}
+	c := &benchCluster{mon: mon}
+	for i := 0; i < cfg.servers; i++ {
+		scfg := server.Config{
+			Addr:        "127.0.0.1:0",
+			MonitorAddr: mon.Addr(),
+		}
+		if walRoot != "" {
+			scfg.WALDir = filepath.Join(walRoot, fmt.Sprintf("mds%d", i))
+			scfg.SnapshotInterval = time.Hour
+		}
+		srv := server.New(scfg)
+		if err := srv.Start(); err != nil {
+			c.close()
+			return nil, fmt.Errorf("mds %d: %w", i, err)
+		}
+		c.servers = append(c.servers, srv)
+	}
+	return c, nil
+}
+
+// measureDepth drives the booted cluster at one pipeline depth and returns
+// the best of cfg.attempts runs.
+func measureDepth(monAddr string, cfg clusterBenchConfig, w *trace.Workload, depth, cacheEntries int) (*loadgen.Report, error) {
+	var best *loadgen.Report
+	for a := 0; a < cfg.attempts; a++ {
+		rep, err := loadgen.Run(context.Background(), loadgen.Config{
+			MonitorAddr:  monAddr,
+			Clients:      cfg.clients,
+			InFlight:     depth,
+			Tree:         w.Tree,
+			Events:       w.Events,
+			Timeout:      5 * time.Minute,
+			Seed:         1,
+			CacheEntries: cacheEntries,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("inflight %d: %w", depth, err)
+		}
+		if rep.Errors > 0 {
+			return nil, fmt.Errorf("inflight %d: %d/%d ops failed: %s",
+				depth, rep.Errors, rep.Ops, rep.ErrorSample)
+		}
+		if best == nil || rep.ThroughputOps > best.ThroughputOps {
+			best = rep
+		}
+	}
+	return best, nil
+}
+
+func clusterRow(profile string, cfg clusterBenchConfig, depth int, cached, durable bool, best *loadgen.Report) ClusterMeasurement {
+	state := "off"
+	if cached {
+		state = "on"
+	}
+	wal := "off"
+	if durable {
+		wal = "on"
+	}
+	return ClusterMeasurement{
+		Name: fmt.Sprintf("Cluster/%s/mds=%d/clients=%d/inflight=%d/cache=%s/wal=%s",
+			profile, cfg.servers, cfg.clients, depth, state, wal),
+		InFlight:      depth,
+		Cache:         cached,
+		Durable:       durable,
+		Ops:           best.Ops,
+		Errors:        best.Errors,
+		ElapsedMS:     float64(best.Elapsed.Nanoseconds()) / 1e6,
+		ThroughputOps: best.ThroughputOps,
+		MeanUS:        best.Latency.Mean.Microseconds(),
+		P50US:         best.Latency.P50.Microseconds(),
+		P99US:         best.Latency.P99.Microseconds(),
+		CacheHitRatio: best.Cache.HitRatio,
+	}
+}
+
+// runClusterBench measures throughput per depth, first against a
+// memory-only cluster (cache off and on), then against a WAL-backed one
+// (cache off — the write path is what group commit taxes).
 func runClusterBench(label string, smoke bool) (ClusterEntry, error) {
 	cfg := clusterConfig(smoke)
 	profile := trace.LMBE()
 	w, err := trace.BuildWorkload(profile.Scale(cfg.nodes), cfg.events, 1)
 	if err != nil {
 		return ClusterEntry{}, err
-	}
-
-	mon, err := monitor.New(w.Tree, monitor.Config{
-		Addr:    "127.0.0.1:0",
-		Servers: cfg.servers,
-	})
-	if err != nil {
-		return ClusterEntry{}, err
-	}
-	if err := mon.Start(); err != nil {
-		return ClusterEntry{}, err
-	}
-	defer func() { _ = mon.Close() }()
-
-	servers := make([]*server.Server, 0, cfg.servers)
-	defer func() {
-		for _, s := range servers {
-			_ = s.Close()
-		}
-	}()
-	for i := 0; i < cfg.servers; i++ {
-		srv := server.New(server.Config{
-			Addr:        "127.0.0.1:0",
-			MonitorAddr: mon.Addr(),
-		})
-		if err := srv.Start(); err != nil {
-			return ClusterEntry{}, fmt.Errorf("mds %d: %w", i, err)
-		}
-		servers = append(servers, srv)
 	}
 
 	entry := ClusterEntry{
@@ -117,54 +199,43 @@ func runClusterBench(label string, smoke bool) (ClusterEntry, error) {
 		Profile:    profile.Name,
 		Nodes:      cfg.nodes,
 	}
+
+	mem, err := bootBenchCluster(cfg, w, "")
+	if err != nil {
+		return ClusterEntry{}, err
+	}
 	for _, depth := range cfg.depths {
 		for _, cached := range []bool{false, true} {
 			var cacheEntries int
 			if cached {
 				cacheEntries = 4096
 			}
-			var best *loadgen.Report
-			for a := 0; a < cfg.attempts; a++ {
-				rep, err := loadgen.Run(context.Background(), loadgen.Config{
-					MonitorAddr:  mon.Addr(),
-					Clients:      cfg.clients,
-					InFlight:     depth,
-					Tree:         w.Tree,
-					Events:       w.Events,
-					Timeout:      5 * time.Minute,
-					Seed:         1,
-					CacheEntries: cacheEntries,
-				})
-				if err != nil {
-					return ClusterEntry{}, fmt.Errorf("inflight %d: %w", depth, err)
-				}
-				if rep.Errors > 0 {
-					return ClusterEntry{}, fmt.Errorf("inflight %d: %d/%d ops failed: %s",
-						depth, rep.Errors, rep.Ops, rep.ErrorSample)
-				}
-				if best == nil || rep.ThroughputOps > best.ThroughputOps {
-					best = rep
-				}
+			best, err := measureDepth(mem.mon.Addr(), cfg, w, depth, cacheEntries)
+			if err != nil {
+				mem.close()
+				return ClusterEntry{}, err
 			}
-			state := "off"
-			if cached {
-				state = "on"
-			}
-			entry.Runs = append(entry.Runs, ClusterMeasurement{
-				Name: fmt.Sprintf("Cluster/%s/mds=%d/clients=%d/inflight=%d/cache=%s",
-					profile.Name, cfg.servers, cfg.clients, depth, state),
-				InFlight:      depth,
-				Cache:         cached,
-				Ops:           best.Ops,
-				Errors:        best.Errors,
-				ElapsedMS:     float64(best.Elapsed.Nanoseconds()) / 1e6,
-				ThroughputOps: best.ThroughputOps,
-				MeanUS:        best.Latency.Mean.Microseconds(),
-				P50US:         best.Latency.P50.Microseconds(),
-				P99US:         best.Latency.P99.Microseconds(),
-				CacheHitRatio: best.Cache.HitRatio,
-			})
+			entry.Runs = append(entry.Runs, clusterRow(profile.Name, cfg, depth, cached, false, best))
 		}
+	}
+	mem.close()
+
+	walRoot, err := os.MkdirTemp("", "d2bench-wal-")
+	if err != nil {
+		return ClusterEntry{}, err
+	}
+	defer func() { _ = os.RemoveAll(walRoot) }()
+	dur, err := bootBenchCluster(cfg, w, walRoot)
+	if err != nil {
+		return ClusterEntry{}, err
+	}
+	defer dur.close()
+	for _, depth := range cfg.depths {
+		best, err := measureDepth(dur.mon.Addr(), cfg, w, depth, 0)
+		if err != nil {
+			return ClusterEntry{}, err
+		}
+		entry.Runs = append(entry.Runs, clusterRow(profile.Name, cfg, depth, false, true, best))
 	}
 	return entry, nil
 }

@@ -127,9 +127,13 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "monitor heartbeats=%d transfers planned=%d done=%d failed=%d reissued=%d glv=%d indexv=%d\n",
+		journal := "ok"
+		if ms.JournalDegraded {
+			journal = "DEGRADED"
+		}
+		fmt.Fprintf(w, "monitor heartbeats=%d transfers planned=%d done=%d failed=%d reissued=%d glv=%d indexv=%d journal=%s\n",
 			ms.Heartbeats, ms.TransfersPlanned, ms.TransfersDone,
-			ms.TransfersFailed, ms.TransfersReissued, ms.GLVersion, ms.IndexVer)
+			ms.TransfersFailed, ms.TransfersReissued, ms.GLVersion, ms.IndexVer, journal)
 		for _, mem := range ms.Members {
 			state := "alive"
 			if !mem.Alive {
@@ -259,6 +263,15 @@ func printServerStats(w io.Writer, st *wire.StatsResponse) {
 		st.HeartbeatRTT.P90US, st.HeartbeatRTT.P99US, st.HeartbeatRTT.MaxUS)
 	fmt.Fprintf(w, "  leases granted=%d revalidate hits=%d misses=%d\n",
 		st.LeasesGranted, st.RevalidateHits, st.RevalidateMisses)
+	wal := "ok"
+	if st.WalDegraded {
+		wal = "DEGRADED"
+	}
+	fmt.Fprintf(w, "  wal appends=%d flushes=%d snapshots=%d state=%s\n",
+		st.WalAppends, st.WalFlushes, st.Snapshots, wal)
+	for _, root := range st.Subtrees {
+		fmt.Fprintf(w, "  subtree %s\n", root)
+	}
 }
 
 func printEntry(w io.Writer, e *wire.Entry) {

@@ -39,7 +39,7 @@ func run(args []string, w io.Writer) (int, error) {
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
-	c, err := client.Connect(client.Config{MonitorAddr: *mon})
+	c, err := client.Connect(fsckClientConfig(*mon))
 	if err != nil {
 		return 2, err
 	}
@@ -91,16 +91,44 @@ func run(args []string, w io.Writer) (int, error) {
 	fmt.Fprintf(w, "walked %d paths (%d dirs, %d files), %d problem(s)\n",
 		walked, dirs, files, problems)
 	fmt.Fprintln(w, "per-server placement:")
+	// Cross-check subtree ownership: after a crash-recovery or failover,
+	// every local-layer root must be claimed by exactly one server.
+	claims := make(map[string][]string)
 	for _, addr := range c.Servers() {
 		st, err := c.Stats(addr)
 		if err != nil {
 			return 2, fmt.Errorf("stats %s: %w", addr, err)
 		}
-		fmt.Fprintf(w, "  %s: entries=%d subtrees=%d glVersion=%d redirects=%d\n",
-			st.Server, st.Entries, st.SubtreeCnt, st.GLVersion, st.Redirects)
+		wal := ""
+		if st.WalDegraded {
+			wal = " wal=DEGRADED"
+		}
+		fmt.Fprintf(w, "  %s: entries=%d subtrees=%d glVersion=%d redirects=%d%s\n",
+			st.Server, st.Entries, st.SubtreeCnt, st.GLVersion, st.Redirects, wal)
+		for _, root := range st.Subtrees {
+			claims[root] = append(claims[root], st.Server)
+		}
+	}
+	for root, owners := range claims {
+		if len(owners) > 1 {
+			reportProblem("subtree %s owned by %d servers: %v", root, len(owners), owners)
+		}
 	}
 	if problems > 0 {
+		fmt.Fprintf(w, "total %d problem(s)\n", problems)
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// fsckClientConfig builds the walker's client configuration. The entry
+// cache is forced off: a verification pass answered from cached leases
+// would verify the cache, not the cluster, so every Lookup and Readdir must
+// hit a server even if client defaults ever grow a cache-on default.
+func fsckClientConfig(mon string) client.Config {
+	return client.Config{
+		MonitorAddr:  mon,
+		Name:         "d2fsck",
+		CacheEntries: 0,
+	}
 }

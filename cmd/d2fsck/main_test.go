@@ -90,3 +90,30 @@ func TestFsckBadMonitor(t *testing.T) {
 		t.Error("dead monitor accepted")
 	}
 }
+
+// TestFsckForcesCacheOff pins the verification contract: the walker's
+// client config must have the entry cache disabled, whatever defaults the
+// client library grows, so every Lookup/Readdir hits a server.
+func TestFsckForcesCacheOff(t *testing.T) {
+	cfg := fsckClientConfig("127.0.0.1:7070")
+	if cfg.CacheEntries != 0 {
+		t.Errorf("fsck client CacheEntries = %d, want 0 (cache must be off for verification)", cfg.CacheEntries)
+	}
+	if cfg.CacheLease != 0 {
+		t.Errorf("fsck client CacheLease = %v, want 0", cfg.CacheLease)
+	}
+	if cfg.MonitorAddr != "127.0.0.1:7070" {
+		t.Errorf("monitor addr %q not threaded through", cfg.MonitorAddr)
+	}
+}
+
+func TestFsckRejectsUnknownFlag(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-cache", "on"}, &buf)
+	if err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if code != 2 {
+		t.Errorf("exit code %d, want 2 for usage errors", code)
+	}
+}

@@ -38,6 +38,8 @@ func run(args []string) error {
 		lease     = fs.Duration("lease", 2*time.Second, "entry lease granted to client caches (negative = no grants)")
 		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof + expvar + /debug/d2/* on this address (empty = off)")
 		eventLog  = fs.String("event-log", "", "append this node's trace events as JSONL to a file (empty = off)")
+		walDir    = fs.String("wal-dir", "", "journal namespace mutations to this directory and recover from it on restart (empty = memory-only)")
+		snapEvery = fs.Duration("snapshot-interval", 5*time.Second, "namespace snapshot + WAL truncation cadence (needs -wal-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +51,8 @@ func run(args []string) error {
 		DialTimeout:       *dialTO,
 		CallTimeout:       *callTO,
 		EntryLease:        *lease,
+		WALDir:            *walDir,
+		SnapshotInterval:  *snapEvery,
 	})
 	if err := srv.Start(); err != nil {
 		return err

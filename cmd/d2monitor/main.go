@@ -42,6 +42,7 @@ func run(args []string) error {
 		events     = fs.Int("events", 100000, "popularity-annotation events for synthesis")
 		seed       = fs.Int64("seed", 1, "synthesis seed")
 		walPath    = fs.String("wal", "", "write-ahead log path for crash recovery (optional)")
+		hbTimeout  = fs.Duration("hb-timeout", 3*time.Second, "mark an MDS dead after this heartbeat silence")
 		statsEvery = fs.Duration("stats", 0, "print cluster stats at this interval (0 = off)")
 		// -events already means "synthesis event count", so the trace sink
 		// gets the longer -event-log name.
@@ -82,10 +83,11 @@ func run(args []string) error {
 	}
 
 	mon, err := monitor.New(tree, monitor.Config{
-		Addr:         *addr,
-		Servers:      *servers,
-		GLProportion: *glProp,
-		WALPath:      *walPath,
+		Addr:             *addr,
+		Servers:          *servers,
+		GLProportion:     *glProp,
+		WALPath:          *walPath,
+		HeartbeatTimeout: *hbTimeout,
 	})
 	if err != nil {
 		return err

@@ -149,6 +149,7 @@ var ConcurrentPackages = []string{
 	"internal/monitor",
 	"internal/client",
 	"internal/obs",
+	"internal/wal",
 }
 
 // Default returns the analyzer suite configured for this repository.
@@ -157,7 +158,7 @@ func Default() []Analyzer {
 		&LockHeld{},
 		&Determinism{Packages: DeterministicPackages},
 		&WireCheck{WirePackage: "internal/wire", MessagesFile: "messages.go", EnvelopeStruct: "Envelope"},
-		&StatCheck{Packages: []string{"internal/stats", "internal/core", "internal/obs", "internal/cache", "internal/server", "internal/monitor"}},
+		&StatCheck{Packages: []string{"internal/stats", "internal/core", "internal/obs", "internal/cache", "internal/server", "internal/monitor", "internal/wal"}},
 		&CodecCheck{WirePackage: "internal/wire", CodecFile: "payload_fast.go", MessagesFile: "messages.go"},
 		&LeaseCheck{WirePackage: "internal/wire", ServerPackage: "internal/server", ClientPackage: "internal/client"},
 		&GoroutineCheck{Packages: ConcurrentPackages},

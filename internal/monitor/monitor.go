@@ -113,10 +113,20 @@ type Monitor struct {
 	// when a move is first planned and kept across NACK → re-issue cycles, so
 	// the whole history of one subtree's migration shares one ReqID; cleared
 	// when the move commits.
-	migIDs     map[string]string
-	journal    *wal.Log // nil when WALPath is unset
-	lastAdjust time.Time
-	now        func() time.Time
+	migIDs  map[string]string
+	journal *wal.Log // nil when WALPath is unset
+	// journalDegraded latches on the journal's first append failure: the
+	// Monitor keeps serving (availability over durability) but the stat is
+	// surfaced in MonitorStats and heartbeat responses so operators learn
+	// the recovery story has silently become memory-only.
+	journalDegraded bool
+	lastAdjust      time.Time
+	// started stamps Start: subtrees whose planned owner slot never joined
+	// get one heartbeat-timeout of grace from this instant before the
+	// failover path recovers them (a restarted Monitor's owner map can
+	// reference slots whose servers are about to rejoin).
+	started time.Time
+	now     func() time.Time
 
 	// Coordinator counters (guarded by mu), surfaced via TypeMonitorStats.
 	nHeartbeats        int64
@@ -203,6 +213,13 @@ type walOwner struct {
 	Server int    `json:"server"`
 }
 
+// walLLPaths journals local-layer paths reported by heartbeat CreatedPaths
+// deltas, so the authoritative tree a restarted Monitor materialises
+// failover pushes from includes entries created after bootstrap.
+type walLLPaths struct {
+	Entries []wire.Entry `json:"entries"`
+}
+
 // recoverFromWAL replays journalled state changes over the freshly computed
 // initial partition (which is deterministic given the same namespace). The
 // records are read first and applied under m.mu afterwards: Replay's
@@ -244,6 +261,18 @@ func (m *Monitor) recoverFromWAL(path string) error {
 			}
 			m.subtreeOwner[o.Root] = o.Server
 			m.indexVer++
+		case "ll_paths":
+			var p walLLPaths
+			if err := json.Unmarshal(rec.Data, &p); err != nil {
+				return fmt.Errorf("monitor: wal ll_paths: %w", err)
+			}
+			for _, e := range p.Entries {
+				if e.Kind == wire.EntryDir {
+					_, _ = m.tree.MkdirAll(e.Path)
+				} else {
+					_, _ = m.tree.AddFile(e.Path)
+				}
+			}
 		default:
 			// Unknown record types are skipped for forward compatibility.
 		}
@@ -253,12 +282,22 @@ func (m *Monitor) recoverFromWAL(path string) error {
 
 // journalLocked appends a record, degrading to in-memory operation on
 // journal errors (metadata service availability beats durability for this
-// prototype). Callers hold m.mu.
+// prototype). The first failure latches journalDegraded and records one
+// event; later failures stay quiet instead of re-logging per call. Callers
+// hold m.mu.
 func (m *Monitor) journalLocked(recType string, payload interface{}) {
 	if m.journal == nil {
 		return
 	}
-	_, _ = m.journal.Append(recType, payload)
+	if _, err := m.journal.Append(recType, payload); err != nil && !m.journalDegraded {
+		m.journalDegraded = true
+		m.rec.Record(obs.Event{
+			Kind:   obs.KindCluster,
+			Op:     "journal_degraded",
+			Detail: "WAL append failed; continuing memory-only",
+			Err:    err.Error(),
+		})
+	}
 }
 
 func entryFor(t *namespace.Tree, n *namespace.Node) *wire.Entry {
@@ -276,9 +315,35 @@ func (m *Monitor) Start() error {
 		return fmt.Errorf("monitor: listen %s: %w", m.cfg.Addr, err)
 	}
 	m.ln = ln
+	m.mu.Lock()
+	m.started = m.now()
+	m.mu.Unlock()
 	m.wg.Add(1)
 	go m.acceptLoop()
+	m.wg.Add(1)
+	go m.failureLoop()
 	return nil
+}
+
+// failureLoop drives failure detection on a timer, so a dead server is
+// noticed even when no surviving peer heartbeats (the last MDS of a small
+// cluster dying, say): heartbeat-driven detection alone would never mark it
+// dead, wedging slot reuse for its restarted replacement.
+func (m *Monitor) failureLoop() {
+	defer m.wg.Done()
+	period := m.cfg.HeartbeatTimeout / 2
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			m.mu.Lock()
+			m.checkFailuresLocked()
+			m.mu.Unlock()
+		}
+	}
 }
 
 // Addr returns the bound listen address.
@@ -490,11 +555,45 @@ func (m *Monitor) handleJoin(req *wire.JoinRequest) (*wire.JoinResponse, error) 
 		Detail: "mds-" + strconv.Itoa(id) + " at " + req.Addr,
 	})
 
-	// Refresh index addresses for subtrees owned by this slot.
-	for root, owner := range m.subtreeOwner {
-		if owner == id {
-			m.index[root] = req.Addr
+	// Adopt recovery claims: a restarted MDS that replayed its WAL arrives
+	// already holding subtrees, and re-shipping them from the authoritative
+	// tree would discard any local-layer mutations newer than the Monitor's
+	// view. A claim is adopted when the root has no live owner elsewhere and
+	// no recovery push is racing for it (the push wins — its destination may
+	// already hold the data). Rejected claims are omitted from
+	// AdoptedSubtrees; the joiner drops those subtrees, which keeps every
+	// root single-owned.
+	adopted := make(map[string]bool, len(req.RecoveredSubtrees))
+	for _, root := range req.RecoveredSubtrees {
+		owner, known := m.subtreeOwner[root]
+		if !known {
+			continue // no longer a subtree root; claim rejected
 		}
+		if _, moving := m.inFlight[root]; moving {
+			continue // recovery push racing; it wins, joiner drops its copy
+		}
+		if owner != id && owner >= 0 && owner < len(m.members) && m.members[owner].alive {
+			continue // live owner elsewhere; claim rejected
+		}
+		if owner != id {
+			m.subtreeOwner[root] = id
+			m.journalLocked("owner", &walOwner{Root: root, Server: id})
+		}
+		adopted[root] = true
+	}
+
+	// Refresh index addresses for subtrees owned by this slot. Roots with a
+	// recovery push in flight stay out: the push's destination is about to
+	// commit as their owner, and advertising (or materialising, below) them
+	// on the joiner would leave one root served from two places.
+	for root, owner := range m.subtreeOwner {
+		if owner != id {
+			continue
+		}
+		if _, moving := m.inFlight[root]; moving {
+			continue
+		}
+		m.index[root] = req.Addr
 	}
 	m.indexVer++
 
@@ -504,6 +603,10 @@ func (m *Monitor) handleJoin(req *wire.JoinRequest) (*wire.JoinResponse, error) 
 		IndexVer:  m.indexVer,
 		Index:     m.indexSnapshotLocked(),
 	}
+	for root := range adopted {
+		resp.AdoptedSubtrees = append(resp.AdoptedSubtrees, root)
+	}
+	sort.Strings(resp.AdoptedSubtrees)
 	for _, e := range m.glEntries {
 		resp.GlobalLayer = append(resp.GlobalLayer, *e)
 	}
@@ -511,8 +614,11 @@ func (m *Monitor) handleJoin(req *wire.JoinRequest) (*wire.JoinResponse, error) 
 		return resp.GlobalLayer[i].Path < resp.GlobalLayer[j].Path
 	})
 	for root, owner := range m.subtreeOwner {
-		if owner != id {
-			continue
+		if owner != id || adopted[root] {
+			continue // adopted roots: the joiner already holds fresher data
+		}
+		if _, moving := m.inFlight[root]; moving {
+			continue // a racing recovery push will commit elsewhere
 		}
 		if entries := m.subtreeEntriesLocked(root); len(entries) > 0 {
 			resp.Subtrees = append(resp.Subtrees, entries)
@@ -579,11 +685,28 @@ func (m *Monitor) handleHeartbeat(req *wire.HeartbeatRequest) (*wire.HeartbeatRe
 			m.tree.Touch(n, count)
 		}
 	}
+	// Fold local-layer creates into the authoritative tree, so a failover
+	// push materialises paths born after bootstrap, and journal the batch:
+	// a restarted Monitor then recovers the same tree.
+	if len(req.CreatedPaths) > 0 {
+		for _, e := range req.CreatedPaths {
+			if e.Kind == wire.EntryDir {
+				_, _ = m.tree.MkdirAll(e.Path)
+			} else {
+				_, _ = m.tree.AddFile(e.Path)
+			}
+		}
+		m.journalLocked("ll_paths", &walLLPaths{Entries: req.CreatedPaths})
+	}
 
 	m.checkFailuresLocked()
 	m.planAdjustmentLocked()
 
-	resp := &wire.HeartbeatResponse{GLVersion: m.glVersion, IndexVer: m.indexVer}
+	resp := &wire.HeartbeatResponse{
+		GLVersion:       m.glVersion,
+		IndexVer:        m.indexVer,
+		JournalDegraded: m.journalDegraded,
+	}
 	if req.GLVersion < m.glVersion {
 		for _, e := range m.glEntries {
 			resp.GlobalLayer = append(resp.GlobalLayer, *e)
@@ -645,29 +768,65 @@ func (m *Monitor) checkFailuresLocked() {
 	if len(live) == 0 {
 		return
 	}
+	// Collect every orphaned root: owned by a dead server, or by a planned
+	// slot no process ever claimed. The latter get one heartbeat timeout of
+	// grace from Start — after a Monitor restart the owner map can reference
+	// slots whose servers are still rejoining (with recovery claims) — and
+	// are then recovered like any dead owner's.
+	type orphan struct {
+		root string
+		pop  int64
+	}
+	var orphans []orphan
 	for root, owner := range m.subtreeOwner {
-		if owner >= len(m.members) {
-			continue // planned slot that has not joined yet; nothing to recover
-		}
-		if m.members[owner].alive {
+		if owner >= 0 && owner < len(m.members) && m.members[owner].alive {
 			continue
+		}
+		if owner >= len(m.members) && now.Sub(m.started) <= m.cfg.HeartbeatTimeout {
+			continue // slot may still join and claim it
 		}
 		if _, moving := m.inFlight[root]; moving {
 			continue // recovery already underway
 		}
-		// Reassign to the least-loaded live server. The entries are pushed
-		// from the authoritative copy first; ownership and the index commit
-		// only after the install succeeds, so clients are never routed to a
-		// server that does not hold the data yet. A failed push clears the
-		// in-flight marker and is retried on a later heartbeat.
+		pop := int64(0)
+		if n, err := m.tree.Lookup(root); err == nil {
+			pop = n.TotalPopularity()
+		}
+		orphans = append(orphans, orphan{root: root, pop: pop})
+	}
+	if len(orphans) == 0 {
+		return
+	}
+	// Pending-pool distribution: the orphans are the dead server's share of
+	// the namespace, and mirror division hands them out heaviest-first, each
+	// to the survivor carrying the least recovered popularity so far (live
+	// load breaks ties). One server never absorbs a dead peer's whole load.
+	// Entries are pushed from the authoritative copy first; ownership and
+	// the index commit only after the install succeeds, so clients are never
+	// routed to a server that does not hold the data yet. A failed push
+	// clears the in-flight marker and is retried on a later heartbeat.
+	sort.Slice(orphans, func(i, j int) bool {
+		if orphans[i].pop != orphans[j].pop {
+			return orphans[i].pop > orphans[j].pop
+		}
+		return orphans[i].root < orphans[j].root
+	})
+	assigned := make(map[int]int64, len(live))
+	for _, o := range orphans {
 		best := live[0]
 		for _, mem := range live[1:] {
-			if mem.load < best.load {
+			switch {
+			case assigned[mem.id] < assigned[best.id]:
+				best = mem
+			case assigned[mem.id] == assigned[best.id] && mem.load < best.load:
 				best = mem
 			}
 		}
-		m.inFlight[root] = best.id
-		m.recoverSubtreeLocked(root, best.id, best.addr)
+		// Weight each root as at least 1 so cold subtrees still spread
+		// round-robin instead of piling onto one survivor.
+		assigned[best.id] += o.pop + 1
+		m.inFlight[o.root] = best.id
+		m.recoverSubtreeLocked(o.root, best.id, best.addr)
 	}
 }
 
@@ -711,7 +870,7 @@ func (m *Monitor) recoverSubtreeLocked(rootPath string, destID int, destAddr str
 		err := installEntries(destAddr, rootPath, entries)
 		m.mu.Lock()
 		defer m.mu.Unlock()
-		if m.inFlight[rootPath] != destID {
+		if dst, moving := m.inFlight[rootPath]; !moving || dst != destID {
 			return // superseded by a newer plan
 		}
 		delete(m.inFlight, rootPath)
@@ -723,7 +882,27 @@ func (m *Monitor) recoverSubtreeLocked(rootPath string, destID int, destAddr str
 				Path:  rootPath,
 				Err:   err.Error(),
 			})
-			return // retried on a later heartbeat
+			// The push may have landed on the destination despite failing
+			// here (a timeout races the install's durability wait), leaving
+			// a stray copy whose index override pins its claim through every
+			// reconciliation. Best-effort tell the destination to drop the
+			// subtree before it is homed anywhere else.
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				_ = uninstallSubtree(destAddr, rootPath)
+			}()
+			// If the root's owner slot rejoined while this push was failing,
+			// the joiner was denied both its recovery claim and the join
+			// materialisation (the push held the root) — it owns a subtree it
+			// does not hold. Re-home the entries to the owner; otherwise a
+			// later failure check retries.
+			if owner, ok := m.subtreeOwner[rootPath]; ok &&
+				owner >= 0 && owner < len(m.members) && m.members[owner].alive {
+				m.inFlight[rootPath] = owner
+				m.recoverSubtreeLocked(rootPath, owner, m.members[owner].addr)
+			}
+			return
 		}
 		m.subtreeOwner[rootPath] = destID
 		m.index[rootPath] = destAddr
@@ -774,6 +953,18 @@ func installEntries(destAddr, rootPath string, entries []wire.Entry) error {
 	return conn.Call(wire.TypeInstall, &wire.InstallRequest{
 		RootPath: rootPath, Entries: entries,
 	}, nil)
+}
+
+// uninstallSubtree tells an MDS to drop a subtree copy left by a superseded
+// recovery push. Best-effort: the target may be dead or never have received
+// the install, and either way the ack (or the error) ends the matter.
+func uninstallSubtree(destAddr, rootPath string) error {
+	conn, err := wire.DialCall(destAddr, 2*time.Second, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+	return conn.Call(wire.TypeUninstall, &wire.UninstallRequest{RootPath: rootPath}, nil)
 }
 
 // planAdjustmentLocked runs one pending-pool round over the freshest
@@ -1031,6 +1222,7 @@ func (m *Monitor) handleMonitorStats() (*wire.MonitorStatsResponse, error) {
 		TransfersReissued: m.nTransfersReissued,
 		GLVersion:         m.glVersion,
 		IndexVer:          m.indexVer,
+		JournalDegraded:   m.journalDegraded,
 	}
 	for _, mem := range m.members {
 		resp.Members = append(resp.Members, wire.MemberInfo{
@@ -1179,6 +1371,17 @@ func (m *Monitor) Members() []struct {
 }
 
 // GLVersion returns the current global-layer version.
+// HasPath reports whether the Monitor's authoritative namespace tree
+// resolves path — heartbeat CreatedPaths deltas included, which is what
+// failover tests wait on before killing an owner. Safe against the
+// serving path (the tree is only mutated under m.mu).
+func (m *Monitor) HasPath(path string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, err := m.tree.Lookup(path)
+	return err == nil
+}
+
 func (m *Monitor) GLVersion() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -386,3 +386,149 @@ func TestWALRecovery(t *testing.T) {
 		t.Errorf("version after recovered update = %d", m2.GLVersion())
 	}
 }
+
+// TestJournalDegradedLatch pins the availability-over-durability contract:
+// the first failed journal append latches journalDegraded (surfaced in
+// MonitorStats and heartbeat responses) and records exactly one event, and
+// later failures stay silent instead of re-logging.
+func TestJournalDegradedLatch(t *testing.T) {
+	w := testTree(t)
+	m, err := New(w.Tree, Config{Servers: 1, WALPath: t.TempDir() + "/mon.wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.handleJoin(&wire.JoinRequest{Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the journal: a closed log fails every Append.
+	if err := m.journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	m.journalLocked("owner", &walOwner{Root: "/x", Server: 0})
+	first := m.journalDegraded
+	m.journalLocked("owner", &walOwner{Root: "/y", Server: 0})
+	m.mu.Unlock()
+	if !first {
+		t.Fatal("journalDegraded not latched on first append failure")
+	}
+	st := m.Stats()
+	if !st.JournalDegraded {
+		t.Error("MonitorStats does not surface JournalDegraded")
+	}
+	resp, err := m.handleHeartbeat(&wire.HeartbeatRequest{ServerID: 0, Addr: "a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.JournalDegraded {
+		t.Error("heartbeat response does not surface JournalDegraded")
+	}
+	events, _ := m.rec.Since(0, 0)
+	logged := 0
+	for _, ev := range events {
+		if ev.Op == "journal_degraded" {
+			logged++
+		}
+	}
+	if logged != 1 {
+		t.Errorf("journal_degraded events = %d, want exactly 1", logged)
+	}
+}
+
+// TestHeartbeatCreatedPathsJournaled verifies the local-layer create delta:
+// heartbeat CreatedPaths land in the authoritative tree, are journaled, and
+// a restarted Monitor replays them — so a later failover push materialises
+// paths born after bootstrap.
+func TestHeartbeatCreatedPathsJournaled(t *testing.T) {
+	w := testTree(t)
+	walPath := t.TempDir() + "/mon.wal"
+	m1, err := New(w.Tree, Config{Servers: 1, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.handleJoin(&wire.JoinRequest{Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.handleHeartbeat(&wire.HeartbeatRequest{
+		ServerID: 0, Addr: "a:1",
+		CreatedPaths: []wire.Entry{
+			{Path: "/hb-born", Kind: wire.EntryDir},
+			{Path: "/hb-born/f.txt", Kind: wire.EntryFile},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Tree.Lookup("/hb-born/f.txt"); err != nil {
+		t.Fatalf("created path not folded into authoritative tree: %v", err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := testTree(t) // same seed ⇒ identical bootstrap tree
+	m2, err := New(w2.Tree, Config{Servers: 1, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m2.Close() }()
+	if _, err := w2.Tree.Lookup("/hb-born/f.txt"); err != nil {
+		t.Errorf("restarted monitor lost heartbeat-created path: %v", err)
+	}
+}
+
+// TestJoinAdoptsRecoveredSubtrees verifies the recovery handshake: a joiner
+// claiming subtrees with no live owner keeps them (no re-push of possibly
+// stale entries), while claims on roots owned by a live peer are rejected.
+func TestJoinAdoptsRecoveredSubtrees(t *testing.T) {
+	w := testTree(t)
+	m, err := New(w.Tree, Config{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var claim string
+	m.mu.Lock()
+	for root, owner := range m.subtreeOwner {
+		if owner == 0 {
+			claim = root
+			break
+		}
+	}
+	m.mu.Unlock()
+	if claim == "" {
+		t.Fatal("no subtree allocated to slot 0")
+	}
+	resp, err := m.handleJoin(&wire.JoinRequest{
+		Addr:              "a:1",
+		RecoveredSubtrees: []string{claim, "/not/a/root"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.AdoptedSubtrees) != 1 || resp.AdoptedSubtrees[0] != claim {
+		t.Fatalf("AdoptedSubtrees = %v, want [%s]", resp.AdoptedSubtrees, claim)
+	}
+	for _, st := range resp.Subtrees {
+		if st[0].Path == claim {
+			t.Errorf("adopted subtree %s was re-materialised in Subtrees", claim)
+		}
+	}
+
+	// A second server claiming the adopted root must be refused: its owner
+	// is alive elsewhere.
+	resp2, err := m.handleJoin(&wire.JoinRequest{
+		Addr:              "b:2",
+		RecoveredSubtrees: []string{claim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.AdoptedSubtrees) != 0 {
+		t.Errorf("claim on a live peer's subtree adopted: %v", resp2.AdoptedSubtrees)
+	}
+	m.mu.Lock()
+	owner := m.subtreeOwner[claim]
+	m.mu.Unlock()
+	if owner != 0 {
+		t.Errorf("owner of %s = %d, want 0", claim, owner)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"d2tree/internal/obs"
+	"d2tree/internal/wal"
 	"d2tree/internal/wire"
 )
 
@@ -86,6 +87,13 @@ func (s *Server) dispatch(env *wire.Envelope) (interface{}, string, error) {
 			return nil, "", err
 		}
 		resp, err := s.handleInstall(env, &req)
+		return resp, req.RootPath, err
+	case wire.TypeUninstall:
+		var req wire.UninstallRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, "", err
+		}
+		resp, err := s.handleUninstall(&req)
 		return resp, req.RootPath, err
 	case wire.TypeStats:
 		resp, err := s.handleStats()
@@ -197,12 +205,17 @@ func (s *Server) handleCreate(env *wire.Envelope, req *wire.CreateRequest) (*wir
 		}
 		// Local-layer create: no cluster coordination needed. The committed
 		// entry carries a lease so the creator can serve its own create from
-		// cache (§8b).
+		// cache (§8b). The mutation journals inside the same critical
+		// section (WAL order = commit order); the durability wait happens
+		// after unlock so the fsync never extends the lock hold.
 		e := &wire.Entry{Path: req.Path, Kind: req.Kind, Version: 1}
 		s.store[req.Path] = e
+		s.newPaths = append(s.newPaths, *e)
+		t := s.journalLocked("create", &walEntryRec{Entry: *e})
 		cp := *e
 		leaseMS, ver := s.leaseLocked()
 		s.mu.Unlock()
+		s.waitDurable(t)
 		s.leases.Add(1)
 		return &wire.CreateResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
 	}
@@ -251,13 +264,15 @@ func (s *Server) handleSetAttr(env *wire.Envelope, req *wire.SetAttrRequest) (*w
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
 	}
 	if !s.glPaths[req.Path] {
-		// Local-layer update.
+		// Local-layer update, journaled like the local create.
 		e.Size = req.Size
 		e.Mode = req.Mode
 		e.Version++
+		t := s.journalLocked("setattr", &walEntryRec{Entry: *e})
 		cp := *e
 		leaseMS, ver := s.leaseLocked()
 		s.mu.Unlock()
+		s.waitDurable(t)
 		s.leases.Add(1)
 		return &wire.SetAttrResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
 	}
@@ -351,22 +366,30 @@ func (s *Server) handleRename(req *wire.RenameRequest) (*wire.RenameResponse, er
 		return nil, fmt.Errorf("server: invalid new name %q", req.NewName)
 	}
 	s.hot.Add(req.Path, 1)
+	resp, t, err := s.renameAndJournal(req)
+	s.waitDurable(t)
+	return resp, err
+}
+
+// renameAndJournal commits the rename under s.mu and enqueues its journal
+// record; the caller waits for durability after the lock is released.
+func (s *Server) renameAndJournal(req *wire.RenameRequest) (*wire.RenameResponse, *wal.Ticket, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.glPaths[req.Path] {
-		return nil, fmt.Errorf("server: %s is in the global layer; rename requires re-evaluation", req.Path)
+		return nil, nil, fmt.Errorf("server: %s is in the global layer; rename requires re-evaluation", req.Path)
 	}
 	if s.subtrees[req.Path] {
-		return nil, fmt.Errorf("server: %s is a subtree root; rename requires re-evaluation", req.Path)
+		return nil, nil, fmt.Errorf("server: %s is a subtree root; rename requires re-evaluation", req.Path)
 	}
 	e, ok := s.store[req.Path]
 	if !ok {
 		addr, global := s.ownerLocked(req.Path)
 		if !global && addr != s.Addr() {
 			s.redirects.Add(1)
-			return &wire.RenameResponse{Redirect: addr}, nil
+			return &wire.RenameResponse{Redirect: addr}, nil, nil
 		}
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
 	}
 	slash := strings.LastIndexByte(req.Path, '/')
 	newPath := req.Path[:slash+1] + req.NewName
@@ -374,35 +397,19 @@ func (s *Server) handleRename(req *wire.RenameRequest) (*wire.RenameResponse, er
 		cp := *e
 		leaseMS, ver := s.leaseLocked()
 		s.leases.Add(1)
-		return &wire.RenameResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
+		return &wire.RenameResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil, nil
 	}
 	if _, exists := s.store[newPath]; exists {
-		return nil, fmt.Errorf("%w: %s", ErrExists, newPath)
+		return nil, nil, fmt.Errorf("%w: %s", ErrExists, newPath)
 	}
-	// Rewrite the node and every descendant key.
-	oldPrefix := req.Path + "/"
-	newPrefix := newPath + "/"
-	moved := []string{req.Path}
-	for p := range s.store {
-		if strings.HasPrefix(p, oldPrefix) {
-			moved = append(moved, p)
-		}
-	}
-	for _, p := range moved {
-		entry := s.store[p]
-		delete(s.store, p)
-		if p == req.Path {
-			entry.Path = newPath
-		} else {
-			entry.Path = newPrefix + p[len(oldPrefix):]
-		}
-		entry.Version++
-		s.store[entry.Path] = entry
-	}
+	// Rewrite the node and every descendant key — the same commit step WAL
+	// replay re-runs, so journaling just the (path, newName) pair suffices.
+	s.renameSubtreeLocked(req.Path, req.NewName)
+	t := s.journalLocked("rename", &walRenameRec{Path: req.Path, NewName: req.NewName})
 	cp := *s.store[newPath]
 	leaseMS, ver := s.leaseLocked()
 	s.leases.Add(1)
-	return &wire.RenameResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
+	return &wire.RenameResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, t, nil
 }
 
 func (s *Server) handleInstall(env *wire.Envelope, req *wire.InstallRequest) (*wire.LockResponse, error) {
@@ -417,7 +424,6 @@ func (s *Server) handleInstall(env *wire.Envelope, req *wire.InstallRequest) (*w
 		Detail: strconv.Itoa(len(req.Entries)) + " entries",
 	})
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.subtrees[req.RootPath] = true
 	for _, e := range req.Entries {
 		e := e
@@ -432,13 +438,58 @@ func (s *Server) handleInstall(env *wire.Envelope, req *wire.InstallRequest) (*w
 	// refresh between the install and its commit cannot make us drop the
 	// data we just received.
 	s.overrides[req.RootPath] = &indexOverride{addr: s.Addr(), ttl: 50}
+	tickets := s.journalInstallLocked(req.RootPath, req.Entries)
+	s.mu.Unlock()
+	// Ack only once the install is durable: the source deletes its copy on
+	// this reply, so a receiver that crashes afterwards must be able to
+	// replay the subtree.
+	for _, t := range tickets {
+		s.waitDurable(t)
+	}
+	return &wire.LockResponse{Granted: true}, nil
+}
+
+// handleUninstall drops a subtree the Monitor says this server should not
+// hold: a recovery push that timed out at the Monitor but landed here anyway,
+// after the subtree was re-homed elsewhere. Idempotent — an absent root acks
+// cleanly. Clearing the index override is the load-bearing part: the override
+// pins the stray claim until confirmation that, for a superseded push, never
+// comes.
+func (s *Server) handleUninstall(req *wire.UninstallRequest) (*wire.LockResponse, error) {
+	s.mu.Lock()
+	held := s.subtrees[req.RootPath]
+	var t *wal.Ticket
+	if held {
+		s.dropSubtreeLocked(req.RootPath)
+		t = s.journalLocked("remove", &walSubtreeRec{Root: req.RootPath})
+	}
+	delete(s.overrides, req.RootPath)
+	s.mu.Unlock()
+	s.waitDurable(t)
+	if held {
+		s.rec.Record(obs.Event{
+			Kind:   obs.KindMigration,
+			Op:     "uninstall",
+			Path:   req.RootPath,
+			Detail: "dropped superseded recovery copy",
+		})
+	}
 	return &wire.LockResponse{Granted: true}, nil
 }
 
 func (s *Server) handleStats() (*wire.StatsResponse, error) {
 	rtt := s.hbRTT.Summarize()
+	var walAppends, walFlushes int64
+	if s.journal != nil {
+		walAppends, walFlushes = s.journal.Stats()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	roots := make([]string, 0, len(s.subtrees))
+	for root := range s.subtrees {
+		roots = append(roots, root)
+	}
+	sort.Strings(roots)
 	return &wire.StatsResponse{
 		Server:     "mds-" + strconv.Itoa(s.id) + "@" + s.Addr(),
 		Ops:        s.ops.Load(),
@@ -465,6 +516,11 @@ func (s *Server) handleStats() (*wire.StatsResponse, error) {
 		LeasesGranted:    s.leases.Load(),
 		RevalidateHits:   s.revalidateHits.Load(),
 		RevalidateMisses: s.revalidateMisses.Load(),
+		WalAppends:       walAppends,
+		WalFlushes:       walFlushes,
+		Snapshots:        s.snapshots.Load(),
+		WalDegraded:      s.walDegraded.Load(),
+		Subtrees:         roots,
 	}, nil
 }
 

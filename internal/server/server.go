@@ -25,6 +25,7 @@ import (
 
 	"d2tree/internal/obs"
 	"d2tree/internal/stats"
+	"d2tree/internal/wal"
 	"d2tree/internal/wire"
 )
 
@@ -50,6 +51,15 @@ type Config struct {
 	// bound on cross-client staleness for reads. Default 2s; negative
 	// disables lease grants (clients then fall back to their own default).
 	EntryLease time.Duration
+	// WALDir enables durability: local-layer mutations are journaled to
+	// <WALDir>/mds.wal through a group-commit batcher, periodic snapshots
+	// land in <WALDir>/snapshot.json, and a restart recovers subtrees, op
+	// counts and GL version from snapshot+replay before rejoining. Empty =
+	// memory-only (the pre-durability behaviour).
+	WALDir string
+	// SnapshotInterval is the namespace snapshot + log truncation cadence
+	// when WALDir is set (default 5s).
+	SnapshotInterval time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -64,6 +74,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.EntryLease == 0 {
 		c.EntryLease = 2 * time.Second
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 5 * time.Second
 	}
 }
 
@@ -80,6 +93,11 @@ type Server struct {
 	// read-only thereafter (Close's ln.Close is safe concurrently with
 	// Accept), so it lives outside mu's guard.
 	ln net.Listener
+	// wlog/journal are the durability pair (nil when memory-only): the log
+	// plus its group-commit batcher. Like ln they are set once in Start
+	// before any goroutine can observe them and are read-only thereafter.
+	wlog    *wal.Log
+	journal *wal.Batcher
 
 	// mu is a read/write lock over the entry store and cluster-state maps:
 	// the read-mostly handlers (Lookup, Readdir, Stats) take the read side
@@ -101,6 +119,11 @@ type Server struct {
 	// clears when a refresh confirms it, or after ttl refreshes as a
 	// safety valve.
 	overrides map[string]*indexOverride
+	// newPaths accumulates local-layer entries created since the last
+	// successful heartbeat; each heartbeat ships them so the Monitor's
+	// authoritative namespace copy converges (bounding what a failover
+	// push can miss to one heartbeat window).
+	newPaths []wire.Entry
 
 	ops              atomic.Int64
 	lastHeartbeatOps int64 // guarded by mu; for recent-load reporting
@@ -118,6 +141,8 @@ type Server struct {
 	leases           atomic.Int64 // cache leases granted on responses
 	revalidateHits   atomic.Int64 // version matched: lease renewed bodiless
 	revalidateMisses atomic.Int64 // version stale: entry resent
+	snapshots        atomic.Int64 // namespace snapshots written
+	walDegraded      atomic.Bool  // latched on first journal failure
 
 	monMetrics wire.CallMetrics // Monitor-channel RPC outcomes
 	hbRTT      stats.Histogram  // successful heartbeat round-trip latency
@@ -137,6 +162,10 @@ type indexOverride struct {
 	addr string
 	ttl  int
 }
+
+// maxCreatedPerHeartbeat bounds the created-paths delta shipped per tick so
+// a create burst cannot bloat one heartbeat frame; the rest queues.
+const maxCreatedPerHeartbeat = 4096
 
 // New builds an MDS.
 func New(cfg Config) *Server {
@@ -171,6 +200,13 @@ func (s *Server) Start() error {
 	}
 	s.ln = ln
 
+	// Recover local-layer state from snapshot+WAL before joining, so the
+	// join can claim the recovered subtrees.
+	if err := s.openJournal(); err != nil {
+		_ = ln.Close()
+		return err
+	}
+
 	mon := wire.NewRetryingConn(s.cfg.MonitorAddr, wire.RetryOptions{
 		DialTimeout: s.cfg.DialTimeout,
 		CallTimeout: s.cfg.CallTimeout,
@@ -178,9 +214,10 @@ func (s *Server) Start() error {
 		Metrics:     &s.monMetrics,
 	})
 	var join wire.JoinResponse
-	if err := mon.Call(wire.TypeJoin, &wire.JoinRequest{Addr: s.Addr()}, &join); err != nil {
+	if err := mon.Call(wire.TypeJoin, s.joinRequest(), &join); err != nil {
 		_ = mon.Close()
 		_ = ln.Close()
+		s.closeJournal()
 		return fmt.Errorf("server: join: %w", err)
 	}
 	s.mu.Lock()
@@ -191,19 +228,60 @@ func (s *Server) Start() error {
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.heartbeatLoop()
+	if s.journal != nil {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
 	return nil
 }
 
+// joinRequest builds the join (or re-join) registration, claiming every
+// subtree root the server currently holds — recovered from disk on a
+// restart, or live state on a re-join after a Monitor restart. The Monitor
+// adopts claims without a live owner, so the server keeps serving its own
+// entries instead of receiving a stale re-materialization.
+func (s *Server) joinRequest() *wire.JoinRequest {
+	req := &wire.JoinRequest{Addr: s.Addr()}
+	s.mu.RLock()
+	for root := range s.subtrees {
+		req.RecoveredSubtrees = append(req.RecoveredSubtrees, root)
+	}
+	s.mu.RUnlock()
+	sort.Strings(req.RecoveredSubtrees)
+	return req
+}
+
+// closeJournal flushes and closes the durability pair (no-op memory-only).
+func (s *Server) closeJournal() {
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
+	if s.wlog != nil {
+		_ = s.wlog.Close()
+	}
+}
+
 // applyJoinLocked installs a JoinResponse: identity, the global-layer
-// replica, assigned subtrees, and the index. On re-join (Monitor restart)
-// existing local-layer entries are kept; subtrees the fresh index assigns
-// elsewhere are dropped by the next applyHeartbeat reconciliation. Callers
-// hold s.mu.
+// replica, assigned subtrees, and the index. Subtree roots the server
+// claimed (its current holdings) but the Monitor did not adopt belong to a
+// live owner elsewhere: they are dropped — and the drop journaled — before
+// the assigned subtrees install, so a recovered-but-reassigned root can
+// never be served from two places. Callers hold s.mu.
 func (s *Server) applyJoinLocked(join *wire.JoinResponse) {
 	s.id = join.ServerID
 	s.rec.SetNode("mds-" + strconv.Itoa(join.ServerID))
 	s.glVersion = join.GLVersion
 	s.indexVer = join.IndexVer
+	adopted := make(map[string]bool, len(join.AdoptedSubtrees))
+	for _, root := range join.AdoptedSubtrees {
+		adopted[root] = true
+	}
+	for root := range s.subtrees {
+		if !adopted[root] {
+			s.dropSubtreeLocked(root)
+			_ = s.journalLocked("remove", &walSubtreeRec{Root: root})
+		}
+	}
 	for p := range s.glPaths {
 		delete(s.store, p)
 		delete(s.glPaths, p)
@@ -222,6 +300,7 @@ func (s *Server) applyJoinLocked(join *wire.JoinResponse) {
 			e := e
 			s.store[e.Path] = &e
 		}
+		_ = s.journalInstallLocked(st[0].Path, st)
 	}
 	s.index = make(map[string]string, len(join.Index))
 	for k, v := range join.Index {
@@ -272,6 +351,7 @@ func (s *Server) Close() error {
 		_ = nc.Close()
 	}
 	s.wg.Wait()
+	s.closeJournal()
 	return err
 }
 
@@ -331,15 +411,25 @@ func (s *Server) heartbeatOnce() {
 	// Sec. IV-B.
 	recent := ops - s.lastHeartbeatOps
 	s.lastHeartbeatOps = ops
+	// Ship the created-paths delta (bounded per tick); the remainder and
+	// any failed shipment ride the next heartbeat.
+	created := s.newPaths
+	if len(created) > maxCreatedPerHeartbeat {
+		s.newPaths = created[maxCreatedPerHeartbeat:]
+		created = created[:maxCreatedPerHeartbeat]
+	} else {
+		s.newPaths = nil
+	}
 	req := &wire.HeartbeatRequest{
-		ServerID:  s.id,
-		Addr:      s.Addr(),
-		Load:      float64(recent),
-		Ops:       ops,
-		Entries:   len(s.store),
-		GLVersion: s.glVersion,
-		IndexVer:  s.indexVer,
-		HotPaths:  topPaths(hot, 128),
+		ServerID:     s.id,
+		Addr:         s.Addr(),
+		Load:         float64(recent),
+		Ops:          ops,
+		Entries:      len(s.store),
+		GLVersion:    s.glVersion,
+		IndexVer:     s.indexVer,
+		HotPaths:     topPaths(hot, 128),
+		CreatedPaths: created,
 	}
 	mon := s.mon
 	s.mu.Unlock()
@@ -362,21 +452,25 @@ func (s *Server) heartbeatOnce() {
 		// A Monitor that restarted has no member table: our identity is
 		// gone, so re-join before un-shipping the sample.
 		if s.rejoin() {
-			s.restoreSample(recent, hot)
+			s.restoreSample(recent, hot, created)
 			return
 		}
 	}
 	// Monitor temporarily unreachable: put the unshipped sample back so the
 	// next successful heartbeat carries the whole outage window.
-	s.restoreSample(recent, hot)
+	s.restoreSample(recent, hot, created)
 }
 
 // restoreSample merges an unshipped heartbeat sample back into the live
 // counters. hot is the full (untruncated) counter map taken by the failed
-// heartbeat; new increments that landed meanwhile are preserved.
-func (s *Server) restoreSample(recent int64, hot map[string]int64) {
+// heartbeat; new increments that landed meanwhile are preserved, as are
+// created paths accumulated since.
+func (s *Server) restoreSample(recent int64, hot map[string]int64, created []wire.Entry) {
 	s.mu.Lock()
 	s.lastHeartbeatOps -= recent
+	if len(created) > 0 {
+		s.newPaths = append(created, s.newPaths...)
+	}
 	s.mu.Unlock()
 	s.hot.Merge(hot)
 }
@@ -391,7 +485,7 @@ func (s *Server) rejoin() bool {
 		return false
 	}
 	var join wire.JoinResponse
-	if err := mon.Call(wire.TypeJoin, &wire.JoinRequest{Addr: s.Addr()}, &join); err != nil {
+	if err := mon.Call(wire.TypeJoin, s.joinRequest(), &join); err != nil {
 		return false
 	}
 	s.mu.Lock()
@@ -401,6 +495,7 @@ func (s *Server) rejoin() bool {
 }
 
 func (s *Server) applyHeartbeat(resp *wire.HeartbeatResponse) {
+	var tickets []*wal.Ticket
 	s.mu.Lock()
 	if len(resp.GlobalLayer) > 0 {
 		// Full GL refresh: drop stale GL entries, install the new set.
@@ -436,22 +531,23 @@ func (s *Server) applyHeartbeat(resp *wire.HeartbeatResponse) {
 		}
 		// Reconcile ownership with the fresh index: subtrees the Monitor
 		// reassigned elsewhere (e.g. after a global-layer re-evaluation)
-		// are dropped; their new owners receive Installs from the Monitor.
+		// are dropped — and the drop journaled, so a restart cannot
+		// resurrect a claim to data that now lives elsewhere; their new
+		// owners receive Installs from the Monitor.
 		self := s.Addr()
 		for root := range s.subtrees {
 			if owner, ok := s.index[root]; ok && owner != self {
-				delete(s.subtrees, root)
-				for _, e := range s.collectSubtreeLocked(root) {
-					if !s.glPaths[e.Path] {
-						delete(s.store, e.Path)
-					}
-				}
+				s.dropSubtreeLocked(root)
+				tickets = append(tickets, s.journalLocked("remove", &walSubtreeRec{Root: root}))
 			}
 		}
 	}
 	s.indexVer = resp.IndexVer
 	transfers := resp.Transfers
 	s.mu.Unlock()
+	for _, t := range tickets {
+		s.waitDurable(t)
+	}
 
 	for _, cmd := range transfers {
 		s.executeTransfer(cmd)
@@ -501,9 +597,14 @@ func (s *Server) executeTransfer(cmd wire.TransferCommand) {
 	}
 	s.index[cmd.RootPath] = cmd.DestAddr
 	s.overrides[cmd.RootPath] = &indexOverride{addr: cmd.DestAddr, ttl: 50}
+	removeTicket := s.journalLocked("remove", &walSubtreeRec{Root: cmd.RootPath})
 	mon := s.mon
 	id := s.id
 	s.mu.Unlock()
+	// The removal must be durable before TransferDone commits ownership to
+	// the destination: a source that crashes past this point replays the
+	// remove and cannot re-claim the subtree it shipped away.
+	s.waitDurable(removeTicket)
 	s.transferOK.Add(1)
 	s.rec.Record(obs.Event{
 		Kind:   obs.KindMigration,

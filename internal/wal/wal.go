@@ -1,11 +1,21 @@
 // Package wal is a minimal write-ahead log: length-prefixed, CRC-protected
 // JSON records appended to a single file. The Monitor journals global-layer
-// updates and subtree-ownership changes through it so a restarted Monitor
-// recovers the cluster's logical state. Replay stops cleanly at the first
-// torn or corrupt record, making crash-truncated tails harmless.
+// updates and subtree-ownership changes through it, and each MDS journals
+// its local-layer mutations, so a restarted process recovers its logical
+// state. Replay stops cleanly at the first torn or corrupt record, making
+// crash-truncated tails harmless.
+//
+// Durability contract: Append (and AppendBatch) return only after the
+// record bytes are fsynced. A failed write or sync rolls the log back to
+// the last durable offset — the sequence counter is restored and the torn
+// bytes truncated away — so a later append can never land beyond a torn
+// region where replay would not reach it. If that rollback itself fails the
+// log is poisoned and every further append reports ErrPoisoned rather than
+// compounding the damage.
 package wal
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -13,6 +23,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -26,6 +37,13 @@ type Record struct {
 	Data json.RawMessage `json:"data,omitempty"`
 }
 
+// Item is one record to append; AppendBatch journals a slice of them under
+// a single fsync.
+type Item struct {
+	Type    string
+	Payload interface{}
+}
+
 // MaxRecordSize bounds one record (4 MiB).
 const MaxRecordSize = 4 << 20
 
@@ -33,22 +51,74 @@ const MaxRecordSize = 4 << 20
 var (
 	ErrClosed       = errors.New("wal: log closed")
 	ErrRecordTooBig = errors.New("wal: record exceeds maximum size")
+	// ErrPoisoned marks a log whose tail state is unknown: a failed append
+	// could not be rolled back, so further appends are refused — they could
+	// otherwise strand valid records behind torn bytes that replay can
+	// never cross.
+	ErrPoisoned = errors.New("wal: log poisoned by unrecoverable write failure")
 )
+
+// syncDir is the directory-fsync hook. It is a package variable so tests
+// can observe that creation and rename paths really sync the parent
+// directory (the filesystem effect itself is not portably observable).
+var syncDir = SyncDir
+
+// SyncDir fsyncs a directory so a freshly created or renamed file inside it
+// survives a crash. Callers that write their own atomic snapshot files
+// (tmp + rename) use it to make the rename durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir %s: %w", dir, err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: sync dir %s: %w", dir, serr)
+	}
+	return cerr
+}
+
+// file is the slice of *os.File the log needs; tests substitute
+// fault-injecting implementations to exercise the write-error paths.
+type file interface {
+	io.Writer
+	io.ReadSeeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
 
 // Log is an append-only journal. Safe for concurrent use.
 type Log struct {
-	mu     sync.Mutex
-	f      *os.File
-	seq    int64
-	closed bool
+	path string
+	dir  string
+
+	mu       sync.Mutex
+	f        file
+	seq      int64
+	durable  int64 // file offset just past the last synced record
+	closed   bool
+	poisoned bool
 }
 
 // Open opens (or creates) the log at path, replays it to find the last
-// sequence number, and positions for appending.
+// sequence number, and positions for appending. Creating a new log fsyncs
+// the parent directory, so a crash immediately after creation cannot lose
+// the file while the caller believes records were synced.
 func Open(path string) (*Log, error) {
+	_, serr := os.Stat(path)
+	created := errors.Is(serr, os.ErrNotExist)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	if created {
+		if err := syncDir(dir); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
 	}
 	// Scan to the end of the valid prefix.
 	var lastSeq int64
@@ -71,49 +141,176 @@ func Open(path string) (*Log, error) {
 		_ = f.Close()
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	return &Log{f: f, seq: lastSeq}, nil
+	return &Log{path: path, dir: dir, f: f, seq: lastSeq, durable: validEnd}, nil
 }
 
 // Append journals one record and returns its sequence number. The record is
 // synced to stable storage before returning.
 func (l *Log) Append(recType string, payload interface{}) (int64, error) {
-	var data json.RawMessage
-	if payload != nil {
-		raw, err := json.Marshal(payload)
-		if err != nil {
-			return 0, fmt.Errorf("wal: marshal %s: %w", recType, err)
+	seqs, err := l.AppendBatch([]Item{{Type: recType, Payload: payload}})
+	if err != nil {
+		return 0, err
+	}
+	return seqs[0], nil
+}
+
+// AppendBatch journals every item under one write and one fsync, returning
+// their sequence numbers in order. The batch is all-or-nothing: on any
+// failure no item is considered durable and the log rolls back as Append
+// does.
+func (l *Log) AppendBatch(items []Item) ([]int64, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	// Marshal payloads outside the lock; a bad payload fails the batch
+	// before anything touches the file.
+	datas := make([]json.RawMessage, len(items))
+	for i, it := range items {
+		if it.Payload == nil {
+			continue
 		}
-		data = raw
+		raw, err := json.Marshal(it.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("wal: marshal %s: %w", it.Type, err)
+		}
+		datas[i] = raw
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return 0, ErrClosed
+		return nil, ErrClosed
 	}
-	l.seq++
-	rec := Record{Seq: l.seq, Type: recType, Data: data}
-	body, err := json.Marshal(&rec)
-	if err != nil {
-		l.seq--
-		return 0, fmt.Errorf("wal: marshal record: %w", err)
+	if l.poisoned {
+		return nil, ErrPoisoned
 	}
-	if len(body) > MaxRecordSize {
-		l.seq--
-		return 0, fmt.Errorf("%w: %d bytes", ErrRecordTooBig, len(body))
-	}
+	start := l.seq
+	var buf bytes.Buffer
+	seqs := make([]int64, len(items))
 	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
-	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("wal: write header: %w", err)
+	for i, it := range items {
+		l.seq++
+		rec := Record{Seq: l.seq, Type: it.Type, Data: datas[i]}
+		body, err := json.Marshal(&rec)
+		if err != nil {
+			l.seq = start
+			return nil, fmt.Errorf("wal: marshal record: %w", err)
+		}
+		if len(body) > MaxRecordSize {
+			l.seq = start
+			return nil, fmt.Errorf("%w: %d bytes", ErrRecordTooBig, len(body))
+		}
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+		binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+		buf.Write(hdr[:])
+		buf.Write(body)
+		seqs[i] = l.seq
 	}
-	if _, err := l.f.Write(body); err != nil {
-		return 0, fmt.Errorf("wal: write body: %w", err)
+	if _, err := l.f.Write(buf.Bytes()); err != nil {
+		l.recoverTailLocked(start)
+		return nil, fmt.Errorf("wal: write: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
-		return 0, fmt.Errorf("wal: sync: %w", err)
+		// The bytes may be in the page cache but were never acknowledged as
+		// durable; discard them like a torn write.
+		l.recoverTailLocked(start)
+		return nil, fmt.Errorf("wal: sync: %w", err)
 	}
-	return rec.Seq, nil
+	l.durable += int64(buf.Len())
+	return seqs, nil
+}
+
+// recoverTailLocked rolls a failed append back: the sequence counter
+// returns to its pre-append value and the file is truncated to the last
+// durable offset, so torn bytes can never sit in front of a later record.
+// If the truncate or re-seek itself fails the tail state is unknown and the
+// log is poisoned.
+func (l *Log) recoverTailLocked(seq int64) {
+	l.seq = seq
+	if err := l.f.Truncate(l.durable); err != nil {
+		l.poisoned = true
+		return
+	}
+	if _, err := l.f.Seek(l.durable, io.SeekStart); err != nil {
+		l.poisoned = true
+	}
+}
+
+// TruncateBefore compacts the log, dropping every record with Seq < minSeq
+// — used after a snapshot has captured the state those records rebuilt. The
+// retained suffix is rewritten through a temp file, renamed over the log,
+// and the directory synced, so a crash at any point leaves either the old
+// or the new log fully intact.
+func (l *Log) TruncateBefore(minSeq int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.poisoned {
+		return ErrPoisoned
+	}
+	var buf bytes.Buffer
+	var hdr [8]byte
+	err := replayFrom(l.f, func(rec Record, _ int64) error {
+		if rec.Seq < minSeq {
+			return nil
+		}
+		body, err := json.Marshal(&rec)
+		if err != nil {
+			return fmt.Errorf("wal: remarshal record %d: %w", rec.Seq, err)
+		}
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+		binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+		buf.Write(hdr[:])
+		buf.Write(body)
+		return nil
+	})
+	if err != nil {
+		l.restoreAppendPosLocked()
+		return err
+	}
+	tmpPath := l.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		l.restoreAppendPosLocked()
+		return fmt.Errorf("wal: create %s: %w", tmpPath, err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
+		l.restoreAppendPosLocked()
+		return fmt.Errorf("wal: write %s: %w", tmpPath, err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
+		l.restoreAppendPosLocked()
+		return fmt.Errorf("wal: rename: %w", err)
+	}
+	// The rename happened; best-effort dir sync makes it durable. The open
+	// handle follows the inode either way.
+	_ = syncDir(l.dir)
+	// The open tmp handle followed the inode through the rename: it IS the
+	// new log file. Swap it in and retire the old handle.
+	_ = l.f.Close()
+	l.f = tmp
+	l.durable = int64(buf.Len())
+	if _, err := tmp.Seek(l.durable, io.SeekStart); err != nil {
+		l.poisoned = true
+		return fmt.Errorf("wal: seek after compact: %w", err)
+	}
+	return nil
+}
+
+// restoreAppendPosLocked re-seeks the file to the append position after a
+// replay scan moved the offset; failing that, the log is poisoned.
+func (l *Log) restoreAppendPosLocked() {
+	if _, err := l.f.Seek(l.durable, io.SeekStart); err != nil {
+		l.poisoned = true
+	}
 }
 
 // Seq returns the last appended sequence number.
@@ -131,6 +328,11 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	if l.poisoned {
+		// Nothing past durable was acknowledged; a failed final sync
+		// changes nothing for the caller.
+		return l.f.Close()
+	}
 	if err := l.f.Sync(); err != nil {
 		_ = l.f.Close()
 		return err

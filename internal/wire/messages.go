@@ -161,6 +161,18 @@ type StatsResponse struct {
 	LeasesGranted    int64 `json:"leasesGranted"`
 	RevalidateHits   int64 `json:"revalidateHits"`
 	RevalidateMisses int64 `json:"revalidateMisses"`
+
+	// Durability counters (zero when the server runs memory-only). WAL
+	// appends and group-commit flush windows come from the journal batcher;
+	// Snapshots counts namespace snapshots written; WalDegraded latches
+	// after the first journal failure (the server keeps serving).
+	WalAppends  int64 `json:"walAppends,omitempty"`
+	WalFlushes  int64 `json:"walFlushes,omitempty"`
+	Snapshots   int64 `json:"snapshots,omitempty"`
+	WalDegraded bool  `json:"walDegraded,omitempty"`
+	// Subtrees lists the subtree roots this server currently owns, so an
+	// offline checker (d2fsck) can prove no root is double-owned.
+	Subtrees []string `json:"subtrees,omitempty"`
 }
 
 // MonitorStatsResponse reports coordinator-side counters and membership.
@@ -179,6 +191,10 @@ type MonitorStatsResponse struct {
 	TransfersReissued int64 `json:"transfersReissued"`
 	GLVersion         int64 `json:"glVersion"`
 	IndexVer          int64 `json:"indexVer"`
+	// JournalDegraded latches after the Monitor's first WAL append failure:
+	// the cluster keeps running but a Monitor restart would lose journaled
+	// state since the failure.
+	JournalDegraded bool `json:"journalDegraded,omitempty"`
 }
 
 // MemberInfo is one row of the Monitor's member table.
@@ -193,6 +209,12 @@ type MemberInfo struct {
 // JoinRequest registers an MDS with the Monitor.
 type JoinRequest struct {
 	Addr string `json:"addr"`
+	// RecoveredSubtrees lists subtree roots the server rebuilt from its WAL
+	// and snapshot before joining (the recovery handshake). The Monitor
+	// adopts a claim when the root has no live owner, so the rejoining
+	// server keeps serving its recovered entries instead of receiving a
+	// stale re-materialization.
+	RecoveredSubtrees []string `json:"recoveredSubtrees,omitempty"`
 }
 
 // JoinResponse assigns the server its identity and initial state: the full
@@ -204,6 +226,10 @@ type JoinResponse struct {
 	Subtrees    [][]Entry         `json:"subtrees"`
 	Index       map[string]string `json:"index"` // subtree root path → MDS addr
 	IndexVer    int64             `json:"indexVer"`
+	// AdoptedSubtrees echoes the recovery claims the Monitor accepted; the
+	// server keeps its recovered entries for these roots and drops any
+	// claimed root not listed here (another live server owns it).
+	AdoptedSubtrees []string `json:"adoptedSubtrees,omitempty"`
 }
 
 // HeartbeatRequest reports an MDS's load to the Monitor (Sec. IV-B).
@@ -219,6 +245,11 @@ type HeartbeatRequest struct {
 	// heartbeat (access counters, Sec. IV-B); the Monitor folds them into
 	// its popularity view to drive global-layer re-evaluation.
 	HotPaths map[string]int64 `json:"hotPaths,omitempty"`
+	// CreatedPaths reports local-layer entries created since the last
+	// successful heartbeat, so the Monitor's authoritative namespace copy
+	// converges and a failover push re-materializes them. Merged back and
+	// re-shipped when a heartbeat fails, like HotPaths.
+	CreatedPaths []Entry `json:"createdPaths,omitempty"`
 }
 
 // TransferCommand tells an MDS to ship one subtree to another MDS.
@@ -239,6 +270,9 @@ type HeartbeatResponse struct {
 	IndexVer    int64             `json:"indexVer"`
 	Index       map[string]string `json:"index,omitempty"`
 	Transfers   []TransferCommand `json:"transfers,omitempty"`
+	// JournalDegraded reports that the Monitor's WAL has failed and its
+	// recovery story is running memory-only (availability over durability).
+	JournalDegraded bool `json:"journalDegraded,omitempty"`
 }
 
 // GLUpdateRequest asks the Monitor to apply a serialised update to a
@@ -267,6 +301,13 @@ type ClusterInfoResponse struct {
 type InstallRequest struct {
 	RootPath string  `json:"rootPath"`
 	Entries  []Entry `json:"entries"`
+}
+
+// UninstallRequest tells an MDS to drop a subtree it may hold from a
+// superseded recovery push (install timed out at the Monitor but landed);
+// the reply is a LockResponse ack. Idempotent: an absent root acks cleanly.
+type UninstallRequest struct {
+	RootPath string `json:"rootPath"`
 }
 
 // TransferDoneRequest tells the Monitor a subtree migration completed so it

@@ -48,6 +48,11 @@ const (
 	// MDS → MDS.
 	TypeInstall = "install"
 
+	// Monitor → MDS: drop a subtree the server should not hold — a
+	// recovery push that timed out at the Monitor but landed anyway, after
+	// the subtree was re-homed elsewhere.
+	TypeUninstall = "uninstall"
+
 	// MDS → Monitor after completing a transfer.
 	TypeTransferDone = "transfer_done"
 
