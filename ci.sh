@@ -32,7 +32,9 @@ go test -race ./...
 # Benchmark smoke runs: prove the tracked replay-tier and live-cluster
 # suites execute and emit well-formed JSON without paying for calibrated
 # timing or full-scale load. The clusterbench smoke covers the client
-# entry cache both off and on (one row pair per pipeline depth).
+# entry cache both off and on, the inflight×batch compound-frame sweep
+# (one batched row per depth×cache point), and the readdir-vs-readdirplus
+# listing pair, so the compound path is exercised in CI.
 go run ./cmd/d2bench -bench -benchsmoke -benchlabel ci-smoke > /dev/null
 go run ./cmd/d2bench -clusterbench -benchsmoke -benchlabel ci-smoke > /dev/null
 
@@ -81,6 +83,17 @@ mds0pid=$!
 mds1pid=$!
 poll "$bin/d2ctl" -monitor $MON stats $MDS0
 poll "$bin/d2ctl" -monitor $MON stats $MDS1
+
+# Compound-path smoke against the live durable cluster: batched compound
+# frames and the readdirplus listing path must both complete with zero
+# errors. The namespace parameters mirror the d2monitor invocation above so
+# both sides resolve the same paths.
+load_out=$(go run ./cmd/d2load -monitor $MON -profile LMBE -nodes 800 -events 4000 \
+    -seed 1 -clients 8 -inflight 2 -batch 8 -timeout 1m)
+echo "$load_out" | grep -q "errors=0 "
+load_out=$(go run ./cmd/d2load -monitor $MON -profile LMBE -nodes 800 -events 4000 \
+    -seed 1 -clients 4 -readdir plus -timeout 1m)
+echo "$load_out" | grep -q "errors=0 "
 
 # Journaled creates under one subtree root of each server.
 root0=$("$bin/d2ctl" -monitor $MON stats $MDS0 | awk '/^  subtree /{print $2; exit}')

@@ -30,6 +30,8 @@ import (
 type ClusterMeasurement struct {
 	Name          string  `json:"name"`
 	InFlight      int     `json:"inFlight"`
+	Batch         int     `json:"batch,omitempty"`
+	Readdir       string  `json:"readdir,omitempty"`
 	Cache         bool    `json:"cache,omitempty"`
 	Durable       bool    `json:"durable,omitempty"`
 	Ops           uint64  `json:"ops"`
@@ -63,14 +65,15 @@ type clusterBenchConfig struct {
 	nodes    int
 	events   int
 	depths   []int
-	attempts int // best-of-N per depth, damping scheduler noise
+	batches  []int // compound-frame sizes swept at every depth (1 = classic single-op rows)
+	attempts int   // best-of-N per depth, damping scheduler noise
 }
 
 func clusterConfig(smoke bool) clusterBenchConfig {
 	if smoke {
-		return clusterBenchConfig{servers: 2, clients: 4, nodes: 400, events: 1200, depths: []int{1, 4}, attempts: 1}
+		return clusterBenchConfig{servers: 2, clients: 4, nodes: 400, events: 1200, depths: []int{1, 4}, batches: []int{1, 4}, attempts: 1}
 	}
-	return clusterBenchConfig{servers: 3, clients: 48, nodes: 5000, events: 40000, depths: []int{1, 8}, attempts: 2}
+	return clusterBenchConfig{servers: 3, clients: 48, nodes: 5000, events: 40000, depths: []int{1, 8}, batches: []int{1, 8}, attempts: 2}
 }
 
 // benchCluster is one booted Monitor + MDS fleet plus its teardown.
@@ -123,27 +126,44 @@ func bootBenchCluster(cfg clusterBenchConfig, w *trace.Workload, walRoot string)
 	return c, nil
 }
 
-// measureDepth drives the booted cluster at one pipeline depth and returns
+// runShape is one measured load configuration against a booted cluster.
+// The zero-ish shape (batch 1, no readdir mix, full event stream) is the
+// classic single-op row, so pre-existing trajectory names stay stable.
+type runShape struct {
+	depth        int
+	cacheEntries int
+	batch        int           // sub-ops per compound frame; <=1 = single-op RPCs
+	readdir      string        // "", "plain", "plus"
+	events       []trace.Event // nil = the full workload stream
+}
+
+// measureShape drives the booted cluster with one load shape and returns
 // the best of cfg.attempts runs.
-func measureDepth(monAddr string, cfg clusterBenchConfig, w *trace.Workload, depth, cacheEntries int) (*loadgen.Report, error) {
+func measureShape(monAddr string, cfg clusterBenchConfig, w *trace.Workload, shape runShape) (*loadgen.Report, error) {
+	events := shape.events
+	if events == nil {
+		events = w.Events
+	}
 	var best *loadgen.Report
 	for a := 0; a < cfg.attempts; a++ {
 		rep, err := loadgen.Run(context.Background(), loadgen.Config{
 			MonitorAddr:  monAddr,
 			Clients:      cfg.clients,
-			InFlight:     depth,
+			InFlight:     shape.depth,
+			Batch:        shape.batch,
+			Readdir:      shape.readdir,
 			Tree:         w.Tree,
-			Events:       w.Events,
+			Events:       events,
 			Timeout:      5 * time.Minute,
 			Seed:         1,
-			CacheEntries: cacheEntries,
+			CacheEntries: shape.cacheEntries,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("inflight %d: %w", depth, err)
+			return nil, fmt.Errorf("inflight %d batch %d: %w", shape.depth, shape.batch, err)
 		}
 		if rep.Errors > 0 {
-			return nil, fmt.Errorf("inflight %d: %d/%d ops failed: %s",
-				depth, rep.Errors, rep.Ops, rep.ErrorSample)
+			return nil, fmt.Errorf("inflight %d batch %d: %d/%d ops failed: %s",
+				shape.depth, shape.batch, rep.Errors, rep.Ops, rep.ErrorSample)
 		}
 		if best == nil || rep.ThroughputOps > best.ThroughputOps {
 			best = rep
@@ -152,20 +172,35 @@ func measureDepth(monAddr string, cfg clusterBenchConfig, w *trace.Workload, dep
 	return best, nil
 }
 
-func clusterRow(profile string, cfg clusterBenchConfig, depth int, cached, durable bool, best *loadgen.Report) ClusterMeasurement {
+func clusterRow(profile string, cfg clusterBenchConfig, shape runShape, durable bool, best *loadgen.Report) ClusterMeasurement {
 	state := "off"
-	if cached {
+	if shape.cacheEntries > 0 {
 		state = "on"
 	}
 	wal := "off"
 	if durable {
 		wal = "on"
 	}
+	name := fmt.Sprintf("Cluster/%s/mds=%d/clients=%d/inflight=%d/cache=%s/wal=%s",
+		profile, cfg.servers, cfg.clients, shape.depth, state, wal)
+	// Compound-op rows get extra name segments; batch=1 single-op rows keep
+	// their historical names so the trajectory stays comparable across PRs.
+	batch := shape.batch
+	if batch <= 1 {
+		batch = 0
+	}
+	if batch > 0 {
+		name += fmt.Sprintf("/batch=%d", batch)
+	}
+	if shape.readdir != "" {
+		name += "/readdir=" + shape.readdir
+	}
 	return ClusterMeasurement{
-		Name: fmt.Sprintf("Cluster/%s/mds=%d/clients=%d/inflight=%d/cache=%s/wal=%s",
-			profile, cfg.servers, cfg.clients, depth, state, wal),
-		InFlight:      depth,
-		Cache:         cached,
+		Name:          name,
+		InFlight:      shape.depth,
+		Batch:         batch,
+		Readdir:       shape.readdir,
+		Cache:         shape.cacheEntries > 0,
 		Durable:       durable,
 		Ops:           best.Ops,
 		Errors:        best.Errors,
@@ -204,19 +239,38 @@ func runClusterBench(label string, smoke bool) (ClusterEntry, error) {
 	if err != nil {
 		return ClusterEntry{}, err
 	}
+	// The inflight×batch sweep: every pipeline depth measured at every
+	// compound-frame size, cache off and on. batch=1 rows are the
+	// historical single-op baselines the batched rows are judged against.
 	for _, depth := range cfg.depths {
 		for _, cached := range []bool{false, true} {
 			var cacheEntries int
 			if cached {
 				cacheEntries = 4096
 			}
-			best, err := measureDepth(mem.mon.Addr(), cfg, w, depth, cacheEntries)
-			if err != nil {
-				mem.close()
-				return ClusterEntry{}, err
+			for _, batch := range cfg.batches {
+				shape := runShape{depth: depth, cacheEntries: cacheEntries, batch: batch}
+				best, err := measureShape(mem.mon.Addr(), cfg, w, shape)
+				if err != nil {
+					mem.close()
+					return ClusterEntry{}, err
+				}
+				entry.Runs = append(entry.Runs, clusterRow(profile.Name, cfg, shape, false, best))
 			}
-			entry.Runs = append(entry.Runs, clusterRow(profile.Name, cfg, depth, cached, false, best))
 		}
+	}
+	// readdirplus vs the N+1 pattern it replaces: one row pair at depth 1,
+	// cache off, over a quarter of the stream (each listing event fans out
+	// into a full directory scan, so the plain row is many real RPCs).
+	listEvents := w.Events[:max(1, cfg.events/4)]
+	for _, mode := range []string{"plain", "plus"} {
+		shape := runShape{depth: 1, batch: 1, readdir: mode, events: listEvents}
+		best, err := measureShape(mem.mon.Addr(), cfg, w, shape)
+		if err != nil {
+			mem.close()
+			return ClusterEntry{}, err
+		}
+		entry.Runs = append(entry.Runs, clusterRow(profile.Name, cfg, shape, false, best))
 	}
 	mem.close()
 
@@ -230,12 +284,17 @@ func runClusterBench(label string, smoke bool) (ClusterEntry, error) {
 		return ClusterEntry{}, err
 	}
 	defer dur.close()
+	// The WAL-backed sweep shows what a compound frame's single
+	// group-commit window buys on the durable write path.
 	for _, depth := range cfg.depths {
-		best, err := measureDepth(dur.mon.Addr(), cfg, w, depth, 0)
-		if err != nil {
-			return ClusterEntry{}, err
+		for _, batch := range cfg.batches {
+			shape := runShape{depth: depth, batch: batch}
+			best, err := measureShape(dur.mon.Addr(), cfg, w, shape)
+			if err != nil {
+				return ClusterEntry{}, err
+			}
+			entry.Runs = append(entry.Runs, clusterRow(profile.Name, cfg, shape, true, best))
 		}
-		entry.Runs = append(entry.Runs, clusterRow(profile.Name, cfg, depth, false, true, best))
 	}
 	return entry, nil
 }

@@ -263,6 +263,8 @@ func printServerStats(w io.Writer, st *wire.StatsResponse) {
 		st.HeartbeatRTT.P90US, st.HeartbeatRTT.P99US, st.HeartbeatRTT.MaxUS)
 	fmt.Fprintf(w, "  leases granted=%d revalidate hits=%d misses=%d\n",
 		st.LeasesGranted, st.RevalidateHits, st.RevalidateMisses)
+	fmt.Fprintf(w, "  compound batches=%d sub_ops=%d readdirplus=%d\n",
+		st.Batches, st.BatchSubOps, st.ReaddirPlus)
 	wal := "ok"
 	if st.WalDegraded {
 		wal = "DEGRADED"

@@ -10,6 +10,12 @@
 // -inflight sets each client's pipeline depth: how many operations a client
 // keeps outstanding at once (default 1, the paper's closed loop).
 //
+// -batch N coalesces every N consecutive operations of a lane into one
+// compound frame (Batch RPC); throughput still counts sub-ops. -readdir
+// plain|plus swaps the trace for a listing-heavy mix: each event lists the
+// parent directory of its path, either as readdir plus one lookup per child
+// or as a single readdirplus frame.
+//
 // -cache N gives every client an N-entry lease cache (Sec. IV-A2); the
 // report then carries hit/miss/renew counters and a hit ratio. -cache-lease
 // is only the fallback lease — servers normally dictate the duration.
@@ -45,6 +51,8 @@ func run(args []string) error {
 		events   = fs.Int("events", 50000, "operations to replay")
 		clients  = fs.Int("clients", 200, "closed-loop client population")
 		inflight = fs.Int("inflight", 1, "per-client pipeline depth (operations kept outstanding)")
+		batch    = fs.Int("batch", 1, "sub-ops coalesced per compound frame (1 = single-op RPCs)")
+		readdir  = fs.String("readdir", "", "listing-heavy mix: plain (readdir + lookup per child) or plus (one readdirplus)")
 		privconn = fs.Bool("private-conns", false, "give every client private sockets instead of the shared per-process transport")
 		cacheN   = fs.Int("cache", 0, "per-client entry cache capacity (0 = cache off)")
 		cacheTTL = fs.Duration("cache-lease", 2*time.Second, "fallback entry lease when the server grants none")
@@ -68,6 +76,8 @@ func run(args []string) error {
 		MonitorAddr:  *mon,
 		Clients:      *clients,
 		InFlight:     *inflight,
+		Batch:        *batch,
+		Readdir:      *readdir,
 		PrivateConns: *privconn,
 		CacheEntries: *cacheN,
 		CacheLease:   *cacheTTL,

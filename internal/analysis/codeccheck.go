@@ -100,20 +100,10 @@ func (a *CodecCheck) Run(m *Module) []Diagnostic {
 		}
 		own := jsonKeyOrder(ns.st)
 		expected := map[string]bool{}
-		for _, k := range own {
-			expected[k] = true
-		}
-		// Nested message structs (Entry inside the responses) contribute
-		// their keys to the closure set.
-		for _, field := range ns.st.Fields.List {
-			nested := structs[baseTypeName(field.Type)]
-			if nested == nil || nested.name == name {
-				continue
-			}
-			for _, k := range jsonKeyOrder(nested.st) {
-				expected[k] = true
-			}
-		}
+		// The type's own keys plus, transitively, those of every message
+		// struct reachable through its fields — including through slice and
+		// map value types (BatchResponse → []BatchResult → *Entry).
+		addNestedKeys(structs, ns, expected, map[string]bool{})
 		encOK := a.checkSide(r, name, "encode", enc[name], own, expected)
 		var decOK bool
 		if cov, ok := dec[name]; ok {
@@ -394,6 +384,39 @@ func (w *codecWalker) resolve(fun ast.Expr) *ast.FuncDecl {
 		return w.resolve(v.X)
 	}
 	return nil
+}
+
+// addNestedKeys accumulates ns's json keys into expected, then recurses into
+// every package-local struct reachable through its fields. visited breaks
+// cycles (a struct contributes its keys once).
+func addNestedKeys(structs map[string]*namedStruct, ns *namedStruct, expected, visited map[string]bool) {
+	if visited[ns.name] {
+		return
+	}
+	visited[ns.name] = true
+	for _, k := range jsonKeyOrder(ns.st) {
+		expected[k] = true
+	}
+	for _, field := range ns.st.Fields.List {
+		if nested := structs[elemTypeName(field.Type)]; nested != nil {
+			addNestedKeys(structs, nested, expected, visited)
+		}
+	}
+}
+
+// elemTypeName unwraps a field type to its named element type, descending
+// through slices, arrays, and map values (wire map keys are plain strings and
+// never name a message struct). Kept local to codeccheck: baseTypeName's
+// other callers must not see through containers.
+func elemTypeName(t ast.Expr) string {
+	switch v := t.(type) {
+	case *ast.ArrayType:
+		return elemTypeName(v.Elt)
+	case *ast.MapType:
+		return elemTypeName(v.Value)
+	default:
+		return baseTypeName(t)
+	}
 }
 
 // jsonKeyOrder returns the struct's json tag names in declared field order

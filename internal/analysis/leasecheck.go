@@ -8,18 +8,21 @@ import (
 // LeaseCheck enforces the client-cache coherence contract (DESIGN.md §8b)
 // statically, in three clauses:
 //
-//   - wire: every response struct that carries an entry body (a *Entry
-//     field) must also declare the lease-grant fields LeaseMS and IndexVer —
-//     an entry shipped without a lease can never be cached coherently, so
-//     the protocol gap is flagged at the struct;
+//   - wire: every response or per-sub-op result struct (suffix "Response"
+//     or "Result") that carries an entry body (a *Entry or []Entry field)
+//     must also declare the lease-grant fields LeaseMS and IndexVer — an
+//     entry shipped without a lease can never be cached coherently, so the
+//     protocol gap is flagged at the struct; control-plane payloads the
+//     client never caches carry a //d2vet:ignore with their reason;
 //   - server: every composite literal of a lease-carrying wire response
-//     type that sets an entry body (Entry: or Match:) must stamp LeaseMS
-//     and IndexVer in the same literal (the leaseLocked() values);
+//     type that sets an entry body (Entry:, Entries: or Match:) must stamp
+//     LeaseMS and IndexVer in the same literal (the leaseLocked() values);
 //     redirect-only and error returns are exempt — they grant nothing;
 //   - client: every function that issues a namespace-mutating call
-//     (TypeCreate, TypeSetAttr, TypeRename) must reconcile the entry cache
-//     on some path — an Invalidate, InvalidatePrefix or PutLeased call —
-//     or the client serves its own stale copy after its own write.
+//     (TypeCreate, TypeSetAttr, TypeRename, TypeCreateWithAttrs, TypeBatch)
+//     must reconcile the entry cache on some path — an Invalidate,
+//     InvalidatePrefix or PutLeased call — or the client serves its own
+//     stale copy after its own write.
 //
 // The rule is syntactic like the rest of the suite: it keys on the wire
 // package's struct shapes, the wire.Type* constants, and the cache method
@@ -44,9 +47,11 @@ func (*LeaseCheck) Doc() string {
 // mutatingOps are the wire type constants whose handlers change the
 // namespace, after which a client-side cached entry may be stale.
 var mutatingOps = map[string]bool{
-	"TypeCreate":  true,
-	"TypeSetAttr": true,
-	"TypeRename":  true,
+	"TypeCreate":          true,
+	"TypeSetAttr":         true,
+	"TypeRename":          true,
+	"TypeCreateWithAttrs": true,
+	"TypeBatch":           true, // may carry create/setattr sub-ops
 }
 
 // cacheCalls are the client entry-cache reconciliation methods.
@@ -84,17 +89,21 @@ func (a *LeaseCheck) checkWireStructs(r *reporter, pkg *Package) map[string]bool
 				return true
 			}
 			st, ok := ts.Type.(*ast.StructType)
-			if !ok || !strings.HasSuffix(ts.Name.Name, "Response") {
+			if !ok || (!strings.HasSuffix(ts.Name.Name, "Response") && !strings.HasSuffix(ts.Name.Name, "Result")) {
 				return true
 			}
-			hasEntryPtr := false
+			hasEntryBody := false
 			hasLease := false
 			hasIndexVer := false
 			for _, field := range st.Fields.List {
-				star, isPtr := field.Type.(*ast.StarExpr)
-				if isPtr {
-					if id, ok := star.X.(*ast.Ident); ok && id.Name == "Entry" {
-						hasEntryPtr = true
+				switch ft := field.Type.(type) {
+				case *ast.StarExpr:
+					if id, ok := ft.X.(*ast.Ident); ok && id.Name == "Entry" {
+						hasEntryBody = true
+					}
+				case *ast.ArrayType:
+					if id, ok := ft.Elt.(*ast.Ident); ok && id.Name == "Entry" {
+						hasEntryBody = true
 					}
 				}
 				for _, fn := range field.Names {
@@ -106,11 +115,11 @@ func (a *LeaseCheck) checkWireStructs(r *reporter, pkg *Package) map[string]bool
 					}
 				}
 			}
-			if hasEntryPtr && hasLease && hasIndexVer {
+			if hasEntryBody && hasLease && hasIndexVer {
 				leased[ts.Name.Name] = true
 			}
-			if hasEntryPtr && (!hasLease || !hasIndexVer) {
-				r.reportf(ts.Pos(), "%s carries *Entry but declares no LeaseMS/IndexVer lease fields (§8b: every entry-carrying response grants a lease)",
+			if hasEntryBody && (!hasLease || !hasIndexVer) {
+				r.reportf(ts.Pos(), "%s carries an entry body but declares no LeaseMS/IndexVer lease fields (§8b: every entry-carrying response grants a lease)",
 					ts.Name.Name)
 			}
 			return true
@@ -152,7 +161,7 @@ func (a *LeaseCheck) checkServerLiterals(r *reporter, pkg *Package, wireName str
 					continue
 				}
 				switch key.Name {
-				case "Entry", "Match":
+				case "Entry", "Entries", "Match":
 					bodyKey = key.Name
 				case "LeaseMS":
 					hasLease = true

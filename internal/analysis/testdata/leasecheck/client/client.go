@@ -10,8 +10,8 @@ func (conn) Call(op string, req, resp interface{}) error { return nil }
 
 type entryCache struct{}
 
-func (entryCache) Invalidate(path string)                 {}
-func (entryCache) PutLeased(path string, v interface{})   {}
+func (entryCache) Invalidate(path string)               {}
+func (entryCache) PutLeased(path string, v interface{}) {}
 
 // Client mirrors the real client's conn + entry-cache shape.
 type Client struct {
@@ -36,4 +36,9 @@ func (cl *Client) SetAttr(path string) error {
 // Lookup is read-only: exempt.
 func (cl *Client) Lookup(path string) error {
 	return cl.c.Call(wire.TypeLookup, path, nil)
+}
+
+// Batch may carry mutating sub-ops and never touches the cache: flagged.
+func (cl *Client) Batch(paths []string) error {
+	return cl.c.Call(wire.TypeBatch, paths, nil)
 }

@@ -12,6 +12,7 @@ const (
 	TypeLookup  = "lookup"
 	TypeCreate  = "create"
 	TypeSetAttr = "setattr"
+	TypeBatch   = "batch"
 )
 
 // LookupResponse declares the lease grant: clean, and enters the leased set
@@ -33,4 +34,31 @@ type CreateResponse struct {
 // StatsResponse carries no entry: exempt.
 type StatsResponse struct {
 	Ops int64 `json:"ops"`
+}
+
+// BatchResult is a per-sub-op result ("Result" suffix) shipping an entry
+// body with no lease fields: flagged like a response.
+type BatchResult struct {
+	Entry    *Entry `json:"entry,omitempty"`
+	Redirect string `json:"redirect,omitempty"`
+}
+
+// ReaddirPlusResponse carries an entry slice with the grant declared: clean.
+type ReaddirPlusResponse struct {
+	Entries  []Entry `json:"entries,omitempty"`
+	LeaseMS  int64   `json:"leaseMs,omitempty"`
+	IndexVer int64   `json:"indexVer,omitempty"`
+}
+
+// ListResponse carries an entry slice and no lease fields: flagged.
+type ListResponse struct {
+	Entries []Entry `json:"entries,omitempty"`
+}
+
+// RefreshResponse is control-plane: the ignore directive suppresses the
+// finding with its reason on record.
+//
+//d2vet:ignore leasecheck control-plane refresh, never client-cached
+type RefreshResponse struct {
+	Entries []Entry `json:"entries,omitempty"`
 }

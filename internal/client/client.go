@@ -99,6 +99,12 @@ type Client struct {
 
 	// CacheMisses counts redirects observed (stale index), for tests.
 	cacheMisses int64
+
+	// hotMu guards hotDeltas: per-path cache-hit serves the cluster never
+	// saw, accumulated locally and shipped coalesced on the next Batch frame
+	// so GL re-evaluation still sees the true access distribution.
+	hotMu     sync.Mutex
+	hotDeltas map[string]int64
 }
 
 // Connect bootstraps a client from the Monitor.
@@ -372,6 +378,7 @@ func (c *Client) Lookup(path string) (*wire.Entry, error) {
 			if e, isEntry := cached.Value.(wire.Entry); isEntry {
 				if live {
 					cp := e
+					c.noteHot(path)
 					c.record(wire.TypeLookup, reqID, path, "cache", start, nil)
 					return &cp, nil
 				}
@@ -439,6 +446,8 @@ func (c *Client) revalidate(path, reqID string, start time.Time, cached wire.Ent
 	}
 	if resp.Match {
 		if c.entries.RenewFor(path, cached.Version, c.leaseOf(resp.LeaseMS)) {
+			// No noteHot: the revalidate probe itself counted this access on
+			// the serving MDS.
 			cp := cached
 			c.record(wire.TypeRevalidate, reqID, path, "renewed", start, nil)
 			return &cp, true, nil
@@ -583,17 +592,24 @@ func (c *Client) Readdir(path string) ([]string, error) {
 	reqID := c.ids.Next()
 	start := time.Now()
 	var names []string
+	var dirVersion, leaseMS int64
 	err := c.call(path, wire.TypeReaddir, func(conn *wire.Conn) (string, error) {
 		var resp wire.ReaddirResponse
 		if err := conn.CallTraced(wire.TypeReaddir, reqID, c.cfg.Name, &wire.ReaddirRequest{Path: path}, &resp); err != nil {
 			return "", err
 		}
 		names = resp.Names
+		dirVersion, leaseMS = resp.DirVersion, resp.LeaseMS
 		return resp.Redirect, nil
 	})
 	c.record(wire.TypeReaddir, reqID, path, "", start, err)
 	if err != nil {
 		return nil, err
+	}
+	if c.entries != nil && dirVersion > 0 {
+		// The listing proves the parent directory is current at DirVersion;
+		// renew its cached entry's lease under the server's grant.
+		c.entries.RenewFor(path, dirVersion, c.leaseOf(leaseMS))
 	}
 	seen := make(map[string]bool, len(names))
 	for _, n := range names {

@@ -13,6 +13,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"d2tree/internal/obs"
 	"d2tree/internal/stats"
 	"d2tree/internal/trace"
+	"d2tree/internal/wire"
 )
 
 // Config parameterises one load run.
@@ -59,6 +61,19 @@ type Config struct {
 	// batches their frames into shared writes); set PrivateConns to model
 	// each client as a fully independent host.
 	PrivateConns bool
+	// Batch groups this many consecutive operations of each lane into one
+	// compound frame via Client.Batch: one envelope, one result per
+	// sub-op. 0 or 1 replays the trace as single-op RPCs. Throughput
+	// still counts sub-ops, so rows compare directly across batch sizes.
+	Batch int
+	// Readdir selects a listing-heavy mix instead of the trace's
+	// lookup/setattr classification: every event lists the parent
+	// directory of its path. "plain" issues Readdir then one Lookup per
+	// returned child (the N+1 pattern readdirplus exists to kill);
+	// "plus" issues a single ReaddirPlus. Either way one listing event
+	// counts as one operation, so throughput rows compare across modes.
+	// "" disables the mix.
+	Readdir string
 }
 
 // Validate reports whether the config is runnable.
@@ -74,6 +89,12 @@ func (c Config) Validate() error {
 		return errors.New("loadgen: nil namespace tree")
 	case len(c.Events) == 0:
 		return errors.New("loadgen: empty event stream")
+	case c.Batch < 0:
+		return fmt.Errorf("loadgen: Batch = %d, need >= 0 (0 means 1)", c.Batch)
+	case c.Readdir != "" && c.Readdir != "plain" && c.Readdir != "plus":
+		return fmt.Errorf("loadgen: Readdir = %q, need \"\", \"plain\" or \"plus\"", c.Readdir)
+	case c.Readdir != "" && c.Batch > 1:
+		return errors.New("loadgen: Readdir mix and Batch > 1 are mutually exclusive")
 	}
 	return nil
 }
@@ -129,13 +150,6 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		paths[i] = cfg.Tree.Path(n)
 	}
 
-	type workerResult struct {
-		ops, errs uint64
-		all       *stats.Histogram
-		queries   *stats.Histogram
-		updates   *stats.Histogram
-		opErr     error // sample of a failed operation
-	}
 	inFlight := cfg.InFlight
 	if inFlight < 1 {
 		inFlight = 1
@@ -189,37 +203,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 					res.all = &stats.Histogram{}
 					res.queries = &stats.Histogram{}
 					res.updates = &stats.Histogram{}
-					stride := cfg.Clients * inFlight
-					for i := w + k*cfg.Clients; i < len(cfg.Events); i += stride {
-						select {
-						case <-ctx.Done():
-							return
-						default:
-						}
-						ev := cfg.Events[i]
-						t0 := time.Now()
-						var opErr error
-						if ev.Op == trace.OpUpdate {
-							_, opErr = cl.SetAttr(paths[i], int64(i), 0o644)
-						} else {
-							_, opErr = cl.Lookup(paths[i])
-						}
-						lat := time.Since(t0)
-						res.ops++
-						if opErr != nil {
-							res.errs++
-							if res.opErr == nil {
-								res.opErr = opErr
-							}
-							continue
-						}
-						res.all.Record(lat)
-						if ev.Op == trace.OpUpdate {
-							res.updates.Record(lat)
-						} else {
-							res.queries.Record(lat)
-						}
-					}
+					runLane(ctx, cfg, cl, res, paths, w, k, inFlight)
 				}(k)
 			}
 			lanes.Wait()
@@ -289,6 +273,147 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// workerResult is one lane's private accounting; lanes never share slots.
+type workerResult struct {
+	ops, errs uint64
+	all       *stats.Histogram
+	queries   *stats.Histogram
+	updates   *stats.Histogram
+	opErr     error // sample of a failed operation
+}
+
+func (r *workerResult) fail(err error) {
+	r.errs++
+	if r.opErr == nil {
+		r.opErr = err
+	}
+}
+
+func (r *workerResult) record(lat time.Duration, update bool) {
+	r.all.Record(lat)
+	if update {
+		r.updates.Record(lat)
+	} else {
+		r.queries.Record(lat)
+	}
+}
+
+// runLane replays one pipeline lane's stripe of the event stream — every
+// stride-th event starting at the lane's offset — in the configured mode:
+// single-op RPCs, cfg.Batch-sized compound frames, or the listing-heavy
+// readdir mix.
+func runLane(ctx context.Context, cfg Config, cl *client.Client, res *workerResult, paths []string, w, k, inFlight int) {
+	stride := cfg.Clients * inFlight
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	ops := make([]wire.BatchOp, 0, batch)
+	isUpdate := make([]bool, 0, batch)
+	// flush ships the accumulated sub-ops as one compound frame. Every
+	// sub-op records the frame's round trip: that shared latency is what
+	// batching buys throughput with.
+	flush := func() {
+		t0 := time.Now()
+		rs, err := cl.Batch(ops)
+		lat := time.Since(t0)
+		for j := range ops {
+			res.ops++
+			subErr := err
+			if subErr == nil && rs[j].Err != "" {
+				subErr = errors.New(rs[j].Err)
+			}
+			if subErr != nil {
+				res.fail(subErr)
+				continue
+			}
+			res.record(lat, isUpdate[j])
+		}
+		ops, isUpdate = ops[:0], isUpdate[:0]
+	}
+	for i := w + k*cfg.Clients; i < len(cfg.Events); i += stride {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		update := cfg.Events[i].Op == trace.OpUpdate
+		switch {
+		case cfg.Readdir != "":
+			// One event = one listing of the parent directory resolved to
+			// full child attributes: either the N+1 round-trip pattern or
+			// a single readdirplus frame.
+			dir := parentDir(paths[i])
+			t0 := time.Now()
+			var opErr error
+			if cfg.Readdir == "plus" {
+				_, opErr = cl.ReaddirPlus(dir)
+			} else {
+				var names []string
+				names, opErr = cl.Readdir(dir)
+				for _, name := range names {
+					if opErr != nil {
+						break
+					}
+					_, opErr = cl.Lookup(childPath(dir, name))
+				}
+			}
+			lat := time.Since(t0)
+			res.ops++
+			if opErr != nil {
+				res.fail(opErr)
+				continue
+			}
+			res.record(lat, false)
+		case batch > 1:
+			if update {
+				ops = append(ops, wire.BatchOp{Op: wire.BatchSetAttr, Path: paths[i], Size: int64(i), Mode: 0o644})
+			} else {
+				ops = append(ops, wire.BatchOp{Op: wire.BatchLookup, Path: paths[i]})
+			}
+			isUpdate = append(isUpdate, update)
+			if len(ops) == batch {
+				flush()
+			}
+		default:
+			t0 := time.Now()
+			var opErr error
+			if update {
+				_, opErr = cl.SetAttr(paths[i], int64(i), 0o644)
+			} else {
+				_, opErr = cl.Lookup(paths[i])
+			}
+			lat := time.Since(t0)
+			res.ops++
+			if opErr != nil {
+				res.fail(opErr)
+				continue
+			}
+			res.record(lat, update)
+		}
+	}
+	if len(ops) > 0 {
+		flush()
+	}
+}
+
+// parentDir is the directory a path's entry lives in ("/" is its own
+// parent, matching the tree root).
+func parentDir(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+func childPath(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
 }
 
 // Format renders the report for humans.

@@ -134,3 +134,86 @@ func TestRunBadMonitor(t *testing.T) {
 		t.Error("run against dead monitor succeeded")
 	}
 }
+
+func TestRunBatched(t *testing.T) {
+	mon, w := startCluster(t, 3)
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		MonitorAddr: mon.Addr(),
+		Clients:     6,
+		InFlight:    2,
+		Batch:       4,
+		Tree:        w.Tree,
+		Events:      w.Events[:1200],
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 1200 {
+		t.Errorf("ops = %d, want 1200 (sub-ops, not frames)", rep.Ops)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d: %s", rep.Errors, rep.ErrorSample)
+	}
+	if rep.Queries.Count+rep.Updates.Count != rep.Ops {
+		t.Errorf("query/update split %d+%d != ops %d",
+			rep.Queries.Count, rep.Updates.Count, rep.Ops)
+	}
+}
+
+func TestRunReaddirMix(t *testing.T) {
+	mon, w := startCluster(t, 2)
+	for _, mode := range []string{"plain", "plus"} {
+		rep, err := loadgen.Run(context.Background(), loadgen.Config{
+			MonitorAddr: mon.Addr(),
+			Clients:     4,
+			Readdir:     mode,
+			Tree:        w.Tree,
+			Events:      w.Events[:400],
+			Seed:        8,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if rep.Ops != 400 {
+			t.Errorf("%s: ops = %d, want 400 (one per listing event)", mode, rep.Ops)
+		}
+		if rep.Errors != 0 {
+			t.Errorf("%s: errors = %d: %s", mode, rep.Errors, rep.ErrorSample)
+		}
+		if rep.Updates.Count != 0 {
+			t.Errorf("%s: listing mix recorded %d updates", mode, rep.Updates.Count)
+		}
+	}
+}
+
+func TestConfigValidateCompound(t *testing.T) {
+	w, err := trace.BuildWorkload(trace.DTR().Scale(200), 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := loadgen.Config{
+		MonitorAddr: "x:1", Clients: 1, Tree: w.Tree, Events: w.Events,
+	}
+	for name, mut := range map[string]func(*loadgen.Config){
+		"negative batch":    func(c *loadgen.Config) { c.Batch = -1 },
+		"bad readdir mode":  func(c *loadgen.Config) { c.Readdir = "bogus" },
+		"readdir and batch": func(c *loadgen.Config) { c.Readdir = "plus"; c.Batch = 8 },
+	} {
+		bad := valid
+		mut(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	ok := valid
+	ok.Batch = 8
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Batch=8 rejected: %v", err)
+	}
+	ok = valid
+	ok.Readdir = "plain"
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Readdir=plain rejected: %v", err)
+	}
+}

@@ -1,0 +1,358 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"d2tree/internal/wal"
+	"d2tree/internal/wire"
+)
+
+// This file implements the compound serving path: TypeBatch frames carrying N
+// independent sub-ops, TypeReaddirPlus listings that ship child entries with
+// leases, and TypeCreateWithAttrs fusing the create+setattr pair. Compound
+// frames amortise the per-RPC costs the single-op path pays N times — one
+// envelope codec pass, one store-lock acquisition per owned run of sub-ops,
+// and one group-commit durability wait for every WAL ticket in the frame.
+
+// handleBatch executes the frame's sub-ops in order. Atomicity is per sub-op:
+// each result carries its own entry/lease, redirect, or error, and one failed
+// sub-op never poisons the rest of the frame. Consecutive sub-ops owned by
+// this server run under a single s.mu acquisition; a sub-op that must go
+// through the Monitor's lock service (global-layer mutation) breaks the run
+// and executes through the single-op handler outside the lock. Durability
+// waits collapse to the end of the frame: every local mutation's WAL ticket
+// is collected and awaited once, so N journaled sub-ops share one
+// group-commit flush window instead of paying N fsync waits.
+func (s *Server) handleBatch(env *wire.Envelope, req *wire.BatchRequest) (*wire.BatchResponse, error) {
+	s.batches.Add(1)
+	s.batchSubOps.Add(int64(len(req.Ops)))
+	// Client-coalesced popularity deltas: cache-hit serves the client absorbed
+	// locally since its last frame, folded in so GL re-evaluation still sees
+	// the true access distribution (§8b keeps served-from-cache paths warm).
+	for p, n := range req.HotPaths {
+		if n > 0 && len(p) > 0 && p[0] == '/' {
+			s.hot.Add(p, n)
+		}
+	}
+	// Count every sub-op's access before taking s.mu — s.hot has its own
+	// sharded locks and must never nest inside the store lock.
+	for i := range req.Ops {
+		if p := req.Ops[i].Path; p != "" {
+			s.hot.Add(p, 1)
+		}
+	}
+
+	results := make([]wire.BatchResult, len(req.Ops))
+	var tickets []*wal.Ticket
+	i := 0
+	for i < len(req.Ops) {
+		s.mu.Lock()
+		for i < len(req.Ops) && !s.batchNeedsGlobalLocked(&req.Ops[i]) {
+			if t := s.batchLocalLocked(&req.Ops[i], &results[i]); t != nil {
+				tickets = append(tickets, t)
+			}
+			i++
+		}
+		s.mu.Unlock()
+		if i < len(req.Ops) {
+			s.batchGlobal(env, &req.Ops[i], &results[i])
+			i++
+		}
+	}
+	for _, t := range tickets {
+		s.waitDurable(t)
+	}
+	return &wire.BatchResponse{Results: results}, nil
+}
+
+// batchNeedsGlobalLocked reports whether the sub-op must be serialised through
+// the Monitor (global-layer mutation) and therefore cannot run under the held
+// store lock. Invalid and redirecting sub-ops return false — they resolve
+// locally to an error or redirect result. Caller holds s.mu.
+func (s *Server) batchNeedsGlobalLocked(op *wire.BatchOp) bool {
+	switch op.Op {
+	case wire.BatchCreate, wire.BatchCreateAttrs:
+		if op.Path == "" || op.Path[0] != '/' || op.Path == "/" {
+			return false
+		}
+		if _, exists := s.store[op.Path]; exists {
+			return false
+		}
+		_, global := s.ownerLocked(op.Path)
+		return global
+	case wire.BatchSetAttr:
+		return s.glPaths[op.Path]
+	}
+	return false
+}
+
+// batchLocalLocked executes one sub-op against local state, mirroring the
+// single-op handlers' semantics exactly (same counters, same lease stamps,
+// same redirect and error shapes). Caller holds s.mu for writing; the
+// returned WAL ticket, if any, must be awaited after the lock is released.
+func (s *Server) batchLocalLocked(op *wire.BatchOp, res *wire.BatchResult) *wal.Ticket {
+	switch op.Op {
+	case wire.BatchLookup:
+		s.lookups.Add(1)
+		if e, ok := s.store[op.Path]; ok {
+			cp := *e
+			res.Entry = &cp
+			res.LeaseMS, res.IndexVer = s.leaseLocked()
+			s.leases.Add(1)
+			return nil
+		}
+		if addr, global := s.ownerLocked(op.Path); !global && addr != s.Addr() {
+			s.redirects.Add(1)
+			res.Redirect = addr
+			return nil
+		}
+		res.Err = fmt.Sprintf("%v: %s", ErrNotFound, op.Path)
+		return nil
+
+	case wire.BatchRevalidate:
+		if e, ok := s.store[op.Path]; ok {
+			res.LeaseMS, res.IndexVer = s.leaseLocked()
+			s.leases.Add(1)
+			if e.Version == op.Version {
+				s.revalidateHits.Add(1)
+				res.Match = true
+				return nil
+			}
+			s.revalidateMisses.Add(1)
+			cp := *e
+			res.Entry = &cp
+			return nil
+		}
+		if addr, global := s.ownerLocked(op.Path); !global && addr != s.Addr() {
+			s.redirects.Add(1)
+			res.Redirect = addr
+			return nil
+		}
+		res.Err = fmt.Sprintf("%v: %s", ErrNotFound, op.Path)
+		return nil
+
+	case wire.BatchCreate, wire.BatchCreateAttrs:
+		s.creates.Add(1)
+		if op.Path == "" || op.Path[0] != '/' || op.Path == "/" {
+			res.Err = fmt.Sprintf("server: invalid path %q", op.Path)
+			return nil
+		}
+		if _, exists := s.store[op.Path]; exists {
+			res.Err = fmt.Sprintf("%v: %s", ErrExists, op.Path)
+			return nil
+		}
+		addr, global := s.ownerLocked(op.Path)
+		if global {
+			// Filtered by batchNeedsGlobalLocked; unreachable, but fail the
+			// sub-op rather than mutate GL state without the Monitor's lock.
+			res.Err = "server: global-layer create reached local path"
+			return nil
+		}
+		if addr != s.Addr() {
+			s.redirects.Add(1)
+			res.Redirect = addr
+			return nil
+		}
+		e := &wire.Entry{Path: op.Path, Kind: op.Kind, Version: 1}
+		if op.Op == wire.BatchCreateAttrs {
+			e.Size = op.Size
+			e.Mode = op.Mode
+		}
+		s.store[op.Path] = e
+		s.newPaths = append(s.newPaths, *e)
+		t := s.journalLocked("create", &walEntryRec{Entry: *e})
+		cp := *e
+		res.Entry = &cp
+		res.LeaseMS, res.IndexVer = s.leaseLocked()
+		s.leases.Add(1)
+		return t
+
+	case wire.BatchSetAttr:
+		s.setattrs.Add(1)
+		e, ok := s.store[op.Path]
+		if !ok {
+			if addr, global := s.ownerLocked(op.Path); !global && addr != s.Addr() {
+				s.redirects.Add(1)
+				res.Redirect = addr
+				return nil
+			}
+			res.Err = fmt.Sprintf("%v: %s", ErrNotFound, op.Path)
+			return nil
+		}
+		e.Size = op.Size
+		e.Mode = op.Mode
+		e.Version++
+		t := s.journalLocked("setattr", &walEntryRec{Entry: *e})
+		cp := *e
+		res.Entry = &cp
+		res.LeaseMS, res.IndexVer = s.leaseLocked()
+		s.leases.Add(1)
+		return t
+
+	default:
+		res.Err = fmt.Sprintf("server: unknown batch op %q", op.Op)
+		return nil
+	}
+}
+
+// batchGlobal delegates one global-layer sub-op to its single-op handler,
+// which serialises through the Monitor and performs its own durability wait.
+// The pre-folded popularity count is compensated first — the delegate
+// re-counts the access itself.
+func (s *Server) batchGlobal(env *wire.Envelope, op *wire.BatchOp, res *wire.BatchResult) {
+	if op.Path != "" {
+		s.hot.Add(op.Path, -1)
+	}
+	switch op.Op {
+	case wire.BatchCreate:
+		r, err := s.handleCreate(env, &wire.CreateRequest{Path: op.Path, Kind: op.Kind})
+		if err != nil {
+			res.Err = err.Error()
+			return
+		}
+		res.Entry, res.Redirect = r.Entry, r.Redirect
+		res.LeaseMS, res.IndexVer = r.LeaseMS, r.IndexVer
+	case wire.BatchCreateAttrs:
+		r, err := s.handleCreateWithAttrs(env, &wire.CreateWithAttrsRequest{
+			Path: op.Path, Kind: op.Kind, Size: op.Size, Mode: op.Mode,
+		})
+		if err != nil {
+			res.Err = err.Error()
+			return
+		}
+		res.Entry, res.Redirect = r.Entry, r.Redirect
+		res.LeaseMS, res.IndexVer = r.LeaseMS, r.IndexVer
+	case wire.BatchSetAttr:
+		r, err := s.handleSetAttr(env, &wire.SetAttrRequest{Path: op.Path, Size: op.Size, Mode: op.Mode})
+		if err != nil {
+			res.Err = err.Error()
+			return
+		}
+		res.Entry, res.Redirect = r.Entry, r.Redirect
+		res.LeaseMS, res.IndexVer = r.LeaseMS, r.IndexVer
+	default:
+		res.Err = fmt.Sprintf("server: unknown batch op %q", op.Op)
+	}
+}
+
+// handleCreateWithAttrs fuses the create+setattr pair every real client
+// issues into one committed mutation: one WAL record, one lease grant, one
+// version. Semantics otherwise mirror handleCreate, including the
+// global-layer delegation through the Monitor (which preserves Size/Mode on
+// its "create" op).
+func (s *Server) handleCreateWithAttrs(env *wire.Envelope, req *wire.CreateWithAttrsRequest) (*wire.CreateWithAttrsResponse, error) {
+	s.creates.Add(1)
+	if req.Path == "" || req.Path[0] != '/' || req.Path == "/" {
+		return nil, fmt.Errorf("server: invalid path %q", req.Path)
+	}
+	s.hot.Add(req.Path, 1)
+	s.mu.Lock()
+	if _, exists := s.store[req.Path]; exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrExists, req.Path)
+	}
+	addr, global := s.ownerLocked(req.Path)
+	if !global {
+		if addr != s.Addr() {
+			s.mu.Unlock()
+			s.redirects.Add(1)
+			return &wire.CreateWithAttrsResponse{Redirect: addr}, nil
+		}
+		e := &wire.Entry{Path: req.Path, Kind: req.Kind, Size: req.Size, Mode: req.Mode, Version: 1}
+		s.store[req.Path] = e
+		s.newPaths = append(s.newPaths, *e)
+		t := s.journalLocked("create", &walEntryRec{Entry: *e})
+		cp := *e
+		leaseMS, ver := s.leaseLocked()
+		s.mu.Unlock()
+		s.waitDurable(t)
+		s.leases.Add(1)
+		return &wire.CreateWithAttrsResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
+	}
+	mon := s.mon
+	id := s.id
+	s.mu.Unlock()
+
+	var resp wire.GLUpdateResponse
+	err := mon.CallTraced(wire.TypeGLUpdate, env.ReqID, s.rec.Node(), &wire.GLUpdateRequest{
+		ServerID: id,
+		Op:       "create",
+		Entry:    wire.Entry{Path: req.Path, Kind: req.Kind, Size: req.Size, Mode: req.Mode},
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	e := resp.Entry
+	s.store[e.Path] = &e
+	s.glPaths[e.Path] = true
+	if resp.GLVersion > s.glVersion {
+		s.glVersion = resp.GLVersion
+	}
+	leaseMS, ver := s.leaseLocked()
+	s.mu.Unlock()
+	s.leases.Add(1)
+	cp := e
+	return &wire.CreateWithAttrsResponse{Entry: &cp, LeaseMS: leaseMS, IndexVer: ver}, nil
+}
+
+// handleReaddirPlus lists a directory's children as full entries so one RPC
+// replaces the readdir + N lookups an `ls -l` costs today. Children hosted on
+// other servers (subtree roots visible through the local index) appear as
+// placeholders with Version 0: name and kind are authoritative, the body is
+// not, and clients must not cache them.
+func (s *Server) handleReaddirPlus(req *wire.ReaddirPlusRequest) (*wire.ReaddirPlusResponse, error) {
+	s.readdirplus.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dir, ok := s.store[req.Path]
+	if !ok {
+		addr, global := s.ownerLocked(req.Path)
+		if !global && addr != s.Addr() {
+			s.redirects.Add(1)
+			return &wire.ReaddirPlusResponse{Redirect: addr}, nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Path)
+	}
+	if dir.Kind != wire.EntryDir {
+		return nil, fmt.Errorf("server: %s is not a directory", req.Path)
+	}
+	prefix := req.Path + "/"
+	if req.Path == "/" {
+		prefix = "/"
+	}
+	seen := make(map[string]bool)
+	entries := []wire.Entry{}
+	for p, e := range s.store {
+		if !strings.HasPrefix(p, prefix) || p == req.Path {
+			continue
+		}
+		rest := p[len(prefix):]
+		if rest == "" || strings.ContainsRune(rest, '/') {
+			continue
+		}
+		seen[p] = true
+		entries = append(entries, *e)
+	}
+	for root := range s.index {
+		if !strings.HasPrefix(root, prefix) || root == req.Path || seen[root] {
+			continue
+		}
+		rest := root[len(prefix):]
+		if rest == "" || strings.ContainsRune(rest, '/') {
+			continue
+		}
+		entries = append(entries, wire.Entry{Path: root, Kind: wire.EntryDir})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Path < entries[j].Path })
+	leaseMS, ver := s.leaseLocked()
+	s.leases.Add(1)
+	return &wire.ReaddirPlusResponse{
+		Entries:    entries,
+		DirVersion: dir.Version,
+		LeaseMS:    leaseMS,
+		IndexVer:   ver,
+	}, nil
+}

@@ -74,6 +74,31 @@ func (s *Server) dispatch(env *wire.Envelope) (interface{}, string, error) {
 		}
 		resp, err := s.handleReaddir(&req)
 		return resp, req.Path, err
+	case wire.TypeReaddirPlus:
+		var req wire.ReaddirPlusRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, "", err
+		}
+		resp, err := s.handleReaddirPlus(&req)
+		return resp, req.Path, err
+	case wire.TypeCreateWithAttrs:
+		var req wire.CreateWithAttrsRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, "", err
+		}
+		resp, err := s.handleCreateWithAttrs(env, &req)
+		return resp, req.Path, err
+	case wire.TypeBatch:
+		var req wire.BatchRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, "", err
+		}
+		path := ""
+		if len(req.Ops) > 0 {
+			path = req.Ops[0].Path // trace the frame under its first sub-op
+		}
+		resp, err := s.handleBatch(env, &req)
+		return resp, path, err
 	case wire.TypeRename:
 		var req wire.RenameRequest
 		if err := env.Decode(&req); err != nil {
@@ -350,7 +375,11 @@ func (s *Server) handleReaddir(req *wire.ReaddirRequest) (*wire.ReaddirResponse,
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	return &wire.ReaddirResponse{Names: names}, nil
+	// Stamp the directory's own version and a lease so the client can at
+	// least renew the parent entry it almost certainly holds cached.
+	leaseMS, ver := s.leaseLocked()
+	s.leases.Add(1)
+	return &wire.ReaddirResponse{Names: names, DirVersion: dir.Version, LeaseMS: leaseMS, IndexVer: ver}, nil
 }
 
 // handleRename renames a local-layer node and its whole subtree in place —
@@ -516,6 +545,9 @@ func (s *Server) handleStats() (*wire.StatsResponse, error) {
 		LeasesGranted:    s.leases.Load(),
 		RevalidateHits:   s.revalidateHits.Load(),
 		RevalidateMisses: s.revalidateMisses.Load(),
+		Batches:          s.batches.Load(),
+		BatchSubOps:      s.batchSubOps.Load(),
+		ReaddirPlus:      s.readdirplus.Load(),
 		WalAppends:       walAppends,
 		WalFlushes:       walFlushes,
 		Snapshots:        s.snapshots.Load(),

@@ -143,6 +143,9 @@ type Server struct {
 	revalidateMisses atomic.Int64 // version stale: entry resent
 	snapshots        atomic.Int64 // namespace snapshots written
 	walDegraded      atomic.Bool  // latched on first journal failure
+	batches          atomic.Int64 // compound frames served
+	batchSubOps      atomic.Int64 // sub-ops inside compound frames
+	readdirplus      atomic.Int64 // readdirplus listings served
 
 	monMetrics wire.CallMetrics // Monitor-channel RPC outcomes
 	hbRTT      stats.Histogram  // successful heartbeat round-trip latency

@@ -77,6 +77,11 @@ func FuzzFastDecodeEnvelope(f *testing.F) {
 	f.Add([]byte(`{"id":-1,"type":"ok"}`))
 	f.Add([]byte(`{"id":5,"type":"ok","payload":{"nested":{"deep":[null,true,1.5]}}}`))
 	f.Add([]byte(`{"id":6,"type":"ok"`))
+	// Compound-op payload shapes: batched sub-ops, entry lists, hot deltas.
+	f.Add([]byte(`{"id":8,"type":"batch","payload":{"ops":[{"op":"lookup","path":"/a"},{"op":"create","path":"/b","kind":2,"size":1,"mode":420}],"hotPaths":{"/a":3}}}`))
+	f.Add([]byte(`{"id":9,"type":"batch","payload":{"results":[{"entry":{"path":"/a","kind":1,"version":2},"leaseMs":2000,"indexVer":3},{"redirect":"addr"},{"err":"boom"}]}}`))
+	f.Add([]byte(`{"id":10,"type":"readdir_plus","payload":{"entries":[{"path":"/a/b","kind":2,"size":4,"mode":420,"version":1}],"dirVersion":7,"leaseMs":2000,"indexVer":3}}`))
+	f.Add([]byte(`{"id":11,"type":"create_attrs","payload":{"path":"/a","kind":2,"size":9,"mode":384}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var fast Envelope

@@ -97,10 +97,108 @@ type ReaddirRequest struct {
 }
 
 // ReaddirResponse lists child names (only those hosted on the serving MDS;
-// a directory's children may span the GL/LL boundary).
+// a directory's children may span the GL/LL boundary). The listing carries
+// the directory's own version and a lease so the client can renew its
+// cached copy of the parent without a separate revalidation probe.
 type ReaddirResponse struct {
 	Names    []string `json:"names"`
 	Redirect string   `json:"redirect,omitempty"`
+	// DirVersion is the listed directory's entry version at serve time
+	// (0 when the serving MDS holds no body for it).
+	DirVersion int64 `json:"dirVersion,omitempty"`
+	LeaseMS    int64 `json:"leaseMs,omitempty"`
+	IndexVer   int64 `json:"indexVer,omitempty"`
+}
+
+// ReaddirPlusRequest lists a directory with child attributes.
+type ReaddirPlusRequest struct {
+	Path string `json:"path"`
+}
+
+// ReaddirPlusResponse returns the child entries themselves — the NFSv3
+// READDIRPLUS idea applied to the D2-Tree serving path: one frame replaces
+// the readdir + N-lookup pattern, and every returned entry is cacheable
+// under the response's lease. Children that are subtree roots hosted on
+// another MDS appear as placeholders with Version 0: their name and kind
+// are authoritative, their body is not, and clients must not cache them.
+type ReaddirPlusResponse struct {
+	Entries  []Entry `json:"entries,omitempty"`
+	Redirect string  `json:"redirect,omitempty"`
+	// DirVersion is the listed directory's entry version, so the client can
+	// renew the parent's cached copy alongside the children.
+	DirVersion int64 `json:"dirVersion,omitempty"`
+	LeaseMS    int64 `json:"leaseMs,omitempty"`
+	IndexVer   int64 `json:"indexVer,omitempty"`
+}
+
+// CreateWithAttrsRequest creates a file or directory with its initial
+// attributes in one operation (the fused create + setattr pair), committing
+// a single version-1 entry under one journal record.
+type CreateWithAttrsRequest struct {
+	Path string    `json:"path"`
+	Kind EntryKind `json:"kind"`
+	Size int64     `json:"size,omitempty"`
+	Mode uint32    `json:"mode,omitempty"`
+}
+
+// CreateWithAttrsResponse returns the committed entry or a redirect, with a
+// cache lease as in CreateResponse.
+type CreateWithAttrsResponse struct {
+	Entry    *Entry `json:"entry,omitempty"`
+	Redirect string `json:"redirect,omitempty"`
+	LeaseMS  int64  `json:"leaseMs,omitempty"`
+	IndexVer int64  `json:"indexVer,omitempty"`
+}
+
+// Batch sub-operation kinds (BatchOp.Op values).
+const (
+	BatchLookup      = "lookup"
+	BatchCreate      = "create"
+	BatchSetAttr     = "setattr"
+	BatchRevalidate  = "revalidate"
+	BatchCreateAttrs = "create_attrs"
+)
+
+// BatchOp is one sub-operation of a TypeBatch frame: a flat union over the
+// sub-op kinds. Path is required for every kind; Kind applies to creates,
+// Size/Mode to setattr and create_attrs, Version to revalidate.
+type BatchOp struct {
+	Op      string    `json:"op"`
+	Path    string    `json:"path"`
+	Kind    EntryKind `json:"kind,omitempty"`
+	Size    int64     `json:"size,omitempty"`
+	Mode    uint32    `json:"mode,omitempty"`
+	Version int64     `json:"version,omitempty"`
+}
+
+// BatchRequest carries N independent sub-operations under one envelope. The
+// server executes them in order, taking the store lock once per run of
+// consecutive locally-owned sub-ops and committing their journal records in
+// one group-commit window. HotPaths folds the client's coalesced popularity
+// deltas (cache-served hits the server never observed) into the access
+// counters that drive GL re-evaluation.
+type BatchRequest struct {
+	Ops      []BatchOp        `json:"ops"`
+	HotPaths map[string]int64 `json:"hotPaths,omitempty"`
+}
+
+// BatchResult is one sub-operation's outcome. Exactly like the standalone
+// responses, an entry-carrying result grants a cache lease, a sub-op whose
+// path migrated away mid-frame redirects individually (the rest of the
+// frame still completes), and Err carries a per-sub-op failure. Atomicity
+// is per sub-op: the frame as a whole promises nothing.
+type BatchResult struct {
+	Entry    *Entry `json:"entry,omitempty"`
+	Match    bool   `json:"match,omitempty"`
+	Redirect string `json:"redirect,omitempty"`
+	Err      string `json:"err,omitempty"`
+	LeaseMS  int64  `json:"leaseMs,omitempty"`
+	IndexVer int64  `json:"indexVer,omitempty"`
+}
+
+// BatchResponse carries one result per request sub-op, in request order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
 }
 
 // RenameRequest renames a local-layer node (and its subtree) in place.
@@ -162,6 +260,12 @@ type StatsResponse struct {
 	RevalidateHits   int64 `json:"revalidateHits"`
 	RevalidateMisses int64 `json:"revalidateMisses"`
 
+	// Compound-op traffic: frames carrying N sub-ops, the sub-ops inside
+	// them, and readdirplus listings (entries + leases in one RPC).
+	Batches     int64 `json:"batches,omitempty"`
+	BatchSubOps int64 `json:"batchSubOps,omitempty"`
+	ReaddirPlus int64 `json:"readdirPlus,omitempty"`
+
 	// Durability counters (zero when the server runs memory-only). WAL
 	// appends and group-commit flush windows come from the journal batcher;
 	// Snapshots counts namespace snapshots written; WalDegraded latches
@@ -219,6 +323,8 @@ type JoinRequest struct {
 
 // JoinResponse assigns the server its identity and initial state: the full
 // global-layer replica, its local-layer subtrees, and the local index.
+//
+//d2vet:ignore leasecheck bootstrap payload between Monitor and MDS; entries seed server state and are never client-cached, so no lease is granted
 type JoinResponse struct {
 	ServerID    int               `json:"serverId"`
 	GLVersion   int64             `json:"glVersion"`
@@ -264,6 +370,8 @@ type TransferCommand struct {
 
 // HeartbeatResponse acknowledges a heartbeat, piggybacking the current
 // versions, any global-layer refresh, and pending transfer commands.
+//
+//d2vet:ignore leasecheck control-plane payload between Monitor and MDS; the GL refresh replaces server state and is never client-cached, so no lease is granted
 type HeartbeatResponse struct {
 	GLVersion   int64             `json:"glVersion"`
 	GlobalLayer []Entry           `json:"globalLayer,omitempty"` // full refresh when stale

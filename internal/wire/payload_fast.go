@@ -2,6 +2,7 @@ package wire
 
 import (
 	"math"
+	"sort"
 	"strconv"
 )
 
@@ -41,6 +42,18 @@ func fastMarshalPayload(payload interface{}) ([]byte, bool) {
 		return append(b, '}'), true
 	case *RevalidateResponse:
 		return appendRevalidateResponse(p), true
+	case *ReaddirPlusRequest:
+		return appendPathObject(p.Path), true
+	case *ReaddirPlusResponse:
+		return appendReaddirPlusResponse(p), true
+	case *CreateWithAttrsRequest:
+		return appendCreateWithAttrsRequest(p), true
+	case *CreateWithAttrsResponse:
+		return appendLeasedEntry(p.Entry, p.Redirect, p.LeaseMS, p.IndexVer), true
+	case *BatchRequest:
+		return appendBatchRequest(p), true
+	case *BatchResponse:
+		return appendBatchResponse(p), true
 	}
 	return nil, false
 }
@@ -123,6 +136,202 @@ func appendRevalidateResponse(p *RevalidateResponse) []byte {
 	return append(b, '}')
 }
 
+// appendReaddirPlusResponse encodes {entries?, redirect?, dirVersion?,
+// leaseMs?, indexVer?} in struct tag order with omitempty behaviour.
+func appendReaddirPlusResponse(p *ReaddirPlusResponse) []byte {
+	b := make([]byte, 0, 64+len(p.Entries)*64)
+	b = append(b, '{')
+	if len(p.Entries) > 0 {
+		b = append(b, `"entries":[`...)
+		for i := range p.Entries {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendEntry(b, &p.Entries[i])
+		}
+		b = append(b, ']')
+	}
+	if p.Redirect != "" {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"redirect":`...)
+		b = appendJSONString(b, p.Redirect)
+	}
+	if p.DirVersion != 0 {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"dirVersion":`...)
+		b = strconv.AppendInt(b, p.DirVersion, 10)
+	}
+	if p.LeaseMS != 0 {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"leaseMs":`...)
+		b = strconv.AppendInt(b, p.LeaseMS, 10)
+	}
+	if p.IndexVer != 0 {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"indexVer":`...)
+		b = strconv.AppendInt(b, p.IndexVer, 10)
+	}
+	return append(b, '}')
+}
+
+// appendCreateWithAttrsRequest encodes {path, kind, size?, mode?}.
+func appendCreateWithAttrsRequest(p *CreateWithAttrsRequest) []byte {
+	b := append(make([]byte, 0, len(p.Path)+48), `{"path":`...)
+	b = appendJSONString(b, p.Path)
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendInt(b, int64(p.Kind), 10)
+	if p.Size != 0 {
+		b = append(b, `,"size":`...)
+		b = strconv.AppendInt(b, p.Size, 10)
+	}
+	if p.Mode != 0 {
+		b = append(b, `,"mode":`...)
+		b = strconv.AppendUint(b, uint64(p.Mode), 10)
+	}
+	return append(b, '}')
+}
+
+// appendBatchRequest encodes {ops, hotPaths?}. Ops has no omitempty: a nil
+// slice encodes as null, matching encoding/json.
+func appendBatchRequest(p *BatchRequest) []byte {
+	b := append(make([]byte, 0, 32+len(p.Ops)*64), `{"ops":`...)
+	if p.Ops == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i := range p.Ops {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendBatchOp(b, &p.Ops[i])
+		}
+		b = append(b, ']')
+	}
+	if len(p.HotPaths) > 0 {
+		b = append(b, `,"hotPaths":`...)
+		b = appendPathCounts(b, p.HotPaths)
+	}
+	return append(b, '}')
+}
+
+// appendPathCounts encodes a path→count map with sorted keys, the same
+// deterministic order encoding/json produces for maps.
+func appendPathCounts(b []byte, m map[string]int64) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, k)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, m[k], 10)
+	}
+	return append(b, '}')
+}
+
+// appendBatchOp encodes one sub-op {op, path, kind?, size?, mode?, version?}.
+func appendBatchOp(b []byte, op *BatchOp) []byte {
+	b = append(b, `{"op":`...)
+	b = appendJSONString(b, op.Op)
+	b = append(b, `,"path":`...)
+	b = appendJSONString(b, op.Path)
+	if op.Kind != 0 {
+		b = append(b, `,"kind":`...)
+		b = strconv.AppendInt(b, int64(op.Kind), 10)
+	}
+	if op.Size != 0 {
+		b = append(b, `,"size":`...)
+		b = strconv.AppendInt(b, op.Size, 10)
+	}
+	if op.Mode != 0 {
+		b = append(b, `,"mode":`...)
+		b = strconv.AppendUint(b, uint64(op.Mode), 10)
+	}
+	if op.Version != 0 {
+		b = append(b, `,"version":`...)
+		b = strconv.AppendInt(b, op.Version, 10)
+	}
+	return append(b, '}')
+}
+
+// appendBatchResponse encodes {results}. Like ops, no omitempty: nil
+// encodes as null.
+func appendBatchResponse(p *BatchResponse) []byte {
+	b := append(make([]byte, 0, 32+len(p.Results)*96), `{"results":`...)
+	if p.Results == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i := range p.Results {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendBatchResult(b, &p.Results[i])
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// appendBatchResult encodes one sub-result {entry?, match?, redirect?,
+// err?, leaseMs?, indexVer?} with omitempty behaviour.
+func appendBatchResult(b []byte, res *BatchResult) []byte {
+	start := len(b)
+	b = append(b, '{')
+	if res.Entry != nil {
+		b = append(b, `"entry":`...)
+		b = appendEntry(b, res.Entry)
+	}
+	if res.Match {
+		if len(b) > start+1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"match":true`...)
+	}
+	if res.Redirect != "" {
+		if len(b) > start+1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"redirect":`...)
+		b = appendJSONString(b, res.Redirect)
+	}
+	if res.Err != "" {
+		if len(b) > start+1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"err":`...)
+		b = appendJSONString(b, res.Err)
+	}
+	if res.LeaseMS != 0 {
+		if len(b) > start+1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"leaseMs":`...)
+		b = strconv.AppendInt(b, res.LeaseMS, 10)
+	}
+	if res.IndexVer != 0 {
+		if len(b) > start+1 {
+			b = append(b, ',')
+		}
+		b = append(b, `"indexVer":`...)
+		b = strconv.AppendInt(b, res.IndexVer, 10)
+	}
+	return append(b, '}')
+}
+
 func appendEntry(b []byte, e *Entry) []byte {
 	b = append(b, `{"path":`...)
 	b = appendJSONString(b, e.Path)
@@ -161,8 +370,318 @@ func fastUnmarshalPayload(data []byte, out interface{}) bool {
 		return decodeRevalidateRequest(data, o)
 	case *RevalidateResponse:
 		return decodeRevalidateResponse(data, o)
+	case *ReaddirPlusRequest:
+		return decodePathObject(data, &o.Path)
+	case *ReaddirPlusResponse:
+		return decodeReaddirPlusResponse(data, o)
+	case *CreateWithAttrsRequest:
+		return decodeCreateWithAttrsRequest(data, o)
+	case *CreateWithAttrsResponse:
+		return decodeLeasedEntry(data, &o.Entry, &o.Redirect, &o.LeaseMS, &o.IndexVer)
+	case *BatchRequest:
+		return decodeBatchRequest(data, o)
+	case *BatchResponse:
+		return decodeBatchResponse(data, o)
 	}
 	return false
+}
+
+func decodeReaddirPlusResponse(data []byte, resp *ReaddirPlusResponse) bool {
+	c := cursor{b: data}
+	seenEntries := false
+	return c.object(func(c *cursor, key string) bool {
+		switch key {
+		case "entries":
+			// A repeated slice key would make encoding/json merge new
+			// elements into the old ones field-by-field; decline rather
+			// than emulate that.
+			if seenEntries {
+				return false
+			}
+			seenEntries = true
+			if c.i < len(c.b) && c.b[c.i] == 'n' {
+				if !c.lit("null") {
+					return false
+				}
+				resp.Entries = nil
+				return true
+			}
+			// encoding/json decodes [] to a non-nil empty slice; mirror that.
+			entries := resp.Entries[:0]
+			if entries == nil {
+				entries = []Entry{}
+			}
+			ok := c.list(func(c *cursor) bool {
+				var e Entry
+				if !c.entry(&e) {
+					return false
+				}
+				entries = append(entries, e)
+				return true
+			})
+			if !ok {
+				return false
+			}
+			resp.Entries = entries
+		case "redirect":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			resp.Redirect = s
+		case "dirVersion":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			resp.DirVersion = n
+		case "leaseMs":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			resp.LeaseMS = n
+		case "indexVer":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			resp.IndexVer = n
+		default:
+			return false
+		}
+		return true
+	}) && c.end()
+}
+
+func decodeCreateWithAttrsRequest(data []byte, req *CreateWithAttrsRequest) bool {
+	c := cursor{b: data}
+	return c.object(func(c *cursor, key string) bool {
+		switch key {
+		case "path":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			req.Path = s
+		case "kind":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			req.Kind = EntryKind(n)
+		case "size":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			req.Size = n
+		case "mode":
+			n, ok := c.int()
+			if !ok || n < 0 || n > math.MaxUint32 {
+				return false
+			}
+			req.Mode = uint32(n)
+		default:
+			return false
+		}
+		return true
+	}) && c.end()
+}
+
+func decodeBatchRequest(data []byte, req *BatchRequest) bool {
+	c := cursor{b: data}
+	seenOps := false
+	return c.object(func(c *cursor, key string) bool {
+		switch key {
+		case "ops":
+			if seenOps {
+				return false // repeated slice key: decline (see entries)
+			}
+			seenOps = true
+			if c.i < len(c.b) && c.b[c.i] == 'n' {
+				if !c.lit("null") {
+					return false
+				}
+				req.Ops = nil
+				return true
+			}
+			ops := req.Ops[:0]
+			if ops == nil {
+				ops = []BatchOp{}
+			}
+			ok := c.list(func(c *cursor) bool {
+				var op BatchOp
+				if !c.batchOp(&op) {
+					return false
+				}
+				ops = append(ops, op)
+				return true
+			})
+			if !ok {
+				return false
+			}
+			req.Ops = ops
+		case "hotPaths":
+			if c.i < len(c.b) && c.b[c.i] == 'n' {
+				if !c.lit("null") {
+					return false
+				}
+				req.HotPaths = nil
+				return true
+			}
+			if req.HotPaths == nil {
+				req.HotPaths = make(map[string]int64)
+			}
+			return c.object(func(c *cursor, key string) bool {
+				n, ok := c.int()
+				if !ok {
+					return false
+				}
+				req.HotPaths[key] = n
+				return true
+			})
+		default:
+			return false
+		}
+		return true
+	}) && c.end()
+}
+
+func (c *cursor) batchOp(op *BatchOp) bool {
+	return c.object(func(c *cursor, key string) bool {
+		switch key {
+		case "op":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			op.Op = s
+		case "path":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			op.Path = s
+		case "kind":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			op.Kind = EntryKind(n)
+		case "size":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			op.Size = n
+		case "mode":
+			n, ok := c.int()
+			if !ok || n < 0 || n > math.MaxUint32 {
+				return false
+			}
+			op.Mode = uint32(n)
+		case "version":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			op.Version = n
+		default:
+			return false
+		}
+		return true
+	})
+}
+
+func decodeBatchResponse(data []byte, resp *BatchResponse) bool {
+	c := cursor{b: data}
+	seenResults := false
+	return c.object(func(c *cursor, key string) bool {
+		if key != "results" {
+			return false
+		}
+		if seenResults {
+			return false // repeated slice key: decline (see entries)
+		}
+		seenResults = true
+		if c.i < len(c.b) && c.b[c.i] == 'n' {
+			if !c.lit("null") {
+				return false
+			}
+			resp.Results = nil
+			return true
+		}
+		results := resp.Results[:0]
+		if results == nil {
+			results = []BatchResult{}
+		}
+		ok := c.list(func(c *cursor) bool {
+			var res BatchResult
+			if !c.batchResult(&res) {
+				return false
+			}
+			results = append(results, res)
+			return true
+		})
+		if !ok {
+			return false
+		}
+		resp.Results = results
+		return true
+	}) && c.end()
+}
+
+func (c *cursor) batchResult(res *BatchResult) bool {
+	return c.object(func(c *cursor, key string) bool {
+		switch key {
+		case "entry":
+			if c.i < len(c.b) && c.b[c.i] == 'n' {
+				if !c.lit("null") {
+					return false
+				}
+				res.Entry = nil
+				return true
+			}
+			if res.Entry == nil {
+				res.Entry = new(Entry)
+			}
+			return c.entry(res.Entry)
+		case "match":
+			v, ok := c.boolVal()
+			if !ok {
+				return false
+			}
+			res.Match = v
+		case "redirect":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			res.Redirect = s
+		case "err":
+			s, ok := c.str()
+			if !ok {
+				return false
+			}
+			res.Err = s
+		case "leaseMs":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			res.LeaseMS = n
+		case "indexVer":
+			n, ok := c.int()
+			if !ok {
+				return false
+			}
+			res.IndexVer = n
+		default:
+			return false
+		}
+		return true
+	})
 }
 
 func decodePathObject(data []byte, path *string) bool {
@@ -412,6 +931,30 @@ func (c *cursor) object(field func(*cursor, string) bool) bool {
 			continue
 		}
 		return c.eat('}')
+	}
+}
+
+// list walks one JSON array, invoking elem with the cursor positioned at each
+// element. elem must consume exactly one value.
+func (c *cursor) list(elem func(*cursor) bool) bool {
+	c.ws()
+	if !c.eat('[') {
+		return false
+	}
+	c.ws()
+	if c.eat(']') {
+		return true
+	}
+	for {
+		c.ws()
+		if !elem(c) {
+			return false
+		}
+		c.ws()
+		if c.eat(',') {
+			continue
+		}
+		return c.eat(']')
 	}
 }
 

@@ -22,6 +22,12 @@ func fastCodecRegistry() []interface{} {
 		&CreateResponse{},
 		&RevalidateRequest{},
 		&RevalidateResponse{},
+		&ReaddirPlusRequest{},
+		&ReaddirPlusResponse{},
+		&CreateWithAttrsRequest{},
+		&CreateWithAttrsResponse{},
+		&BatchRequest{},
+		&BatchResponse{},
 	}
 }
 
@@ -66,6 +72,34 @@ func randomFill(rng *rand.Rand, v reflect.Value) {
 		}
 		v.Set(reflect.New(v.Type().Elem()))
 		randomFill(rng, v.Elem())
+	case reflect.Slice:
+		// nil or 1..3 elements — never empty-non-nil, which omitempty
+		// encoders legitimately cannot round-trip.
+		if rng.Intn(3) == 0 {
+			v.Set(reflect.Zero(v.Type()))
+			return
+		}
+		n := 1 + rng.Intn(3)
+		s := reflect.MakeSlice(v.Type(), n, n)
+		for i := 0; i < n; i++ {
+			randomFill(rng, s.Index(i))
+		}
+		v.Set(s)
+	case reflect.Map:
+		if rng.Intn(3) == 0 {
+			v.Set(reflect.Zero(v.Type()))
+			return
+		}
+		n := 1 + rng.Intn(3)
+		m := reflect.MakeMapWithSize(v.Type(), n)
+		for i := 0; i < n; i++ {
+			k := reflect.New(v.Type().Key()).Elem()
+			val := reflect.New(v.Type().Elem()).Elem()
+			randomFill(rng, k)
+			randomFill(rng, val)
+			m.SetMapIndex(k, val) // tricky-string keys may collide; fine
+		}
+		v.Set(m)
 	case reflect.Struct:
 		for i := 0; i < v.NumField(); i++ {
 			if f := v.Field(i); f.CanSet() {
@@ -166,6 +200,12 @@ func TestFastUnmarshalPayloadEdgeCases(t *testing.T) {
 		"createResp":     func() interface{} { return &CreateResponse{} },
 		"revalidateReq":  func() interface{} { return &RevalidateRequest{} },
 		"revalidateResp": func() interface{} { return &RevalidateResponse{} },
+		"readdirPlusReq": func() interface{} { return &ReaddirPlusRequest{} },
+		"readdirPlusRes": func() interface{} { return &ReaddirPlusResponse{} },
+		"createAttrsReq": func() interface{} { return &CreateWithAttrsRequest{} },
+		"createAttrsRes": func() interface{} { return &CreateWithAttrsResponse{} },
+		"batchReq":       func() interface{} { return &BatchRequest{} },
+		"batchResp":      func() interface{} { return &BatchResponse{} },
 	}
 	cases := []string{
 		`{}`,
@@ -206,6 +246,42 @@ func TestFastUnmarshalPayloadEdgeCases(t *testing.T) {
 		`{"path":"/a"} x`,               // trailing garbage: decline
 		`{"path"`,                       // truncated
 		``,
+		// List-path shapes for the compound-op payloads.
+		`{"entries":[]}`,
+		`{"entries":null}`,
+		`{"entries":[{"path":"/a","kind":1,"version":2}]}`,
+		`{"entries":[{"path":"/a","kind":1,"version":2},{"path":"/b","kind":2,"size":4,"mode":420,"version":1}]}`,
+		`{"entries":[{"path":"/a","kind":1,"version":2}],"dirVersion":7,"leaseMs":2000,"indexVer":3}`,
+		`{"entries":[{"path":"/a"},{"path":"/b"}],"entries":[{"path":"/c"}]}`, // repeated slice key: decline
+		`{"entries":[{"path":"/a","kind":1,"version":2},]}`,                  // trailing comma in array: decline
+		`{"entries":[null]}`,                                                 // null element: decline
+		`{"entries":[{"path":"/a"}`,                                          // truncated array
+		`{"entries":{}}`,                                                     // wrong type: decline
+		`{"dirVersion":9,"redirect":"addr"}`,
+		`{"ops":[]}`,
+		`{"ops":null}`,
+		`{"ops":[{"op":"lookup","path":"/a"}]}`,
+		`{"ops":[{"op":"create","path":"/a","kind":2,"size":1,"mode":420},{"op":"revalidate","path":"/b","version":3}]}`,
+		`{"ops":[{"op":"setattr","path":"/a","size":-1,"version":-2}],"hotPaths":{"/a":3,"/b":9}}`,
+		`{"ops":[],"hotPaths":{}}`,
+		`{"ops":[],"hotPaths":null}`,
+		`{"ops":[],"hotPaths":{"dup":1,"dup":2}}`, // duplicate map key: last wins
+		`{"hotPaths":{"k":1.5}}`,                  // float into int64: decline
+		`{"hotPaths":{"k":"v"}}`,                  // wrong value type: decline
+		`{"ops":[{"op":"lookup"}],"ops":[{"op":"create"}]}`, // repeated slice key: decline
+		`{"ops":[{"unknown":1}]}`,                           // unknown sub-op key: decline
+		`{"ops":[{"mode":4294967296}]}`,                     // overflow uint32: decline
+		`{"results":[]}`,
+		`{"results":null}`,
+		`{"results":[{}]}`,
+		`{"results":[{"entry":{"path":"/a","kind":1,"version":2},"leaseMs":2000,"indexVer":3}]}`,
+		`{"results":[{"match":true},{"redirect":"addr"},{"err":"boom"}]}`,
+		`{"results":[{"entry":null,"match":false}]}`,
+		`{"results":[{"match":1}]}`,                     // wrong type: decline
+		`{"results":[{}],"results":[{"match":true}]}`,   // repeated slice key: decline
+		`{"results":[{"err":"x"},]}`,                    // trailing comma in array: decline
+		`  { "ops" : [ { "op" : "lookup" } ] }  `,       // whitespace everywhere
+		`{"ops":[ {"op":"lookup","path":"/a"} , {"op":"lookup","path":"/b"} ]}`,
 	}
 	for name, mk := range mks {
 		for _, data := range cases {

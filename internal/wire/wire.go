@@ -33,6 +33,22 @@ const (
 	// mismatch ships the current entry in the response.
 	TypeRevalidate = "revalidate"
 
+	// Client → MDS: one frame carrying N independent sub-operations
+	// (lookup/create/setattr/revalidate/create_attrs), executed with one
+	// store-lock acquisition per owned run and one group-commit WAL window,
+	// with per-sub-op results, redirects and leases. The frame also folds
+	// the client's coalesced popularity deltas into the server's access
+	// counters, so cache-served hits still drive GL re-evaluation.
+	TypeBatch = "batch"
+
+	// Client → MDS: directory listing that returns the child entries with
+	// leases instead of bare names, so `ls -l` costs one RPC, not 1+N.
+	TypeReaddirPlus = "readdir_plus"
+
+	// Client → MDS: create fused with initial attributes — the create +
+	// setattr pair every real client issues, in one journaled commit.
+	TypeCreateWithAttrs = "create_attrs"
+
 	// MDS → Monitor.
 	TypeJoin      = "join"
 	TypeHeartbeat = "heartbeat"
